@@ -1,0 +1,405 @@
+// Benchmarks regenerating every table and figure of the paper (DESIGN.md
+// maps each bench to its artifact). Each iteration executes the full
+// experiment at ScaleSmoke so `go test -bench=.` finishes quickly; the
+// headline numbers are attached as custom metrics. Paper-scale runs come
+// from `go run ./cmd/fedsim -scale full`.
+//
+// The trailing kernel benchmarks time the substrate primitives (matmul,
+// conv, one federated round) at realistic sizes.
+package fedfteds_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedfteds"
+	"fedfteds/internal/experiments"
+	"fedfteds/internal/models"
+	"fedfteds/internal/nn"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/tensor"
+)
+
+// benchEnv builds a smoke-scale experiment environment.
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	env, err := experiments.NewEnv(experiments.ScaleSmoke, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func BenchmarkTable1Pretraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Rows[0].AccAlpha01, "nopt_acc01_%")
+		b.ReportMetric(100*res.Rows[2].AccAlpha01, "broadpt_acc01_%")
+	}
+}
+
+func BenchmarkTable2CloseDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eds, ok := res.Get("FedFT-EDS (10%)", "synthc10", 0.1); ok {
+			b.ReportMetric(100*eds.BestAccuracy, "eds10_acc_%")
+		}
+		if avg, ok := res.Get("FedAvg", "synthc10", 0.1); ok {
+			b.ReportMetric(100*avg.BestAccuracy, "fedavg_acc_%")
+		}
+	}
+}
+
+func BenchmarkFigure5LearningCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := res.RenderFigure5("synthc10", 0.1); out == "" {
+			b.Fatal("empty figure 5")
+		}
+	}
+}
+
+func BenchmarkFigure6LearningEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eds, ok1 := res.Get("FedFT-EDS (10%)", "synthc10", 0.1)
+		avg, ok2 := res.Get("FedAvg", "synthc10", 0.1)
+		if !ok1 || !ok2 {
+			b.Fatal("missing cells")
+		}
+		if avg.Efficiency > 0 {
+			b.ReportMetric(eds.Efficiency/avg.Efficiency, "eds_vs_fedavg_efficiency_x")
+		}
+	}
+}
+
+func BenchmarkTable3Stragglers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eds, ok := res.Get("FedFT-EDS (50%)", "synthc10", 0.1); ok {
+			b.ReportMetric(100*eds.BestAccuracy, "eds50_acc_%")
+		}
+		if ten, ok := res.Get("FedAvg 10% c.p.", "synthc10", 0.1); ok {
+			b.ReportMetric(100*ten.BestAccuracy, "fedavg10cp_acc_%")
+		}
+	}
+}
+
+func BenchmarkFigure7EfficiencyAt100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := res.RenderFigure7("synthc10", 0.1); out == "" {
+			b.Fatal("empty figure 7")
+		}
+	}
+}
+
+func BenchmarkFigure8CurvesParticipation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := res.RenderFigure8("synthc10", 0.1); out == "" {
+			b.Fatal("empty figure 8")
+		}
+	}
+}
+
+func BenchmarkFigure9CurvesSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := res.RenderFigure9("synthc10", 0.5); out == "" {
+			b.Fatal("empty figure 9")
+		}
+	}
+}
+
+func BenchmarkTable4CrossDomain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunTable4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := res.Get("FedFT-EDS (50%)"); ok {
+			b.ReportMetric(100*row.Accuracy, "eds50_far_acc_%")
+		}
+	}
+}
+
+func BenchmarkFigure1EntropyDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunFig1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Medians[0], "median_rho1")
+		b.ReportMetric(res.Medians[2], "median_rho01")
+	}
+}
+
+func BenchmarkFigure2CKAHeatmapsDir01(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunCKA(env, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Averages[1][models.GroupUp], "pt_up_cka")
+	}
+}
+
+func BenchmarkFigure3CKAHeatmapsDir05(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunCKA(env, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Averages[1][models.GroupUp], "pt_up_cka")
+	}
+}
+
+func BenchmarkFigure4CKAAverages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunCKA(env, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Averages[0][models.GroupUp], "nopt_up_cka")
+		b.ReportMetric(res.Averages[1][models.GroupUp], "pt_up_cka")
+	}
+}
+
+func BenchmarkFigure10aFinetunePart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunFig10a(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.EDS[3], "classifier_eds_acc_%")
+		b.ReportMetric(100*res.EDS[0], "full_eds_acc_%")
+	}
+}
+
+func BenchmarkFigure10bHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunFig10b(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.EDS[0], "eds_alpha001_acc_%")
+		b.ReportMetric(100*res.EDS[4], "eds_alpha1_acc_%")
+	}
+}
+
+func BenchmarkFigure10cTemperature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunFig10c(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.EDS[1], "eds_rho01_acc_%")
+		b.ReportMetric(100*res.RDSBaseline, "rds_acc_%")
+	}
+}
+
+func BenchmarkAblationBatchEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunAblationBatchEntropy(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := res.Get("sample-level EDS"); ok {
+			b.ReportMetric(100*row.BestAccuracy, "sample_eds_acc_%")
+		}
+	}
+}
+
+func BenchmarkAblationAggWeighting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunAblationAggWeighting(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := res.Get("selected"); ok {
+			b.ReportMetric(100*row.BestAccuracy, "selected_weighting_acc_%")
+		}
+	}
+}
+
+func BenchmarkAblationAcquisition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := benchEnv(b)
+		res, err := experiments.RunAblationAcquisition(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := res.Get("entropy (hardened ρ=0.1)"); ok {
+			b.ReportMetric(100*row.BestAccuracy, "hardened_entropy_acc_%")
+		}
+	}
+}
+
+// Substrate kernel benchmarks.
+
+func BenchmarkKernelMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(256, 256)
+	y := tensor.New(256, 256)
+	x.FillNormal(rng, 0, 1)
+	y.FillNormal(rng, 0, 1)
+	dst := tensor.New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.MatMul(dst, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelWRNForward(b *testing.B) {
+	m, err := models.Build(models.Spec{
+		Arch:        models.ArchWRN,
+		InputShape:  []int{3, 16, 16},
+		NumClasses:  10,
+		Depth:       16,
+		WidthFactor: 1,
+		InitSeed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(8, 3, 16, 16)
+	x.FillNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x, false)
+	}
+}
+
+func BenchmarkKernelMLPTrainStep(b *testing.B) {
+	m, err := models.Build(models.Spec{
+		Arch:       models.ArchMLP,
+		InputShape: []int{64},
+		NumClasses: 10,
+		Hidden:     64,
+		InitSeed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(32, 64)
+	x.FillNormal(rng, 0, 1)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	loss := nn.SoftmaxCrossEntropy{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := m.Forward(x, true)
+		_, dl, err := loss.Loss(logits, labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Backward(dl)
+		m.ZeroGrads()
+	}
+}
+
+func BenchmarkKernelEntropySelection(b *testing.B) {
+	env := benchEnv(b)
+	fed, err := env.BuildFederation(env.Suite.Target10, 2, 0.5, 999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := env.FreshModel(env.Suite.Target10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := selection.Entropy{Temperature: 0.1}
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(model, fed.Clients[0].Data, 0.5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelFederatedRound(b *testing.B) {
+	env := benchEnv(b)
+	fed, err := env.BuildFederation(env.Suite.Target10, 8, 0.5, 998)
+	if err != nil {
+		b.Fatal(err)
+	}
+	global, err := env.FreshModel(env.Suite.Target10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := global.Clone()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner, err := fedfteds.NewRunner(fedfteds.Config{
+			Rounds:         1,
+			LocalEpochs:    2,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   fedfteds.FinetuneModerate,
+			Selector:       fedfteds.EntropySelector{Temperature: 0.1},
+			SelectFraction: 0.5,
+			Seed:           int64(i),
+		}, m, fed.Clients, fed.Test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command fedclient is one federated participant in the distributed mode:
+// it regenerates its local non-IID partition deterministically from the
+// shared -seed and its -id, connects to a fedserver, and answers each round
+// with a FedFT-EDS local update (entropy-selected subset, partial
+// fine-tuning, only the upper model part on the wire).
+//
+// Usage (one process per client):
+//
+//	fedclient -addr 127.0.0.1:7070 -id 0 -clients 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fedfteds/internal/comm"
+	"fedfteds/internal/core"
+	"fedfteds/internal/experiments"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedclient", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	id := fs.Int("id", 0, "this client's federation index")
+	numClients := fs.Int("clients", 2, "federation size (must match the server)")
+	seed := fs.Int64("seed", 1, "shared federation seed (must match the server)")
+	temperature := fs.Float64("temperature", 0.1, "hardened-softmax temperature ρ")
+	timeout := fs.Duration("timeout", 10*time.Second, "dial timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 0 || *id >= *numClients {
+		return fmt.Errorf("client id %d outside [0,%d)", *id, *numClients)
+	}
+
+	// Rebuild the shared world deterministically: same seed ⇒ same domains,
+	// same partition, same pretrained model as the server.
+	env, err := experiments.NewEnv(experiments.ScaleFast, *seed)
+	if err != nil {
+		return err
+	}
+	fed, err := env.BuildFederation(env.Suite.Target10, *numClients, 0.1, 31337)
+	if err != nil {
+		return err
+	}
+	me := fed.Clients[*id]
+	global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+	if err != nil {
+		return err
+	}
+	if err := global.SetFinetunePart(models.FinetuneModerate); err != nil {
+		return err
+	}
+	log.Printf("client %d: %d local samples", *id, me.Data.Len())
+
+	conn, err := comm.DialTCP(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	sess, welcome, err := comm.Join(conn, *id, me.Data.Len())
+	if err != nil {
+		return err
+	}
+	log.Printf("joined federation of %d for %d rounds", welcome.NumClients, welcome.Rounds)
+
+	for {
+		rs, ok, err := sess.NextRound()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			log.Printf("server shut the session down")
+			return sess.Close()
+		}
+		// Install the received global state.
+		stateTs, err := comm.DecodeTensors(rs.State)
+		if err != nil {
+			return err
+		}
+		dst, err := global.GroupStateTensors(rs.Groups)
+		if err != nil {
+			return err
+		}
+		if len(dst) != len(stateTs) {
+			return fmt.Errorf("round %d: got %d state tensors, want %d", rs.Round, len(stateTs), len(dst))
+		}
+		for i := range dst {
+			if err := dst[i].CopyFrom(stateTs[i]); err != nil {
+				return err
+			}
+		}
+
+		cfg, err := core.NewLocalConfig(core.Config{
+			Rounds:         welcome.Rounds,
+			LocalEpochs:    rs.LocalEpochs,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   models.FinetuneModerate,
+			Selector:       selection.Entropy{Temperature: *temperature},
+			SelectFraction: rs.SelectFraction,
+			Seed:           *seed,
+		})
+		if err != nil {
+			return err
+		}
+		out, err := core.LocalUpdate(cfg, global, me, rs.Round)
+		if err != nil {
+			return err
+		}
+		blob, err := comm.EncodeTensors(out.State)
+		if err != nil {
+			return err
+		}
+		if err := sess.SendUpdate(comm.ClientUpdate{
+			ClientID:     *id,
+			Round:        rs.Round,
+			State:        blob,
+			NumSelected:  out.NumSelected,
+			TrainSeconds: out.Cost.Total(),
+		}); err != nil {
+			return err
+		}
+		log.Printf("round %d: trained on %d selected samples (loss %.3f)", rs.Round, out.NumSelected, out.TrainLoss)
+	}
+}

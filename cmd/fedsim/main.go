@@ -1,0 +1,245 @@
+// Command fedsim runs the paper-reproduction experiments and prints each
+// table or figure as text.
+//
+// Usage:
+//
+//	fedsim -exp table2 -scale fast -seed 1
+//	fedsim -exp all -scale full
+//
+// Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
+// fig7 fig8 fig9 fig10a fig10b fig10c ablations all. See DESIGN.md for the
+// experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fedfteds/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, all)")
+	scaleFlag := fs.String("scale", "fast", "experiment scale: smoke, fast or full")
+	seedFlag := fs.Int64("seed", 1, "run seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	env, err := experiments.NewEnv(scale, *seedFlag)
+	if err != nil {
+		return err
+	}
+
+	ids := strings.Split(*expFlag, ",")
+	if *expFlag == "all" {
+		// table2+figs and table3+figs are composite ids that run the
+		// underlying experiment once and render every artifact from it.
+		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
+			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := runExperiment(env, strings.TrimSpace(id))
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v at scale %s]\n\n", id, time.Since(start).Round(time.Millisecond), scale)
+	}
+	return nil
+}
+
+// runExperiment dispatches one experiment id. Figure ids that share a run
+// with a table (fig5..fig9) re-run the underlying table at this scale.
+func runExperiment(env *experiments.Env, id string) (string, error) {
+	switch id {
+	case "table2+figs":
+		res, err := experiments.RunTable2(env)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString(res.Render())
+		b.WriteByte('\n')
+		for _, ds := range resultDatasets(env) {
+			for _, alpha := range []float64{0.1, 0.5} {
+				b.WriteString(res.RenderFigure5(ds, alpha))
+				b.WriteByte('\n')
+				b.WriteString(res.RenderFigure6(ds, alpha))
+				b.WriteByte('\n')
+			}
+		}
+		return b.String(), nil
+	case "table3+figs":
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		b.WriteString(res.Render())
+		b.WriteByte('\n')
+		for _, ds := range resultDatasets(env) {
+			for _, alpha := range []float64{0.1, 0.5} {
+				b.WriteString(res.RenderFigure7(ds, alpha))
+				b.WriteByte('\n')
+				b.WriteString(res.RenderFigure8(ds, alpha))
+				b.WriteByte('\n')
+				b.WriteString(res.RenderFigure9(ds, alpha))
+				b.WriteByte('\n')
+			}
+		}
+		return b.String(), nil
+	case "table1":
+		res, err := experiments.RunTable1(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "table2":
+		res, err := experiments.RunTable2(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig5", "fig6":
+		res, err := experiments.RunTable2(env)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, ds := range []string{"synthc10", env.Suite.Target100.Spec.Name} {
+			for _, alpha := range []float64{0.1, 0.5} {
+				if id == "fig5" {
+					b.WriteString(res.RenderFigure5(dsName(env, ds), alpha))
+				} else {
+					b.WriteString(res.RenderFigure6(dsName(env, ds), alpha))
+				}
+				b.WriteByte('\n')
+			}
+		}
+		return b.String(), nil
+	case "table3":
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig7", "fig8", "fig9":
+		res, err := experiments.RunTable3(env)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		for _, ds := range []string{"synthc10", env.Suite.Target100.Spec.Name} {
+			for _, alpha := range []float64{0.1, 0.5} {
+				switch id {
+				case "fig7":
+					b.WriteString(res.RenderFigure7(dsName(env, ds), alpha))
+				case "fig8":
+					b.WriteString(res.RenderFigure8(dsName(env, ds), alpha))
+				case "fig9":
+					b.WriteString(res.RenderFigure9(dsName(env, ds), alpha))
+				}
+				b.WriteByte('\n')
+			}
+		}
+		return b.String(), nil
+	case "table4":
+		res, err := experiments.RunTable4(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig1":
+		res, err := experiments.RunFig1(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig2", "fig4":
+		res, err := experiments.RunCKA(env, 0.1)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig3":
+		res, err := experiments.RunCKA(env, 0.5)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig10a":
+		res, err := experiments.RunFig10a(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig10a-indomain":
+		res, err := experiments.RunFig10aInDomain(env)
+		if err != nil {
+			return "", err
+		}
+		return "[in-domain pretraining variant]\n" + res.Render(), nil
+	case "fig10b":
+		res, err := experiments.RunFig10b(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fig10c":
+		res, err := experiments.RunFig10c(env)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "ablations":
+		var b strings.Builder
+		for _, fn := range []func(*experiments.Env) (*experiments.AblationResult, error){
+			experiments.RunAblationBatchEntropy,
+			experiments.RunAblationAggWeighting,
+			experiments.RunAblationAcquisition,
+		} {
+			res, err := fn(env)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(res.Render())
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment id %q", id)
+	}
+}
+
+// dsName maps the canonical id to the scale-specific target-100 name.
+func dsName(env *experiments.Env, id string) string {
+	if id == "synthc10" {
+		return "synthc10"
+	}
+	t100, err := env.Target100()
+	if err != nil {
+		return id
+	}
+	return t100.Spec.Name
+}
+
+// resultDatasets lists the two close-domain dataset names at this scale.
+func resultDatasets(env *experiments.Env) []string {
+	return []string{"synthc10", dsName(env, "synthc100")}
+}

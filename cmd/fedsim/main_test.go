@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fedfteds/internal/experiments"
+)
+
+func testEnv(t *testing.T) *experiments.Env {
+	t.Helper()
+	env, err := experiments.NewEnv(experiments.ScaleSmoke, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	env := testEnv(t)
+	// The cheap experiments exercise the full dispatch surface; table2/3
+	// variants are covered by the experiments package tests.
+	for _, tt := range []struct {
+		id   string
+		want string
+	}{
+		{id: "fig1", want: "entropy distribution"},
+		{id: "table1", want: "Diri(0.1)"},
+		{id: "fig2", want: "CKA"},
+		{id: "fig3", want: "CKA"},
+		{id: "table4", want: "cross-domain"},
+		{id: "fig10a", want: "fine-tuned"},
+	} {
+		t.Run(tt.id, func(t *testing.T) {
+			out, err := runExperiment(env, tt.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, tt.want) {
+				t.Fatalf("output of %s missing %q:\n%s", tt.id, tt.want, out)
+			}
+		})
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	env := testEnv(t)
+	if _, err := runExperiment(env, "table99"); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "enormous"}); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+	if err := run([]string{"-exp", "nope", "-scale", "smoke"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}

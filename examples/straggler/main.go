@@ -1,0 +1,176 @@
+// Straggler scenario (paper Table III, scaled down): a large client pool
+// where the standard FedAvg workload makes slow devices drop out, versus
+// FedFT-EDS whose reduced workload lets every device participate.
+//
+// The example runs three FedAvg participation levels (100%, 20%, 10%) and
+// FedFT-EDS with full participation, then compares accuracy, total client
+// compute time, and the paper's learning-efficiency metric. It also
+// demonstrates the deadline-based straggler policy, where participation
+// emerges from each device's projected round time instead of being fixed.
+//
+// Run with:
+//
+//	go run ./examples/straggler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fedfteds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		seed       = 23
+		numClients = 30
+	)
+	suite, err := fedfteds.NewDomainSuite(seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sourceData, err := suite.Source.GenerateBalanced(4000, rng)
+	if err != nil {
+		return err
+	}
+	pool, err := suite.Target10.GenerateBalanced(numClients*50, rng)
+	if err != nil {
+		return err
+	}
+	test, err := suite.Target10.GenerateBalanced(600, rng)
+	if err != nil {
+		return err
+	}
+	spec := fedfteds.ModelSpec{
+		Arch:       fedfteds.ArchMLP,
+		InputShape: pool.SampleShape(),
+		NumClasses: pool.NumClasses,
+		Hidden:     64,
+		InitSeed:   seed,
+	}
+	pretrained, err := fedfteds.PretrainTransfer(spec, sourceData, fedfteds.CentralConfig{
+		Epochs: 10, LR: 0.05, Momentum: 0.5, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	parts, err := fedfteds.DirichletPartition(pool.Y, numClients, 0.1, 5, rng)
+	if err != nil {
+		return err
+	}
+	// A strongly heterogeneous device population: some devices are 3-4×
+	// slower than the median — the stragglers.
+	devices, err := fedfteds.NewHeterogeneousDevices(numClients, 1e9, 0.6, rng)
+	if err != nil {
+		return err
+	}
+	clients := make([]*fedfteds.Client, numClients)
+	for i, idxs := range parts {
+		local, err := pool.Subset(idxs)
+		if err != nil {
+			return err
+		}
+		clients[i] = &fedfteds.Client{ID: i, Data: local, Device: devices[i]}
+	}
+
+	type scenario struct {
+		name      string
+		part      fedfteds.FinetunePart
+		selector  fedfteds.Selector
+		fraction  float64
+		straggler fedfteds.StragglerPolicy
+	}
+	scenarios := []scenario{
+		{name: "FedAvg 100% c.p.", part: fedfteds.FinetuneFull, selector: fedfteds.AllSelector{}, fraction: 1},
+		{name: "FedAvg 20% c.p.", part: fedfteds.FinetuneFull, selector: fedfteds.AllSelector{}, fraction: 1,
+			straggler: fedfteds.FractionParticipation{Fraction: 0.2}},
+		{name: "FedAvg 10% c.p.", part: fedfteds.FinetuneFull, selector: fedfteds.AllSelector{}, fraction: 1,
+			straggler: fedfteds.FractionParticipation{Fraction: 0.1}},
+		{name: "FedFT-EDS (50%)", part: fedfteds.FinetuneModerate,
+			selector: fedfteds.EntropySelector{Temperature: 0.1}, fraction: 0.5},
+	}
+
+	fmt.Printf("%-18s %-10s %-12s %-12s\n", "method", "best acc", "client time", "efficiency")
+	for _, sc := range scenarios {
+		global, err := pretrained.Clone()
+		if err != nil {
+			return err
+		}
+		runner, err := fedfteds.NewRunner(fedfteds.Config{
+			Rounds:         12,
+			LocalEpochs:    5,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   sc.part,
+			Selector:       sc.selector,
+			SelectFraction: sc.fraction,
+			Straggler:      sc.straggler,
+			Seed:           seed,
+		}, global, clients, test)
+		if err != nil {
+			return err
+		}
+		hist, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		eff, err := hist.LearningEfficiency()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %8.2f%% %10.1fs %9.2f %%/s\n",
+			sc.name, 100*hist.BestAccuracy, hist.TotalTrainSeconds, eff)
+	}
+
+	// Deadline-based stragglers: participation emerges from device speed.
+	// Under a tight round deadline, full FedAvg loses its slow devices while
+	// FedFT-EDS's lighter rounds fit almost everywhere.
+	fmt.Println("\nwith a 40-millisecond round deadline instead of fixed participation:")
+	for _, sc := range []scenario{
+		{name: "FedAvg + deadline", part: fedfteds.FinetuneFull, selector: fedfteds.AllSelector{}, fraction: 1,
+			straggler: fedfteds.DeadlineStraggler{DeadlineSeconds: 0.04}},
+		{name: "FedFT-EDS + deadline", part: fedfteds.FinetuneModerate,
+			selector: fedfteds.EntropySelector{Temperature: 0.1}, fraction: 0.5,
+			straggler: fedfteds.DeadlineStraggler{DeadlineSeconds: 0.04}},
+	} {
+		global, err := pretrained.Clone()
+		if err != nil {
+			return err
+		}
+		runner, err := fedfteds.NewRunner(fedfteds.Config{
+			Rounds:         12,
+			LocalEpochs:    5,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   sc.part,
+			Selector:       sc.selector,
+			SelectFraction: sc.fraction,
+			Straggler:      sc.straggler,
+			Seed:           seed,
+		}, global, clients, test)
+		if err != nil {
+			return err
+		}
+		hist, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		var avgParticipants float64
+		for _, rec := range hist.Records {
+			avgParticipants += float64(rec.Participants)
+		}
+		avgParticipants /= float64(len(hist.Records))
+		fmt.Printf("%-22s best %.2f%%, avg %.1f of %d clients finish each round\n",
+			sc.name, 100*hist.BestAccuracy, avgParticipants, numClients)
+	}
+	return nil
+}

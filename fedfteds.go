@@ -1,0 +1,175 @@
+// Package fedfteds is the public API of the FedFT-EDS library: federated
+// learning with client-workload reduction through partial training of client
+// models (federated fine-tuning atop a frozen, pretrained feature extractor)
+// and entropy-based data selection with a hardened softmax.
+//
+// The package re-exports the library's building blocks as aliases so
+// downstream users program against one import:
+//
+//	model, _ := fedfteds.BuildModel(fedfteds.ModelSpec{...})
+//	runner, _ := fedfteds.NewRunner(cfg, model, clients, test)
+//	history, _ := runner.Run()
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-reproduction results.
+package fedfteds
+
+import (
+	"fedfteds/internal/core"
+	"fedfteds/internal/data"
+	"fedfteds/internal/experiments"
+	"fedfteds/internal/metrics"
+	"fedfteds/internal/models"
+	"fedfteds/internal/partition"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/simtime"
+)
+
+// Model building.
+type (
+	// Model is a group-structured network (low / mid / up / classifier).
+	Model = models.Model
+	// ModelSpec fully determines a model build.
+	ModelSpec = models.Spec
+	// FinetunePart selects the trainable portion of the model.
+	FinetunePart = models.FinetunePart
+)
+
+// Model architecture and finetune-part constants.
+const (
+	ArchMLP = models.ArchMLP
+	ArchWRN = models.ArchWRN
+
+	FinetuneFull       = models.FinetuneFull
+	FinetuneLarge      = models.FinetuneLarge
+	FinetuneModerate   = models.FinetuneModerate
+	FinetuneClassifier = models.FinetuneClassifier
+)
+
+// BuildModel constructs a model from its spec.
+func BuildModel(spec ModelSpec) (*Model, error) { return models.Build(spec) }
+
+// Datasets and synthetic domains.
+type (
+	// Dataset is an in-memory labeled dataset.
+	Dataset = data.Dataset
+	// Domain is a sampleable synthetic classification task.
+	Domain = data.Domain
+	// DomainSpec configures a synthetic domain.
+	DomainSpec = data.DomainSpec
+	// Universe is the shared generative structure behind a domain family.
+	Universe = data.Universe
+	// DomainSuite bundles the standard experiment domains.
+	DomainSuite = data.StandardSuite
+)
+
+// NewDomainSuite builds the standard domain family (source, close targets,
+// far target) from one seed.
+func NewDomainSuite(seed int64) (*DomainSuite, error) { return data.NewStandardSuite(seed) }
+
+// Non-IID partitioning.
+
+// DirichletPartition splits label indices across clients with Diri(alpha)
+// label skew, guaranteeing at least minSize samples per client.
+var DirichletPartition = partition.Dirichlet
+
+// IIDPartition splits indices uniformly.
+var IIDPartition = partition.IID
+
+// Data selection.
+type (
+	// Selector picks each client's per-round training subset.
+	Selector = selection.Selector
+	// EntropySelector is the paper's EDS with hardened softmax.
+	EntropySelector = selection.Entropy
+	// RandomSelector is the RDS baseline.
+	RandomSelector = selection.Random
+	// AllSelector uses every local sample.
+	AllSelector = selection.All
+	// MarginSelector picks the smallest top-2-margin samples.
+	MarginSelector = selection.Margin
+)
+
+// Federated engine.
+type (
+	// Config describes one federated run.
+	Config = core.Config
+	// Client is one federated participant.
+	Client = core.Client
+	// Runner orchestrates a federated run.
+	Runner = core.Runner
+	// History is a run's outcome.
+	History = core.History
+	// CentralConfig configures centralized training / pretraining.
+	CentralConfig = core.CentralConfig
+	// LocalOutcome is one client-side round result.
+	LocalOutcome = core.LocalOutcome
+)
+
+// Aggregation weighting constants (paper Eq. 5 uses WeightBySelected).
+const (
+	WeightBySelected  = core.WeightBySelected
+	WeightByLocalSize = core.WeightByLocalSize
+	WeightUniform     = core.WeightUniform
+)
+
+// NewRunner validates a configuration and builds a runner.
+func NewRunner(cfg Config, global *Model, clients []*Client, test *Dataset) (*Runner, error) {
+	return core.NewRunner(cfg, global, clients, test)
+}
+
+// TrainCentralized trains a model centrally (the paper's upper bound).
+var TrainCentralized = core.TrainCentralized
+
+// Pretrain trains the full model on a source domain.
+var Pretrain = core.Pretrain
+
+// PretrainTransfer pretrains on a source dataset and transfers the feature
+// extractor into a fresh model for the target label space.
+var PretrainTransfer = core.PretrainTransfer
+
+// LocalUpdate runs one client-side round (used by distributed clients).
+var LocalUpdate = core.LocalUpdate
+
+// Devices and stragglers.
+type (
+	// Device models a client's compute speed.
+	Device = simtime.Device
+	// StragglerPolicy decides which sampled clients complete a round.
+	StragglerPolicy = simtime.StragglerPolicy
+	// FractionParticipation keeps a random client fraction per round.
+	FractionParticipation = simtime.FractionParticipation
+	// DeadlineStraggler drops clients that exceed a round deadline.
+	DeadlineStraggler = simtime.DeadlineStraggler
+)
+
+// NewHeterogeneousDevices draws a lognormal device population.
+var NewHeterogeneousDevices = simtime.NewHeterogeneousDevices
+
+// Metrics.
+
+// Accuracy is top-1 accuracy of a model on a dataset.
+var Accuracy = metrics.Accuracy
+
+// LinearCKA is the linear Centered Kernel Alignment between representations.
+var LinearCKA = metrics.LinearCKA
+
+// Experiments (the paper's tables and figures).
+type (
+	// ExperimentEnv is the shared experiment environment.
+	ExperimentEnv = experiments.Env
+	// ExperimentScale sizes experiments (smoke / fast / full).
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	ScaleSmoke = experiments.ScaleSmoke
+	ScaleFast  = experiments.ScaleFast
+	ScaleFull  = experiments.ScaleFull
+)
+
+// NewExperimentEnv builds the experiment environment for a scale and seed.
+func NewExperimentEnv(scale ExperimentScale, seed int64) (*ExperimentEnv, error) {
+	return experiments.NewEnv(scale, seed)
+}

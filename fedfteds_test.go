@@ -1,0 +1,128 @@
+// Integration tests exercising the public facade end to end, the way the
+// examples and a downstream user would.
+package fedfteds_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedfteds"
+)
+
+func TestFacadeEndToEndFedFTEDS(t *testing.T) {
+	const (
+		seed       = 5
+		numClients = 4
+	)
+	suite, err := fedfteds.NewDomainSuite(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	source, err := suite.Source.GenerateBalanced(1500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := suite.Target10.GenerateBalanced(numClients*40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := suite.Target10.GenerateBalanced(200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := fedfteds.ModelSpec{
+		Arch:       fedfteds.ArchMLP,
+		InputShape: pool.SampleShape(),
+		NumClasses: pool.NumClasses,
+		Hidden:     32,
+		InitSeed:   seed,
+	}
+	global, err := fedfteds.PretrainTransfer(spec, source, fedfteds.CentralConfig{
+		Epochs: 6, LR: 0.05, Momentum: 0.5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts, err := fedfteds.DirichletPartition(pool.Y, numClients, 0.5, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices, err := fedfteds.NewHeterogeneousDevices(numClients, 1e9, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fedfteds.Client, numClients)
+	for i, idxs := range parts {
+		local, err := pool.Subset(idxs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = &fedfteds.Client{ID: i, Data: local, Device: devices[i]}
+	}
+
+	runner, err := fedfteds.NewRunner(fedfteds.Config{
+		Rounds:         8,
+		LocalEpochs:    3,
+		LR:             0.05,
+		Momentum:       0.5,
+		FinetunePart:   fedfteds.FinetuneModerate,
+		Selector:       fedfteds.EntropySelector{Temperature: 0.1},
+		SelectFraction: 0.5,
+		Seed:           seed,
+	}, global, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.BestAccuracy <= 0.15 {
+		t.Fatalf("facade run did not learn: best %.3f", hist.BestAccuracy)
+	}
+	if hist.TotalUplinkBytes <= 0 || hist.TotalTrainSeconds <= 0 {
+		t.Fatal("accounting empty")
+	}
+	acc, err := fedfteds.Accuracy(runner.GlobalModel(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0 {
+		t.Fatalf("final accuracy %v", acc)
+	}
+}
+
+func TestFacadeExperimentEnv(t *testing.T) {
+	env, err := fedfteds.NewExperimentEnv(fedfteds.ScaleSmoke, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Dims.Rounds <= 0 {
+		t.Fatal("empty dimensions")
+	}
+	if fedfteds.ScaleFast.String() != "fast" {
+		t.Fatal("scale naming")
+	}
+}
+
+func TestFacadeCKA(t *testing.T) {
+	suite, err := fedfteds.NewDomainSuite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ds, err := suite.Target10.GenerateBalanced(50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fedfteds.LinearCKA(ds.X, ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.999 {
+		t.Fatalf("CKA(X,X) = %v", v)
+	}
+}

@@ -1,0 +1,139 @@
+// Package comm implements the federated-learning wire protocol: compact
+// tensor encoding, typed messages, and Transport implementations for
+// in-process testing and real TCP deployments (length-prefixed frames, gob
+// payloads). It is what cmd/fedserver and cmd/fedclient speak.
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"fedfteds/internal/tensor"
+)
+
+// ErrProtocol reports a malformed or unexpected message.
+var ErrProtocol = errors.New("comm: protocol error")
+
+// MsgType identifies a message on the wire.
+type MsgType uint8
+
+const (
+	// MsgHello is the client's registration message.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome is the server's registration reply.
+	MsgWelcome
+	// MsgRoundStart carries the global state for one training round.
+	MsgRoundStart
+	// MsgClientUpdate carries a client's trained state back to the server.
+	MsgClientUpdate
+	// MsgShutdown ends the session.
+	MsgShutdown
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgRoundStart:
+		return "round-start"
+	case MsgClientUpdate:
+		return "client-update"
+	case MsgShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Hello registers a client with the server.
+type Hello struct {
+	// ClientID is the federation index the client claims.
+	ClientID int
+	// LocalSize is the client's local dataset size.
+	LocalSize int
+}
+
+// Welcome acknowledges registration and shares run parameters.
+type Welcome struct {
+	// NumClients is the expected federation size.
+	NumClients int
+	// Rounds is the planned number of communication rounds.
+	Rounds int
+}
+
+// RoundStart instructs a client to run one local round.
+type RoundStart struct {
+	// Round is the 1-based round index.
+	Round int
+	// State is the encoded global model state for the communicated groups.
+	State []byte
+	// Groups names the model groups State covers (FedFT ships only the
+	// trainable upper part).
+	Groups []string
+	// SelectFraction is P_ds for this round.
+	SelectFraction float64
+	// LocalEpochs is E.
+	LocalEpochs int
+}
+
+// ClientUpdate returns a client's trained state.
+type ClientUpdate struct {
+	// ClientID identifies the sender.
+	ClientID int
+	// Round echoes the round index.
+	Round int
+	// State is the encoded updated state for the communicated groups.
+	State []byte
+	// NumSelected is |D_select|, the aggregation weight numerator.
+	NumSelected int
+	// TrainSeconds is the client's reported local compute time.
+	TrainSeconds float64
+}
+
+// Shutdown ends the session.
+type Shutdown struct {
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// EncodeTensors serializes tensors into one buffer using the tensor wire
+// format, prefixed with a count.
+func EncodeTensors(ts []*tensor.Tensor) ([]byte, error) {
+	var buf bytes.Buffer
+	count := uint32(len(ts))
+	buf.Write([]byte{byte(count), byte(count >> 8), byte(count >> 16), byte(count >> 24)})
+	for i, t := range ts {
+		if _, err := t.WriteTo(&buf); err != nil {
+			return nil, fmt.Errorf("comm: encode tensor %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTensors reverses EncodeTensors.
+func DecodeTensors(b []byte) ([]*tensor.Tensor, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: tensor blob too short", ErrProtocol)
+	}
+	count := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if count > 1<<20 {
+		return nil, fmt.Errorf("%w: tensor count %d", ErrProtocol, count)
+	}
+	r := bytes.NewReader(b[4:])
+	out := make([]*tensor.Tensor, count)
+	for i := range out {
+		var t tensor.Tensor
+		if _, err := t.ReadFrom(r); err != nil {
+			return nil, fmt.Errorf("comm: decode tensor %d: %w", i, err)
+		}
+		out[i] = &t
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after tensors", ErrProtocol, r.Len())
+	}
+	return out, nil
+}

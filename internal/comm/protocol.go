@@ -1,0 +1,198 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ServerSession coordinates a registered set of federated clients over any
+// Transport. It implements the server half of the wire protocol.
+type ServerSession struct {
+	conns map[int]Conn // by client ID
+}
+
+// AcceptClients blocks until numClients clients have registered, answering
+// each Hello with a Welcome.
+func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
+	if numClients <= 0 {
+		return nil, fmt.Errorf("%w: numClients %d", ErrProtocol, numClients)
+	}
+	s := &ServerSession{conns: make(map[int]Conn, numClients)}
+	for len(s.conns) < numClients {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("comm: accepting client %d of %d: %w", len(s.conns)+1, numClients, err)
+		}
+		env, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("comm: reading hello: %w", err)
+		}
+		if env.Type != MsgHello {
+			return nil, fmt.Errorf("%w: expected hello, got %v", ErrProtocol, env.Type)
+		}
+		var hello Hello
+		if err := DecodeBody(env, &hello); err != nil {
+			return nil, err
+		}
+		if _, dup := s.conns[hello.ClientID]; dup {
+			return nil, fmt.Errorf("%w: duplicate client id %d", ErrProtocol, hello.ClientID)
+		}
+		welcome, err := EncodeBody(MsgWelcome, Welcome{NumClients: numClients, Rounds: rounds})
+		if err != nil {
+			return nil, err
+		}
+		if err := conn.Send(welcome); err != nil {
+			return nil, fmt.Errorf("comm: sending welcome to %d: %w", hello.ClientID, err)
+		}
+		s.conns[hello.ClientID] = conn
+	}
+	return s, nil
+}
+
+// ClientIDs returns the registered client IDs in ascending order.
+func (s *ServerSession) ClientIDs() []int {
+	ids := make([]int, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// RunRound broadcasts a RoundStart to the given clients and collects one
+// ClientUpdate from each. Updates return ordered by client ID.
+func (s *ServerSession) RunRound(rs RoundStart, clientIDs []int) ([]ClientUpdate, error) {
+	env, err := EncodeBody(MsgRoundStart, rs)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range clientIDs {
+		conn, ok := s.conns[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown client %d", ErrProtocol, id)
+		}
+		if err := conn.Send(env); err != nil {
+			return nil, fmt.Errorf("comm: round %d to client %d: %w", rs.Round, id, err)
+		}
+	}
+
+	updates := make([]ClientUpdate, len(clientIDs))
+	errs := make([]error, len(clientIDs))
+	var wg sync.WaitGroup
+	for i, id := range clientIDs {
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			env, err := s.conns[id].Recv()
+			if err != nil {
+				errs[slot] = fmt.Errorf("comm: update from client %d: %w", id, err)
+				return
+			}
+			if env.Type != MsgClientUpdate {
+				errs[slot] = fmt.Errorf("%w: expected update from %d, got %v", ErrProtocol, id, env.Type)
+				return
+			}
+			var u ClientUpdate
+			if err := DecodeBody(env, &u); err != nil {
+				errs[slot] = err
+				return
+			}
+			if u.Round != rs.Round {
+				errs[slot] = fmt.Errorf("%w: client %d answered round %d during round %d",
+					ErrProtocol, id, u.Round, rs.Round)
+				return
+			}
+			updates[slot] = u
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(updates, func(a, b int) bool { return updates[a].ClientID < updates[b].ClientID })
+	return updates, nil
+}
+
+// Shutdown notifies every client and closes all connections.
+func (s *ServerSession) Shutdown(reason string) error {
+	env, err := EncodeBody(MsgShutdown, Shutdown{Reason: reason})
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for id, conn := range s.conns {
+		if err := conn.Send(env); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("comm: shutdown to %d: %w", id, err)
+		}
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ClientSession is the client half of the wire protocol.
+type ClientSession struct {
+	conn Conn
+	// ID is the client's federation index.
+	ID int
+}
+
+// Join registers with the server and returns the session plus the server's
+// Welcome.
+func Join(conn Conn, clientID, localSize int) (*ClientSession, Welcome, error) {
+	env, err := EncodeBody(MsgHello, Hello{ClientID: clientID, LocalSize: localSize})
+	if err != nil {
+		return nil, Welcome{}, err
+	}
+	if err := conn.Send(env); err != nil {
+		return nil, Welcome{}, fmt.Errorf("comm: hello: %w", err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, Welcome{}, fmt.Errorf("comm: welcome: %w", err)
+	}
+	if reply.Type != MsgWelcome {
+		return nil, Welcome{}, fmt.Errorf("%w: expected welcome, got %v", ErrProtocol, reply.Type)
+	}
+	var w Welcome
+	if err := DecodeBody(reply, &w); err != nil {
+		return nil, Welcome{}, err
+	}
+	return &ClientSession{conn: conn, ID: clientID}, w, nil
+}
+
+// NextRound blocks for the next instruction. ok is false when the server
+// shut the session down.
+func (c *ClientSession) NextRound() (rs RoundStart, ok bool, err error) {
+	env, err := c.conn.Recv()
+	if err != nil {
+		return RoundStart{}, false, err
+	}
+	switch env.Type {
+	case MsgRoundStart:
+		if err := DecodeBody(env, &rs); err != nil {
+			return RoundStart{}, false, err
+		}
+		return rs, true, nil
+	case MsgShutdown:
+		return RoundStart{}, false, nil
+	default:
+		return RoundStart{}, false, fmt.Errorf("%w: unexpected %v", ErrProtocol, env.Type)
+	}
+}
+
+// SendUpdate returns the client's trained state to the server.
+func (c *ClientSession) SendUpdate(u ClientUpdate) error {
+	env, err := EncodeBody(MsgClientUpdate, u)
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(env)
+}
+
+// Close releases the client connection.
+func (c *ClientSession) Close() error { return c.conn.Close() }

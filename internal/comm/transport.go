@@ -1,0 +1,239 @@
+package comm
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrameBytes bounds a single message frame (64 MiB) so a corrupt length
+// prefix cannot trigger an enormous allocation.
+const maxFrameBytes = 64 << 20
+
+// Envelope is one framed message: a type tag and a gob-encoded body.
+type Envelope struct {
+	// Type identifies the body's Go type.
+	Type MsgType
+	// Body is the gob-encoded message struct.
+	Body []byte
+}
+
+// EncodeBody gob-encodes a message struct into an envelope.
+func EncodeBody(t MsgType, v any) (Envelope, error) {
+	var buf bytesBuffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return Envelope{}, fmt.Errorf("comm: encode %v: %w", t, err)
+	}
+	return Envelope{Type: t, Body: buf.b}, nil
+}
+
+// DecodeBody gob-decodes an envelope body into v (a pointer).
+func DecodeBody(e Envelope, v any) error {
+	if err := gob.NewDecoder(&byteReader{b: e.Body}).Decode(v); err != nil {
+		return fmt.Errorf("comm: decode %v: %w", e.Type, err)
+	}
+	return nil
+}
+
+// bytesBuffer is a minimal io.Writer over a growing byte slice (avoids
+// pulling in bytes.Buffer's unused machinery in hot paths).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// byteReader is a minimal io.Reader over a byte slice.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// Conn is a bidirectional, message-oriented connection between one client
+// and the server. Send and Recv are each safe for one goroutine at a time.
+type Conn interface {
+	// Send writes one envelope.
+	Send(Envelope) error
+	// Recv reads the next envelope, blocking until one arrives.
+	Recv() (Envelope, error)
+	// Close releases the connection; pending Recv calls fail.
+	Close() error
+}
+
+// TCPConn frames envelopes over a net.Conn:
+// 4-byte little-endian length, 1-byte type, body.
+type TCPConn struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+var _ Conn = (*TCPConn)(nil)
+
+// NewTCPConn wraps an established net.Conn.
+func NewTCPConn(conn net.Conn) *TCPConn { return &TCPConn{conn: conn} }
+
+// Send implements Conn.
+func (c *TCPConn) Send(e Envelope) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if len(e.Body) > maxFrameBytes {
+		return fmt.Errorf("%w: frame %d bytes exceeds limit", ErrProtocol, len(e.Body))
+	}
+	header := make([]byte, 5)
+	binary.LittleEndian.PutUint32(header, uint32(len(e.Body)))
+	header[4] = byte(e.Type)
+	if _, err := c.conn.Write(header); err != nil {
+		return fmt.Errorf("comm: write header: %w", err)
+	}
+	if _, err := c.conn.Write(e.Body); err != nil {
+		return fmt.Errorf("comm: write body: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *TCPConn) Recv() (Envelope, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(c.conn, header); err != nil {
+		return Envelope{}, fmt.Errorf("comm: read header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(header)
+	if size > maxFrameBytes {
+		return Envelope{}, fmt.Errorf("%w: frame %d bytes exceeds limit", ErrProtocol, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(c.conn, body); err != nil {
+		return Envelope{}, fmt.Errorf("comm: read body: %w", err)
+	}
+	return Envelope{Type: MsgType(header[4]), Body: body}, nil
+}
+
+// Close implements Conn.
+func (c *TCPConn) Close() error { return c.conn.Close() }
+
+// SetDeadline bounds both read and write operations.
+func (c *TCPConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Listener accepts federated clients.
+type Listener interface {
+	// Accept blocks for the next client connection.
+	Accept() (Conn, error)
+	// Addr returns the listen address.
+	Addr() string
+	// Close stops accepting.
+	Close() error
+}
+
+// TCPListener adapts net.Listener to the comm.Listener interface.
+type TCPListener struct {
+	l net.Listener
+}
+
+var _ Listener = (*TCPListener)(nil)
+
+// ListenTCP starts a listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
+	}
+	return &TCPListener{l: l}, nil
+}
+
+// Accept implements Listener.
+func (t *TCPListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("comm: accept: %w", err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// Addr implements Listener.
+func (t *TCPListener) Addr() string { return t.l.Addr().String() }
+
+// Close implements Listener.
+func (t *TCPListener) Close() error { return t.l.Close() }
+
+// DialTCP connects to a fedserver.
+func DialTCP(addr string, timeout time.Duration) (*TCPConn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("comm: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(c), nil
+}
+
+// Pipe returns a connected in-process transport pair, used by tests and the
+// single-process distributed example. Each side's Send delivers to the other
+// side's Recv through a buffered channel.
+func Pipe() (Conn, Conn) {
+	a2b := make(chan Envelope, 1)
+	b2a := make(chan Envelope, 1)
+	done := make(chan struct{})
+	var once sync.Once
+	closeDone := func() { once.Do(func() { close(done) }) }
+	a := &pipeConn{send: a2b, recv: b2a, done: done, close: closeDone}
+	b := &pipeConn{send: b2a, recv: a2b, done: done, close: closeDone}
+	return a, b
+}
+
+// pipeConn is one side of an in-process connection.
+type pipeConn struct {
+	send  chan Envelope
+	recv  chan Envelope
+	done  chan struct{}
+	close func()
+}
+
+var _ Conn = (*pipeConn)(nil)
+
+// Send implements Conn.
+func (p *pipeConn) Send(e Envelope) error {
+	select {
+	case p.send <- e:
+		return nil
+	case <-p.done:
+		return fmt.Errorf("%w: connection closed", ErrProtocol)
+	}
+}
+
+// Recv implements Conn.
+func (p *pipeConn) Recv() (Envelope, error) {
+	select {
+	case e := <-p.recv:
+		return e, nil
+	case <-p.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case e := <-p.recv:
+			return e, nil
+		default:
+		}
+		return Envelope{}, fmt.Errorf("%w: connection closed", ErrProtocol)
+	}
+}
+
+// Close implements Conn.
+func (p *pipeConn) Close() error {
+	p.close()
+	return nil
+}

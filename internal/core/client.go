@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/models"
+	"fedfteds/internal/nn"
+	"fedfteds/internal/opt"
+	"fedfteds/internal/simtime"
+	"fedfteds/internal/tensor"
+)
+
+// Client is one federated participant: a local dataset and a device profile.
+type Client struct {
+	// ID is the client's index in the federation.
+	ID int
+	// Data is the client's private local dataset.
+	Data *data.Dataset
+	// Device models the client's compute speed.
+	Device simtime.Device
+}
+
+// LocalOutcome is the result of one client-side local round.
+type LocalOutcome struct {
+	// State is the updated state of the trainable groups (cloned tensors).
+	State []*tensor.Tensor
+	// NumSelected is |D_select|, the number of samples trained on.
+	NumSelected int
+	// Cost is the simulated device time of the round.
+	Cost simtime.RoundCost
+	// TrainLoss is the final epoch's mean training loss.
+	TrainLoss float64
+}
+
+// clientResult carries one client's round outcome back to the server.
+type clientResult struct {
+	clientID    int
+	state       []*tensor.Tensor
+	numSelected int
+	localSize   int
+	cost        simtime.RoundCost
+	trainLoss   float64
+}
+
+// LocalUpdate executes one local round on a clone of the global model: data
+// selection, E epochs of SGD on the selected subset, and cost accounting.
+// It is the client-side primitive shared by the in-process simulator and the
+// distributed fedclient binary. cfg must already have defaults applied when
+// called outside the Runner; NewLocalConfig does that.
+func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (LocalOutcome, error) {
+	local, err := global.Clone()
+	if err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: clone: %w", cl.ID, err)
+	}
+	if err := local.SetFinetunePart(cfg.FinetunePart); err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: %w", cl.ID, err)
+	}
+	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))
+
+	selIdx, err := cfg.Selector.Select(local, cl.Data, cfg.SelectFraction, rng)
+	if err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: selection: %w", cl.ID, err)
+	}
+	selected, err := cl.Data.Subset(selIdx)
+	if err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: subset: %w", cl.ID, err)
+	}
+
+	sgd, err := opt.NewSGD(opt.SGDConfig{
+		LR:          cfg.LR,
+		Momentum:    cfg.Momentum,
+		WeightDecay: cfg.WeightDecay,
+		ProxMu:      cfg.ProxMu,
+	}, local.TrainableParams())
+	if err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: %w", cl.ID, err)
+	}
+	if cfg.ProxMu > 0 {
+		anchor := make([]*tensor.Tensor, 0, len(local.TrainableParams()))
+		for _, p := range local.TrainableParams() {
+			anchor = append(anchor, p.W.Clone())
+		}
+		if err := sgd.SetProxAnchor(anchor); err != nil {
+			return LocalOutcome{}, fmt.Errorf("core: client %d: %w", cl.ID, err)
+		}
+	}
+
+	loss := nn.SoftmaxCrossEntropy{}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		batches, err := selected.Batches(cfg.BatchSize, rng)
+		if err != nil {
+			return LocalOutcome{}, fmt.Errorf("core: client %d: batches: %w", cl.ID, err)
+		}
+		var epochLoss float64
+		for _, b := range batches {
+			logits := local.Forward(b.X, true)
+			v, dl, err := loss.Loss(logits, b.Y)
+			if err != nil {
+				return LocalOutcome{}, fmt.Errorf("core: client %d: loss: %w", cl.ID, err)
+			}
+			local.Backward(dl)
+			sgd.Step()
+			epochLoss += v * float64(len(b.Y))
+		}
+		lastLoss = epochLoss / float64(selected.Len())
+	}
+
+	cost, err := simtime.ClientRoundCost(local, cl.Device,
+		cl.Data.Len(), selected.Len(), cfg.LocalEpochs, cfg.Selector.ScoringPasses())
+	if err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: cost: %w", cl.ID, err)
+	}
+
+	live, err := local.GroupStateTensors(local.TrainableGroupNames())
+	if err != nil {
+		return LocalOutcome{}, fmt.Errorf("core: client %d: state: %w", cl.ID, err)
+	}
+	state := make([]*tensor.Tensor, len(live))
+	for i, ts := range live {
+		state[i] = ts.Clone()
+	}
+	return LocalOutcome{
+		State:       state,
+		NumSelected: selected.Len(),
+		Cost:        cost,
+		TrainLoss:   lastLoss,
+	}, nil
+}
+
+// NewLocalConfig applies defaults and validates a config for standalone
+// LocalUpdate use (the distributed fedclient path, where no Runner exists).
+func NewLocalConfig(cfg Config) (Config, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 1 // standalone clients do not drive the round count
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// runClientRound adapts LocalUpdate to the Runner's internal result type.
+func runClientRound(cfg Config, global *models.Model, cl *Client, round int) (clientResult, error) {
+	out, err := LocalUpdate(cfg, global, cl, round)
+	if err != nil {
+		return clientResult{}, err
+	}
+	return clientResult{
+		clientID:    cl.ID,
+		state:       out.State,
+		numSelected: out.NumSelected,
+		localSize:   cl.Data.Len(),
+		cost:        out.Cost,
+		trainLoss:   out.TrainLoss,
+	}, nil
+}

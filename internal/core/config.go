@@ -1,0 +1,139 @@
+// Package core implements the paper's contribution: the federated-learning
+// engine with FedAvg, FedProx and FedFT local-update strategies, entropy-
+// based (and other) data selection, selected-size-weighted aggregation,
+// straggler policies, and full time/communication accounting. Clients train
+// concurrently on a bounded worker pool with per-(round, client) derived
+// seeds, so results are bit-identical regardless of parallelism.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/simtime"
+)
+
+// ErrConfig reports an invalid federated-learning configuration.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// AggWeighting selects the aggregation weights p_k.
+type AggWeighting int
+
+const (
+	// WeightBySelected weights each client by |D_select| (paper Eq. 5).
+	WeightBySelected AggWeighting = iota + 1
+	// WeightByLocalSize weights each client by its full |D_k| regardless of
+	// how many samples it trained on (ablation).
+	WeightByLocalSize
+	// WeightUniform gives every participating client equal weight (ablation).
+	WeightUniform
+)
+
+// String implements fmt.Stringer.
+func (w AggWeighting) String() string {
+	switch w {
+	case WeightBySelected:
+		return "selected"
+	case WeightByLocalSize:
+		return "local-size"
+	case WeightUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("AggWeighting(%d)", int(w))
+	}
+}
+
+// Config describes one federated-learning run.
+type Config struct {
+	// Rounds is the number of communication rounds T.
+	Rounds int
+	// LocalEpochs is E, the client update epochs per round (paper: 5).
+	LocalEpochs int
+	// BatchSize for local updates (and centralized training).
+	BatchSize int
+	// LR is the client learning rate (paper: 0.1).
+	LR float64
+	// Momentum for client SGD (paper: 0.5).
+	Momentum float64
+	// WeightDecay for client SGD (paper: none; available for extensions).
+	WeightDecay float64
+	// ProxMu enables FedProx when positive: the proximal coefficient μ.
+	ProxMu float64
+	// FinetunePart controls partial training: FinetuneFull is FedAvg-style
+	// whole-model training; FinetuneModerate is the paper's FedFT default.
+	FinetunePart models.FinetunePart
+	// Selector picks each client's training subset per round.
+	Selector selection.Selector
+	// SelectFraction is P_ds, the share of local data selected (0, 1].
+	SelectFraction float64
+	// Straggler decides which clients complete each round.
+	Straggler simtime.StragglerPolicy
+	// AggWeighting selects the aggregation weights (default WeightBySelected).
+	AggWeighting AggWeighting
+	// EvalEvery evaluates the global model on the test set every this many
+	// rounds (default 1); the final round is always evaluated.
+	EvalEvery int
+	// Parallelism bounds concurrent client updates (default GOMAXPROCS).
+	Parallelism int
+	// Seed drives all run randomness (client sampling, selection, batching).
+	Seed int64
+}
+
+// withDefaults returns cfg with unset optional fields filled in.
+func (c Config) withDefaults() Config {
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.Straggler == nil {
+		c.Straggler = simtime.FullParticipation{}
+	}
+	if c.AggWeighting == 0 {
+		c.AggWeighting = WeightBySelected
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 1
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.FinetunePart == 0 {
+		c.FinetunePart = models.FinetuneFull
+	}
+	if c.Selector == nil {
+		c.Selector = selection.All{}
+	}
+	if c.SelectFraction == 0 {
+		c.SelectFraction = 1
+	}
+	return c
+}
+
+// validate checks a defaulted config.
+func (c Config) validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("%w: rounds %d", ErrConfig, c.Rounds)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("%w: local epochs %d", ErrConfig, c.LocalEpochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("%w: batch size %d", ErrConfig, c.BatchSize)
+	case c.LR <= 0:
+		return fmt.Errorf("%w: learning rate %v", ErrConfig, c.LR)
+	case c.Momentum < 0 || c.Momentum >= 1:
+		return fmt.Errorf("%w: momentum %v", ErrConfig, c.Momentum)
+	case c.WeightDecay < 0:
+		return fmt.Errorf("%w: weight decay %v", ErrConfig, c.WeightDecay)
+	case c.ProxMu < 0:
+		return fmt.Errorf("%w: proximal mu %v", ErrConfig, c.ProxMu)
+	case c.SelectFraction <= 0 || c.SelectFraction > 1:
+		return fmt.Errorf("%w: select fraction %v", ErrConfig, c.SelectFraction)
+	case c.EvalEvery < 0:
+		return fmt.Errorf("%w: eval every %d", ErrConfig, c.EvalEvery)
+	case c.Parallelism < 1:
+		return fmt.Errorf("%w: parallelism %d", ErrConfig, c.Parallelism)
+	}
+	return nil
+}

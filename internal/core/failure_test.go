@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/simtime"
+)
+
+// failingSelector always errors, simulating a broken client-side component.
+type failingSelector struct{}
+
+var _ selection.Selector = failingSelector{}
+
+var errInjected = errors.New("injected selector failure")
+
+func (failingSelector) Name() string       { return "failing" }
+func (failingSelector) ScoringPasses() int { return 0 }
+func (failingSelector) Select(*models.Model, *data.Dataset, float64, *rand.Rand) ([]int, error) {
+	return nil, errInjected
+}
+
+// emptyStraggler drops every client, simulating a pathological policy.
+type emptyStraggler struct{}
+
+var _ simtime.StragglerPolicy = emptyStraggler{}
+
+func (emptyStraggler) Complete([]int, []float64, *rand.Rand) []int { return nil }
+
+func TestRunPropagatesSelectorFailure(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 3, 0.5)
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Rounds: 2, LocalEpochs: 1, LR: 0.1,
+		Selector: failingSelector{}, SelectFraction: 0.5, Seed: 1,
+	}, m, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected error to propagate, got %v", err)
+	}
+}
+
+func TestRunFailsWhenNoParticipants(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 3, 0.5)
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Rounds: 1, LocalEpochs: 1, LR: 0.1,
+		Straggler: emptyStraggler{}, Seed: 1,
+	}, m, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("expected error when the straggler policy drops everyone")
+	}
+}
+
+func TestRunnerRejectsClientWithoutDevice(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 2, 0.5)
+	clients[1].Device = simtime.Device{}
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(Config{Rounds: 1, LocalEpochs: 1, LR: 0.1}, m, clients, test); !errors.Is(err, ErrConfig) {
+		t.Fatalf("expected ErrConfig, got %v", err)
+	}
+}
+
+func TestRunnerRejectsClientWithEmptyData(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 2, 0.5)
+	clients[0].Data = nil
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(Config{Rounds: 1, LocalEpochs: 1, LR: 0.1}, m, clients, test); !errors.Is(err, ErrConfig) {
+		t.Fatalf("expected ErrConfig, got %v", err)
+	}
+}
+
+func TestAggregateRejectsShortClientState(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 2, 0.5)
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{Rounds: 1, LocalEpochs: 1, LR: 0.1, Seed: 1}, m, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := models.GroupNames()
+	if err := r.aggregate([]clientResult{{state: nil, numSelected: 1}}, groups); err == nil {
+		t.Fatal("expected error for truncated client state")
+	}
+}
+
+func TestAggregateRejectsZeroWeights(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 2, 0.5)
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{Rounds: 1, LocalEpochs: 1, LR: 0.1, Seed: 1}, m, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.aggregate([]clientResult{{numSelected: 0}}, models.GroupNames()); err == nil {
+		t.Fatal("expected error for zero total weight")
+	}
+}
+
+func TestLocalUpdateStandaloneConfig(t *testing.T) {
+	clients, _, _, spec := testFederation(t, 2, 0.5)
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewLocalConfig(Config{
+		LocalEpochs: 1, LR: 0.1,
+		FinetunePart: models.FinetuneModerate,
+		Selector:     selection.Random{}, SelectFraction: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LocalUpdate(cfg, m, clients[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSelected != (clients[0].Data.Len()+1)/2 {
+		t.Fatalf("selected %d of %d", out.NumSelected, clients[0].Data.Len())
+	}
+	if len(out.State) == 0 {
+		t.Fatal("no state returned")
+	}
+	if out.Cost.Total() <= 0 {
+		t.Fatal("no cost accounted")
+	}
+	// The global model must be untouched by the client's local update.
+	m2, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range m.StateTensors() {
+		if !ts.Equal(m2.StateTensors()[i]) {
+			t.Fatal("LocalUpdate mutated the global model")
+		}
+	}
+}
+
+func TestNewLocalConfigRejectsInvalid(t *testing.T) {
+	if _, err := NewLocalConfig(Config{LocalEpochs: 0, LR: 0.1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("expected ErrConfig, got %v", err)
+	}
+}
+
+func TestRunSameSeedIdentical(t *testing.T) {
+	run := func() []float64 {
+		clients, _, test, spec := testFederation(t, 3, 0.1)
+		m, err := models.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(Config{
+			Rounds: 3, LocalEpochs: 2, LR: 0.1, Momentum: 0.5,
+			Selector: selection.Random{}, SelectFraction: 0.5, Seed: 77,
+		}, m, clients, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Curve()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: %v vs %v with identical seeds", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestDeadlineStragglerInRun(t *testing.T) {
+	// Give one client a pathologically slow device; a deadline policy must
+	// exclude it while the rest train.
+	clients, _, test, spec := testFederation(t, 4, 0.5)
+	clients[2].Device = simtime.Device{FLOPSRate: 1} // ~10⁹× slower
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Rounds: 1, LocalEpochs: 1, LR: 0.1,
+		Straggler: simtime.DeadlineStraggler{DeadlineSeconds: 1e6},
+		Seed:      5,
+	}, m, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Records[0].Participants != 3 {
+		t.Fatalf("%d participants, want 3 (slow client dropped)", hist.Records[0].Participants)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/metrics"
+	"fedfteds/internal/models"
+	"fedfteds/internal/simtime"
+	"fedfteds/internal/tensor"
+)
+
+// RoundRecord captures the state of the run after one communication round.
+type RoundRecord struct {
+	// Round is the 1-based round index.
+	Round int
+	// Participants is the number of clients whose updates were aggregated.
+	Participants int
+	// TestAccuracy is the global model's test accuracy after this round, or
+	// NaN when the round was not evaluated.
+	TestAccuracy float64
+	// MeanTrainLoss averages the participants' final local losses.
+	MeanTrainLoss float64
+	// CumTrainSeconds is the cumulative simulated client compute time
+	// (training + selection scoring) up to and including this round.
+	CumTrainSeconds float64
+	// CumUplinkBytes is the cumulative client→server traffic.
+	CumUplinkBytes int64
+}
+
+// History is the outcome of a federated run.
+type History struct {
+	// Records holds one entry per round.
+	Records []RoundRecord
+	// BestAccuracy is the best observed test accuracy.
+	BestAccuracy float64
+	// FinalAccuracy is the test accuracy after the last round.
+	FinalAccuracy float64
+	// TotalTrainSeconds is the total simulated client compute time.
+	TotalTrainSeconds float64
+	// TotalUplinkBytes and TotalDownlinkBytes are the run's traffic volumes.
+	TotalUplinkBytes   int64
+	TotalDownlinkBytes int64
+}
+
+// Curve returns the per-round test accuracies (NaN for unevaluated rounds).
+func (h History) Curve() []float64 {
+	out := make([]float64, len(h.Records))
+	for i, r := range h.Records {
+		out[i] = r.TestAccuracy
+	}
+	return out
+}
+
+// LearningEfficiency returns the paper's efficiency metric for this run.
+func (h History) LearningEfficiency() (float64, error) {
+	return metrics.LearningEfficiency(h.BestAccuracy, h.TotalTrainSeconds)
+}
+
+// Runner orchestrates a federated-learning run.
+type Runner struct {
+	cfg     Config
+	global  *models.Model
+	clients []*Client
+	test    *data.Dataset
+}
+
+// NewRunner validates the configuration and constructs a runner. The global
+// model is used in place (its state after Run is the trained model).
+func NewRunner(cfg Config, global *models.Model, clients []*Client, test *data.Dataset) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if global == nil {
+		return nil, fmt.Errorf("%w: nil global model", ErrConfig)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("%w: no clients", ErrConfig)
+	}
+	for _, cl := range clients {
+		if cl.Data == nil || cl.Data.Len() == 0 {
+			return nil, fmt.Errorf("%w: client %d has no data", ErrConfig, cl.ID)
+		}
+		if cl.Device.FLOPSRate <= 0 {
+			return nil, fmt.Errorf("%w: client %d device rate %v", ErrConfig, cl.ID, cl.Device.FLOPSRate)
+		}
+	}
+	if test == nil || test.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty test set", ErrConfig)
+	}
+	return &Runner{cfg: cfg, global: global, clients: clients, test: test}, nil
+}
+
+// GlobalModel returns the (live) global model.
+func (r *Runner) GlobalModel() *models.Model { return r.global }
+
+// Run executes the configured number of rounds and returns the history.
+func (r *Runner) Run() (History, error) {
+	var hist History
+	var acct simtime.Accountant
+
+	// The paper's FedFT freezes the lower part on the *server's* model too:
+	// group states that never train are never communicated.
+	if err := r.global.SetFinetunePart(r.cfg.FinetunePart); err != nil {
+		return hist, err
+	}
+	commGroups := r.global.TrainableGroupNames()
+	stateSize, err := r.stateBytes(commGroups)
+	if err != nil {
+		return hist, err
+	}
+
+	for round := 1; round <= r.cfg.Rounds; round++ {
+		participants, err := r.sampleParticipants(round)
+		if err != nil {
+			return hist, err
+		}
+		results, err := r.trainParticipants(participants, round)
+		if err != nil {
+			return hist, err
+		}
+		if err := r.aggregate(results, commGroups); err != nil {
+			return hist, err
+		}
+
+		var lossSum float64
+		for _, res := range results {
+			acct.AddRound(res.cost)
+			acct.AddCommunication(stateSize, stateSize)
+			lossSum += res.trainLoss
+		}
+
+		rec := RoundRecord{
+			Round:           round,
+			Participants:    len(results),
+			TestAccuracy:    math.NaN(),
+			MeanTrainLoss:   lossSum / float64(len(results)),
+			CumTrainSeconds: acct.TotalSeconds(),
+			CumUplinkBytes:  acct.UplinkBytes(),
+		}
+		if r.cfg.EvalEvery > 0 && (round%r.cfg.EvalEvery == 0 || round == r.cfg.Rounds) {
+			acc, err := metrics.Accuracy(r.global, r.test)
+			if err != nil {
+				return hist, fmt.Errorf("core: eval round %d: %w", round, err)
+			}
+			rec.TestAccuracy = acc
+			if acc > hist.BestAccuracy {
+				hist.BestAccuracy = acc
+			}
+			hist.FinalAccuracy = acc
+		}
+		hist.Records = append(hist.Records, rec)
+	}
+	hist.TotalTrainSeconds = acct.TotalSeconds()
+	hist.TotalUplinkBytes = acct.UplinkBytes()
+	hist.TotalDownlinkBytes = acct.DownlinkBytes()
+	return hist, nil
+}
+
+// sampleParticipants applies the straggler policy to the full client pool.
+func (r *Runner) sampleParticipants(round int) ([]*Client, error) {
+	ids := make([]int, len(r.clients))
+	times := make([]float64, len(r.clients))
+	for i, cl := range r.clients {
+		ids[i] = i
+		cost, err := simtime.ClientRoundCost(r.global, cl.Device,
+			cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
+			r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
+		if err != nil {
+			return nil, fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
+		}
+		times[i] = cost.Total()
+	}
+	rng := tensor.NewRand(uint64(r.cfg.Seed), uint64(round), 0xFACADE)
+	chosen := r.cfg.Straggler.Complete(ids, times, rng)
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("core: straggler policy left no participants in round %d", round)
+	}
+	out := make([]*Client, len(chosen))
+	for i, idx := range chosen {
+		out[i] = r.clients[idx]
+	}
+	return out, nil
+}
+
+// projectedSelected mirrors the selector's targetCount for cost projection.
+func projectedSelected(n int, fraction float64) int {
+	k := int(math.Ceil(fraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// trainParticipants runs the participants' local rounds on a bounded worker
+// pool. Results are ordered by participant position, so aggregation is
+// deterministic regardless of scheduling.
+func (r *Runner) trainParticipants(participants []*Client, round int) ([]clientResult, error) {
+	results := make([]clientResult, len(participants))
+	errs := make([]error, len(participants))
+	sem := make(chan struct{}, r.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, cl := range participants {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot int, cl *Client) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := runClientRound(r.cfg, r.global, cl, round)
+			results[slot] = res
+			errs[slot] = err
+		}(i, cl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// aggregate fuses client states into the global model with the configured
+// weighting (paper Eq. 5) and writes the result into the global model's
+// communicated groups.
+func (r *Runner) aggregate(results []clientResult, commGroups []string) error {
+	if len(results) == 0 {
+		return fmt.Errorf("core: aggregate with no results")
+	}
+	weights := make([]float64, len(results))
+	var total float64
+	for i, res := range results {
+		switch r.cfg.AggWeighting {
+		case WeightBySelected:
+			weights[i] = float64(res.numSelected)
+		case WeightByLocalSize:
+			weights[i] = float64(res.localSize)
+		case WeightUniform:
+			weights[i] = 1
+		default:
+			return fmt.Errorf("%w: aggregation weighting %v", ErrConfig, r.cfg.AggWeighting)
+		}
+		total += weights[i]
+	}
+	if total <= 0 {
+		return fmt.Errorf("core: aggregate weights sum to %v", total)
+	}
+
+	globalState, err := r.global.GroupStateTensors(commGroups)
+	if err != nil {
+		return err
+	}
+	for ti, dst := range globalState {
+		dst.Zero()
+		for ri, res := range results {
+			if ti >= len(res.state) {
+				return fmt.Errorf("core: client %d returned %d state tensors, want %d",
+					res.clientID, len(res.state), len(globalState))
+			}
+			if err := dst.Axpy(float32(weights[ri]/total), res.state[ti]); err != nil {
+				return fmt.Errorf("core: aggregating tensor %d from client %d: %w", ti, res.clientID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// stateBytes returns the wire size of the communicated model state.
+func (r *Runner) stateBytes(groups []string) (int64, error) {
+	ts, err := r.global.GroupStateTensors(groups)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, t := range ts {
+		n += int64(t.EncodedSize())
+	}
+	return n, nil
+}

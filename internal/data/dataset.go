@@ -1,0 +1,170 @@
+// Package data provides the dataset substrate: in-memory labeled datasets,
+// batching, splits, and the synthetic domain family that stands in for the
+// paper's CIFAR-10 / CIFAR-100 / Small-ImageNet / Google-Speech-Commands
+// corpora (see DESIGN.md for the substitution argument).
+package data
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fedfteds/internal/tensor"
+)
+
+// ErrData reports an invalid dataset operation.
+var ErrData = errors.New("data: invalid dataset")
+
+// Dataset is an in-memory labeled dataset. X is batch-first; Y holds class
+// labels in [0, NumClasses).
+type Dataset struct {
+	// X holds the features, shape (N, ...).
+	X *tensor.Tensor
+	// Y holds the integer class labels, length N.
+	Y []int
+	// NumClasses is the label-space size.
+	NumClasses int
+}
+
+// NewDataset validates and wraps features and labels.
+func NewDataset(x *tensor.Tensor, y []int, numClasses int) (*Dataset, error) {
+	if x.Rank() < 2 {
+		return nil, fmt.Errorf("%w: features rank %d, want >= 2", ErrData, x.Rank())
+	}
+	if x.Dim(0) != len(y) {
+		return nil, fmt.Errorf("%w: %d samples vs %d labels", ErrData, x.Dim(0), len(y))
+	}
+	if numClasses <= 1 {
+		return nil, fmt.Errorf("%w: %d classes", ErrData, numClasses)
+	}
+	for i, c := range y {
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("%w: label %d at index %d outside [0,%d)", ErrData, c, i, numClasses)
+		}
+	}
+	return &Dataset{X: x, Y: y, NumClasses: numClasses}, nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// SampleShape returns the per-sample feature shape.
+func (d *Dataset) SampleShape() []int { return d.X.Shape()[1:] }
+
+// Subset returns a new dataset holding copies of the samples at indices.
+func (d *Dataset) Subset(indices []int) (*Dataset, error) {
+	shape := d.X.Shape()
+	stride := 1
+	for _, dim := range shape[1:] {
+		stride *= dim
+	}
+	outShape := append([]int{len(indices)}, shape[1:]...)
+	x := tensor.New(outShape...)
+	y := make([]int, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= d.Len() {
+			return nil, fmt.Errorf("%w: index %d outside [0,%d)", ErrData, idx, d.Len())
+		}
+		copy(x.Data()[i*stride:(i+1)*stride], d.X.Data()[idx*stride:(idx+1)*stride])
+		y[i] = d.Y[idx]
+	}
+	return &Dataset{X: x, Y: y, NumClasses: d.NumClasses}, nil
+}
+
+// Split partitions the dataset into a leading portion of n samples and the
+// remainder, without copying labels order (no shuffle; shuffle first if
+// needed).
+func (d *Dataset) Split(n int) (*Dataset, *Dataset, error) {
+	if n < 0 || n > d.Len() {
+		return nil, nil, fmt.Errorf("%w: split %d of %d", ErrData, n, d.Len())
+	}
+	head := &Dataset{X: d.X.Slice(0, n), Y: d.Y[:n], NumClasses: d.NumClasses}
+	tail := &Dataset{X: d.X.Slice(n, d.Len()), Y: d.Y[n:], NumClasses: d.NumClasses}
+	return head, tail, nil
+}
+
+// Shuffled returns a copy of the dataset with samples permuted by rng.
+func (d *Dataset) Shuffled(rng *rand.Rand) (*Dataset, error) {
+	perm := rng.Perm(d.Len())
+	return d.Subset(perm)
+}
+
+// ClassHistogram returns per-class sample counts.
+func (d *Dataset) ClassHistogram() []int {
+	h := make([]int, d.NumClasses)
+	for _, c := range d.Y {
+		h[c]++
+	}
+	return h
+}
+
+// Batch is one minibatch of features and labels.
+type Batch struct {
+	// X holds the batch features (B, ...).
+	X *tensor.Tensor
+	// Y holds the batch labels, length B.
+	Y []int
+}
+
+// Batches splits the dataset into minibatches of at most size samples, in
+// order. If rng is non-nil the sample order is shuffled first.
+func (d *Dataset) Batches(size int, rng *rand.Rand) ([]Batch, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: batch size %d", ErrData, size)
+	}
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	var batches []Batch
+	for lo := 0; lo < len(order); lo += size {
+		hi := lo + size
+		if hi > len(order) {
+			hi = len(order)
+		}
+		sub, err := d.Subset(order[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, Batch{X: sub.X, Y: sub.Y})
+	}
+	return batches, nil
+}
+
+// Concat concatenates datasets with identical sample shapes and class counts.
+func Concat(parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: concat of nothing", ErrData)
+	}
+	total := 0
+	shape := parts[0].SampleShape()
+	nc := parts[0].NumClasses
+	for _, p := range parts {
+		if p.NumClasses != nc {
+			return nil, fmt.Errorf("%w: class count mismatch %d vs %d", ErrData, p.NumClasses, nc)
+		}
+		ps := p.SampleShape()
+		if len(ps) != len(shape) {
+			return nil, fmt.Errorf("%w: sample shape mismatch %v vs %v", ErrData, ps, shape)
+		}
+		for i := range ps {
+			if ps[i] != shape[i] {
+				return nil, fmt.Errorf("%w: sample shape mismatch %v vs %v", ErrData, ps, shape)
+			}
+		}
+		total += p.Len()
+	}
+	outShape := append([]int{total}, shape...)
+	x := tensor.New(outShape...)
+	y := make([]int, 0, total)
+	off := 0
+	for _, p := range parts {
+		copy(x.Data()[off:], p.X.Data())
+		off += p.X.Len()
+		y = append(y, p.Y...)
+	}
+	return &Dataset{X: x, Y: y, NumClasses: nc}, nil
+}

@@ -1,0 +1,158 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModeMassFractions(t *testing.T) {
+	// With RareModeMass = 0.3 and 3 modes, roughly 70% of samples should sit
+	// near the dominant mode. Verify via latent-space distance statistics:
+	// samples are closer to their class prototype than rare-mode samples.
+	suite, err := NewStandardSuite(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := suite.Target10
+	if d.Spec.NumModes <= 1 {
+		t.Skip("target domain has no modes")
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Generate many samples of class 0 and bucket them by nearest mode.
+	labels := make([]int, 3000)
+	ds, err := d.GenerateWithLabels(labels, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ds
+	// Count mode draws directly through the generator's statistics: regen
+	// with a fresh rng and tally the latent mode branch via Monte Carlo on
+	// the public behaviour — the observation-space spread of rare modes
+	// makes class variance larger than a single-mode domain's.
+	single, err := NewDomain(suite.Universe, DomainSpec{
+		Name: "single", NumClasses: 10,
+		PrototypeSpread: d.Spec.PrototypeSpread,
+		LatentNoise:     d.Spec.LatentNoise,
+		ObsNoise:        d.Spec.ObsNoise,
+		HardFraction:    d.Spec.HardFraction,
+		Seed:            d.Spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := classVariance(t, d, 0)
+	mono := classVariance(t, single, 0)
+	if multi <= mono {
+		t.Fatalf("multi-mode class variance %v <= single-mode %v", multi, mono)
+	}
+}
+
+// classVariance estimates the observation-space variance of one class.
+func classVariance(t *testing.T, d *Domain, class int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	labels := make([]int, 800)
+	for i := range labels {
+		labels[i] = class
+	}
+	ds, err := d.GenerateWithLabels(labels, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := ds.SampleShape()[0]
+	mean := make([]float64, dim)
+	for i := 0; i < ds.Len(); i++ {
+		row := ds.X.Data()[i*dim : (i+1)*dim]
+		for j, v := range row {
+			mean[j] += float64(v)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(ds.Len())
+	}
+	var variance float64
+	for i := 0; i < ds.Len(); i++ {
+		row := ds.X.Data()[i*dim : (i+1)*dim]
+		for j, v := range row {
+			dlt := float64(v) - mean[j]
+			variance += dlt * dlt
+		}
+	}
+	return variance / float64(ds.Len())
+}
+
+func TestObservationsBoundedByTanhPlusNoise(t *testing.T) {
+	// |x| ≤ 1 + a few noise sigmas, since the rendering saturates at ±1.
+	suite, err := NewStandardSuite(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ds, err := suite.Target10.GenerateBalanced(1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1 + 6*suite.Target10.Spec.ObsNoise
+	for i, v := range ds.X.Data() {
+		if math.Abs(float64(v)) > bound {
+			t.Fatalf("observation %d = %v beyond tanh+noise bound %v", i, v, bound)
+		}
+	}
+}
+
+func TestQuickGenerateRespectsLabels(t *testing.T) {
+	suite, err := NewStandardSuite(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		labels := make([]int, len(raw))
+		for i, r := range raw {
+			labels[i] = int(r) % 10
+		}
+		ds, err := suite.Target10.GenerateWithLabels(labels, rand.New(rand.NewSource(4)))
+		if err != nil {
+			return false
+		}
+		for i := range labels {
+			if ds.Y[i] != labels[i] { // no label noise configured
+				return false
+			}
+		}
+		return ds.X.IsFinite()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedGenerationNearUniform(t *testing.T) {
+	suite, err := NewStandardSuite(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// Non-divisible count: histogram must differ by at most 1 across classes.
+	ds, err := suite.Target10.GenerateBalanced(105, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := ds.ClassHistogram()
+	minC, maxC := hist[0], hist[0]
+	for _, c := range hist {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC-minC > 1 {
+		t.Fatalf("balanced histogram spread %d: %v", maxC-minC, hist)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedfteds/internal/core"
+	"fedfteds/internal/metrics"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/tensor"
+)
+
+// ckaProbeSamples is the number of test samples used to extract
+// representations for CKA.
+const ckaProbeSamples = 128
+
+// CKAResult reproduces Figs. 2–4: pairwise CKA similarity between
+// client-updated models at three layer levels, with and without pretraining.
+type CKAResult struct {
+	// Alpha is the Dirichlet concentration of the underlying federation.
+	Alpha float64
+	// Layers are the probed layer levels, bottom to top.
+	Layers []string
+	// Heatmaps[pretrained][layer] is the clients×clients CKA matrix.
+	// Index 0 is without pretraining, 1 with pretraining.
+	Heatmaps [2]map[string][][]float64
+	// Averages[pretrained][layer] is the mean off-diagonal CKA (Fig. 4).
+	Averages [2]map[string]float64
+}
+
+// RunCKA executes the model-shift study for one heterogeneity level:
+// Fig. 2 is alpha=0.1, Fig. 3 is alpha=0.5, Fig. 4 uses the averages.
+func RunCKA(env *Env, alpha float64) (*CKAResult, error) {
+	target := env.Suite.Target10
+	fed, err := env.BuildFederation(target, env.Dims.SmallClients, alpha, 5000+int64(alpha*100))
+	if err != nil {
+		return nil, err
+	}
+	probeN := ckaProbeSamples
+	if probeN > fed.Test.Len() {
+		probeN = fed.Test.Len()
+	}
+	probe, _, err := fed.Test.Split(probeN)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CKAResult{
+		Alpha:  alpha,
+		Layers: []string{models.GroupLow, models.GroupMid, models.GroupUp},
+	}
+	for pi, pretrained := range []bool{false, true} {
+		var global *models.Model
+		if pretrained {
+			global, err = env.PretrainedModel(target, env.Suite.Source)
+		} else {
+			global, err = env.FreshModel(target)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// One round of full local training on every client, as in the paper:
+		// CKA compares the locally-updated (not yet aggregated) models.
+		cfg := core.Config{
+			Rounds:      1,
+			LocalEpochs: env.Dims.LocalEpochs,
+			LR:          paperLR,
+			Momentum:    paperMomentum,
+			Selector:    selection.All{},
+			Seed:        env.Seed + 51,
+		}
+		cfg, err := core.NewLocalConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Collect per-client representations at each layer level.
+		reps := make(map[string][]*tensor.Tensor, len(res.Layers))
+		for _, cl := range fed.Clients {
+			out, err := core.LocalUpdate(cfg, global, cl, 1)
+			if err != nil {
+				return nil, err
+			}
+			updated, err := global.Clone()
+			if err != nil {
+				return nil, err
+			}
+			if err := loadState(updated, out.State); err != nil {
+				return nil, err
+			}
+			acts := updated.ForwardCollectGroups(probe.X, false)
+			for _, layer := range res.Layers {
+				reps[layer] = append(reps[layer], acts[layer])
+			}
+		}
+		res.Heatmaps[pi] = make(map[string][][]float64, len(res.Layers))
+		res.Averages[pi] = make(map[string]float64, len(res.Layers))
+		for _, layer := range res.Layers {
+			m, err := metrics.PairwiseCKA(reps[layer])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: CKA at %s: %w", layer, err)
+			}
+			res.Heatmaps[pi][layer] = m
+			res.Averages[pi][layer] = metrics.MeanOffDiagonal(m)
+		}
+	}
+	return res, nil
+}
+
+// loadState writes a LocalUpdate's returned state (full-model training ⇒
+// all groups) back into a model clone.
+func loadState(m *models.Model, state []*tensor.Tensor) error {
+	dst, err := m.GroupStateTensors(m.TrainableGroupNames())
+	if err != nil {
+		return err
+	}
+	if len(dst) != len(state) {
+		return fmt.Errorf("experiments: state mismatch: %d vs %d tensors", len(dst), len(state))
+	}
+	for i := range dst {
+		if err := dst[i].CopyFrom(state[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render prints the heatmaps (Figs. 2/3) and the averaged bars (Fig. 4
+// contribution for this alpha).
+func (r *CKAResult) Render() string {
+	out := ""
+	labels := []string{"w/o pretrain", "pretrain"}
+	for pi, label := range labels {
+		for _, layer := range r.Layers {
+			tbl := NewTable(fmt.Sprintf("CKA heatmap — Diri(%g), %s, layer %s", r.Alpha, label, layer),
+				append([]string{"client"}, clientHeaders(len(r.Heatmaps[pi][layer]))...)...)
+			for i, row := range r.Heatmaps[pi][layer] {
+				cells := []string{fmt.Sprintf("%d", i)}
+				for _, v := range row {
+					cells = append(cells, F3(v))
+				}
+				tbl.AddRow(cells...)
+			}
+			out += tbl.String() + "\n"
+		}
+	}
+	avg := NewTable(fmt.Sprintf("Fig. 4 — averaged CKA similarity, Diri(%g)", r.Alpha),
+		"layer", "w/o pretrain", "pretrain")
+	for _, layer := range r.Layers {
+		avg.AddRow(layer, F3(r.Averages[0][layer]), F3(r.Averages[1][layer]))
+	}
+	return out + avg.String()
+}
+
+// clientHeaders builds "0".."n-1" column labels.
+func clientHeaders(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%d", i)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fedfteds/internal/metrics"
+	"fedfteds/internal/selection"
+)
+
+// fig1Bins is the histogram resolution of the entropy-distribution figure.
+const fig1Bins = 20
+
+// Fig1Result reproduces the entropy-distribution panel of Fig. 1: the
+// per-sample entropy histogram of one client's local data under three
+// softmax temperatures.
+type Fig1Result struct {
+	// Temperatures are the ρ values, in presentation order.
+	Temperatures []float64
+	// Histograms[i] is the fig1Bins-bucket histogram over normalized entropy
+	// [0, 1] (entropy / log C) for Temperatures[i].
+	Histograms [][]int
+	// Medians[i] is the median normalized entropy for Temperatures[i].
+	Medians []float64
+	// TailShares[i] is the fraction of samples in the top decile of the
+	// entropy range — the "thin high tail" the hardened softmax creates.
+	TailShares []float64
+}
+
+// RunFig1 computes the entropy distributions using a pretrained model and
+// one Dirichlet client's local data, as in the paper.
+func RunFig1(env *Env) (*Fig1Result, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	fed, err := env.BuildFederation(t100, env.Dims.SmallClients, 0.1, 42)
+	if err != nil {
+		return nil, err
+	}
+	model, err := env.PretrainedModel(t100, env.Suite.Source)
+	if err != nil {
+		return nil, err
+	}
+	local := fed.Clients[0].Data
+	maxH := math.Log(float64(t100.Spec.NumClasses))
+
+	res := &Fig1Result{Temperatures: []float64{1.0, 0.5, 0.1}}
+	for _, rho := range res.Temperatures {
+		ent, err := selection.SampleEntropies(model, local, rho)
+		if err != nil {
+			return nil, err
+		}
+		norm := make([]float64, len(ent))
+		for i, h := range ent {
+			norm[i] = h / maxH
+		}
+		hist, err := metrics.Histogram(norm, fig1Bins, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		med, err := metrics.Quantile(norm, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		var tail int
+		for _, v := range norm {
+			if v >= 0.9 {
+				tail++
+			}
+		}
+		res.Histograms = append(res.Histograms, hist)
+		res.Medians = append(res.Medians, med)
+		res.TailShares = append(res.TailShares, float64(tail)/float64(len(norm)))
+	}
+	return res, nil
+}
+
+// Render prints the histograms side by side.
+func (r *Fig1Result) Render() string {
+	header := []string{"entropy bin"}
+	for _, rho := range r.Temperatures {
+		header = append(header, fmt.Sprintf("ρ=%g", rho))
+	}
+	tbl := NewTable("Fig. 1 — entropy distribution of one client's local data (normalized entropy, 20 bins)", header...)
+	for b := 0; b < fig1Bins; b++ {
+		row := []string{fmt.Sprintf("[%.2f,%.2f)", float64(b)/fig1Bins, float64(b+1)/fig1Bins)}
+		for ti := range r.Temperatures {
+			row = append(row, fmt.Sprintf("%d", r.Histograms[ti][b]))
+		}
+		tbl.AddRow(row...)
+	}
+	med := []string{"median"}
+	for _, m := range r.Medians {
+		med = append(med, F3(m))
+	}
+	tbl.AddRow(med...)
+	return tbl.String()
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+)
+
+// fig10Pds is the selection fraction of the ablation study (paper: 50%).
+const fig10Pds = 0.5
+
+// Fig10aResult is the fine-tuned-part ablation: EDS vs RDS for each
+// trainable portion of the model.
+type Fig10aResult struct {
+	// Parts are the ablated trainable portions.
+	Parts []models.FinetunePart
+	// EDS and RDS are best accuracies parallel to Parts.
+	EDS []float64
+	RDS []float64
+}
+
+// RunFig10a executes the fine-tuned-part ablation on the 100-class target
+// under Diri(0.1), pretraining on the broad source domain.
+func RunFig10a(env *Env) (*Fig10aResult, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	return runFinetunePartAblation(env, t100, env.Suite.Source, 10100, 10)
+}
+
+// RunFig10aInDomain repeats the ablation with *in-domain* pretraining: the
+// source is the target's own distribution (fresh samples). The paper defends
+// its "classifier-only is best" conclusion only for source ≈ target; this
+// variant realizes that premise exactly.
+func RunFig10aInDomain(env *Env) (*Fig10aResult, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	return runFinetunePartAblation(env, t100, t100, 10150, 13)
+}
+
+// runFinetunePartAblation runs EDS and RDS at every finetune part.
+func runFinetunePartAblation(env *Env, target, source *data.Domain, fedSalt, runSalt int64) (*Fig10aResult, error) {
+	fed, err := env.BuildFederation(target, env.Dims.LargeClients, 0.1, fedSalt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10aResult{
+		Parts: []models.FinetunePart{
+			models.FinetuneFull, models.FinetuneLarge,
+			models.FinetuneModerate, models.FinetuneClassifier,
+		},
+	}
+	for _, part := range res.Parts {
+		eds := Method{
+			Name: "FedFT-EDS/" + part.String(), Pretrained: true, Part: part,
+			Selector: selection.Entropy{Temperature: paperTemperature}, Fraction: fig10Pds,
+		}
+		rds := Method{
+			Name: "FedFT-RDS/" + part.String(), Pretrained: true, Part: part,
+			Selector: selection.Random{}, Fraction: fig10Pds,
+		}
+		he, err := env.RunMethod(eds, fed, target, source, runSalt)
+		if err != nil {
+			return nil, err
+		}
+		hr, err := env.RunMethod(rds, fed, target, source, runSalt)
+		if err != nil {
+			return nil, err
+		}
+		res.EDS = append(res.EDS, he.BestAccuracy)
+		res.RDS = append(res.RDS, hr.BestAccuracy)
+	}
+	return res, nil
+}
+
+// Render prints the ablation in the paper's shape.
+func (r *Fig10aResult) Render() string {
+	tbl := NewTable("Fig. 10a — part of the model fine-tuned (Pds=50%, Diri(0.1))",
+		"Trainable part", "FedFT-EDS", "FedFT-RDS")
+	for i, part := range r.Parts {
+		tbl.AddRow(part.String(), Pct(r.EDS[i]), Pct(r.RDS[i]))
+	}
+	return tbl.String()
+}
+
+// Fig10bResult is the data-heterogeneity ablation: EDS vs RDS across alpha.
+type Fig10bResult struct {
+	// Alphas are the Dirichlet concentrations.
+	Alphas []float64
+	// EDS and RDS are best accuracies parallel to Alphas.
+	EDS []float64
+	RDS []float64
+}
+
+// RunFig10b executes the heterogeneity ablation.
+func RunFig10b(env *Env) (*Fig10bResult, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10bResult{Alphas: []float64{0.01, 0.05, 0.1, 0.5, 1.0}}
+	for _, alpha := range res.Alphas {
+		fed, err := env.BuildFederation(t100, env.Dims.LargeClients, alpha, 10200+int64(alpha*1000))
+		if err != nil {
+			return nil, err
+		}
+		eds := Method{
+			Name: "FedFT-EDS", Pretrained: true, Part: models.FinetuneModerate,
+			Selector: selection.Entropy{Temperature: paperTemperature}, Fraction: fig10Pds,
+		}
+		rds := Method{
+			Name: "FedFT-RDS", Pretrained: true, Part: models.FinetuneModerate,
+			Selector: selection.Random{}, Fraction: fig10Pds,
+		}
+		he, err := env.RunMethod(eds, fed, t100, env.Suite.Source, 11)
+		if err != nil {
+			return nil, err
+		}
+		hr, err := env.RunMethod(rds, fed, t100, env.Suite.Source, 11)
+		if err != nil {
+			return nil, err
+		}
+		res.EDS = append(res.EDS, he.BestAccuracy)
+		res.RDS = append(res.RDS, hr.BestAccuracy)
+	}
+	return res, nil
+}
+
+// Render prints the ablation in the paper's shape.
+func (r *Fig10bResult) Render() string {
+	tbl := NewTable("Fig. 10b — data heterogeneity (Pds=50%)",
+		"Diri(α)", "FedFT-EDS", "FedFT-RDS")
+	for i, alpha := range r.Alphas {
+		tbl.AddRow(fmt.Sprintf("%g", alpha), Pct(r.EDS[i]), Pct(r.RDS[i]))
+	}
+	return tbl.String()
+}
+
+// Fig10cResult is the hardened-softmax temperature ablation.
+type Fig10cResult struct {
+	// Temperatures are the ρ values swept.
+	Temperatures []float64
+	// EDS are best accuracies parallel to Temperatures.
+	EDS []float64
+	// RDSBaseline is the random-selection reference accuracy.
+	RDSBaseline float64
+}
+
+// RunFig10c executes the temperature ablation under Diri(0.1).
+func RunFig10c(env *Env) (*Fig10cResult, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	fed, err := env.BuildFederation(t100, env.Dims.LargeClients, 0.1, 10300)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10cResult{Temperatures: []float64{0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0}}
+	rds := Method{
+		Name: "FedFT-RDS", Pretrained: true, Part: models.FinetuneModerate,
+		Selector: selection.Random{}, Fraction: fig10Pds,
+	}
+	hr, err := env.RunMethod(rds, fed, t100, env.Suite.Source, 12)
+	if err != nil {
+		return nil, err
+	}
+	res.RDSBaseline = hr.BestAccuracy
+	for _, rho := range res.Temperatures {
+		eds := Method{
+			Name: fmt.Sprintf("FedFT-EDS ρ=%g", rho), Pretrained: true, Part: models.FinetuneModerate,
+			Selector: selection.Entropy{Temperature: rho}, Fraction: fig10Pds,
+		}
+		he, err := env.RunMethod(eds, fed, t100, env.Suite.Source, 12)
+		if err != nil {
+			return nil, err
+		}
+		res.EDS = append(res.EDS, he.BestAccuracy)
+	}
+	return res, nil
+}
+
+// Render prints the ablation in the paper's shape.
+func (r *Fig10cResult) Render() string {
+	tbl := NewTable("Fig. 10c — temperature in the hardened softmax (Pds=50%, Diri(0.1))",
+		"ρ", "FedFT-EDS", "FedFT-RDS baseline")
+	for i, rho := range r.Temperatures {
+		tbl.AddRow(fmt.Sprintf("%g", rho), Pct(r.EDS[i]), Pct(r.RDSBaseline))
+	}
+	return tbl.String()
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedfteds/internal/core"
+	"fedfteds/internal/data"
+)
+
+// table2Pds is the close-domain selection fraction (paper: 10%).
+const table2Pds = 0.10
+
+// Table2Cell is one (method, dataset, alpha) outcome.
+type Table2Cell struct {
+	// Method is the paper's method label.
+	Method string
+	// Dataset names the target domain.
+	Dataset string
+	// Alpha is the Dirichlet concentration.
+	Alpha float64
+	// BestAccuracy is the best test accuracy over rounds.
+	BestAccuracy float64
+	// Curve is the per-round accuracy (Fig. 5 input).
+	Curve []float64
+	// TrainSeconds is total simulated client compute (Fig. 6 input).
+	TrainSeconds float64
+	// Efficiency is accuracy-percent per training second (Fig. 6).
+	Efficiency float64
+	// UplinkBytes is the total client→server traffic.
+	UplinkBytes int64
+}
+
+// Table2Result reproduces Table II (and carries the Fig. 5 curves and the
+// Fig. 6 learning-efficiency points computed from the same runs).
+type Table2Result struct {
+	// Cells holds all (method, dataset, alpha) outcomes, methods in paper
+	// order, centralized last.
+	Cells []Table2Cell
+}
+
+// RunTable2 executes the close-domain comparison.
+func RunTable2(env *Env) (*Table2Result, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	targets := []*data.Domain{env.Suite.Target10, t100}
+	res := &Table2Result{}
+	for ti, target := range targets {
+		for _, alpha := range []float64{0.1, 0.5} {
+			fed, err := env.BuildFederation(target, env.Dims.SmallClients, alpha, int64(ti*1000)+int64(alpha*100))
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range standardMethods(table2Pds) {
+				hist, err := env.RunMethod(m, fed, target, env.Suite.Source, 2)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, newTable2Cell(m.Name, target, alpha, hist))
+			}
+			central, err := env.RunCentralized(fed, target, env.Suite.Source)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Table2Cell{
+				Method:       "Centralised",
+				Dataset:      target.Spec.Name,
+				Alpha:        alpha,
+				BestAccuracy: central.BestAccuracy,
+				Curve:        central.TestAccuracies,
+			})
+		}
+	}
+	return res, nil
+}
+
+// newTable2Cell converts a run history into a cell.
+func newTable2Cell(method string, target *data.Domain, alpha float64, hist core.History) Table2Cell {
+	eff, err := hist.LearningEfficiency()
+	if err != nil {
+		eff = 0
+	}
+	return Table2Cell{
+		Method:       method,
+		Dataset:      target.Spec.Name,
+		Alpha:        alpha,
+		BestAccuracy: hist.BestAccuracy,
+		Curve:        hist.Curve(),
+		TrainSeconds: hist.TotalTrainSeconds,
+		Efficiency:   eff,
+		UplinkBytes:  hist.TotalUplinkBytes,
+	}
+}
+
+// Get returns the cell for (method, dataset, alpha), or false.
+func (r *Table2Result) Get(method, dataset string, alpha float64) (Table2Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Method == method && c.Dataset == dataset && c.Alpha == alpha {
+			return c, true
+		}
+	}
+	return Table2Cell{}, false
+}
+
+// Methods returns the distinct method labels in first-seen order.
+func (r *Table2Result) Methods() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Method] {
+			seen[c.Method] = true
+			out = append(out, c.Method)
+		}
+	}
+	return out
+}
+
+// datasets returns the distinct dataset names in first-seen order.
+func (r *Table2Result) datasets() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			out = append(out, c.Dataset)
+		}
+	}
+	return out
+}
+
+// Render prints the table in the paper's shape.
+func (r *Table2Result) Render() string {
+	ds := r.datasets()
+	header := []string{"Method"}
+	for _, d := range ds {
+		header = append(header, d+" α=0.1", d+" α=0.5")
+	}
+	tbl := NewTable("Table II — global model top-1 accuracy (%), full participation", header...)
+	for _, m := range r.Methods() {
+		row := []string{m}
+		for _, d := range ds {
+			for _, alpha := range []float64{0.1, 0.5} {
+				if c, ok := r.Get(m, d, alpha); ok {
+					row = append(row, Pct(c.BestAccuracy))
+				} else {
+					row = append(row, "")
+				}
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String()
+}
+
+// RenderFigure5 prints the learning curves (Fig. 5) for one dataset/alpha.
+func (r *Table2Result) RenderFigure5(dataset string, alpha float64) string {
+	var series []Series
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Alpha == alpha {
+			series = append(series, Series{Name: c.Method, Values: c.Curve})
+		}
+	}
+	return RenderCurves(fmt.Sprintf("Fig. 5 — learning curves, %s Diri(%g)", dataset, alpha), series)
+}
+
+// RenderFigure6 prints the learning-efficiency scatter (Fig. 6) for one
+// dataset/alpha: accuracy vs accuracy-per-training-second.
+func (r *Table2Result) RenderFigure6(dataset string, alpha float64) string {
+	tbl := NewTable(fmt.Sprintf("Fig. 6 — learning efficiency, %s Diri(%g)", dataset, alpha),
+		"Method", "BestAcc(%)", "TrainSeconds", "Efficiency(%/s)")
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Alpha == alpha && c.Method != "Centralised" {
+			tbl.AddRow(c.Method, Pct(c.BestAccuracy), F3(c.TrainSeconds), F3(c.Efficiency))
+		}
+	}
+	return tbl.String()
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/simtime"
+)
+
+// Table3Cell is one (method, dataset, alpha) outcome of the 100-client
+// straggler experiment.
+type Table3Cell struct {
+	// Method is the paper's label.
+	Method string
+	// Fn is FedAvg's participating fraction (1 for the FedFT rows).
+	Fn float64
+	// Pds is the selection fraction.
+	Pds float64
+	// Dataset and Alpha identify the workload.
+	Dataset string
+	Alpha   float64
+	// BestAccuracy, Curve, TrainSeconds, Efficiency mirror Table2Cell.
+	BestAccuracy float64
+	Curve        []float64
+	TrainSeconds float64
+	Efficiency   float64
+}
+
+// Table3Result reproduces Table III (and the Fig. 7 efficiency points and
+// Figs. 8–9 curves computed from the same runs).
+type Table3Result struct {
+	// Cells holds all outcomes in paper row order per workload.
+	Cells []Table3Cell
+}
+
+// table3Methods is the paper's Table III row list.
+func table3Methods() []struct {
+	Method
+	fn  float64
+	pds float64
+} {
+	rows := []struct {
+		Method
+		fn  float64
+		pds float64
+	}{
+		{Method: Method{Name: "FedAvg w/o pt", Pretrained: false, Part: models.FinetuneFull, Selector: selection.All{}, Fraction: 1}, fn: 1, pds: 1},
+		{Method: Method{Name: "FedAvg 100% c.p.", Pretrained: true, Part: models.FinetuneFull, Selector: selection.All{}, Fraction: 1}, fn: 1, pds: 1},
+		{Method: Method{Name: "FedAvg 20% c.p.", Pretrained: true, Part: models.FinetuneFull, Selector: selection.All{}, Fraction: 1, Straggler: simtime.FractionParticipation{Fraction: 0.2}}, fn: 0.2, pds: 1},
+		{Method: Method{Name: "FedAvg 10% c.p.", Pretrained: true, Part: models.FinetuneFull, Selector: selection.All{}, Fraction: 1, Straggler: simtime.FractionParticipation{Fraction: 0.1}}, fn: 0.1, pds: 1},
+		{Method: Method{Name: "FedFT-RDS (10%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Random{}, Fraction: 0.1}, fn: 1, pds: 0.1},
+		{Method: Method{Name: "FedFT-EDS (10%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Entropy{Temperature: paperTemperature}, Fraction: 0.1}, fn: 1, pds: 0.1},
+		{Method: Method{Name: "FedFT-ALL", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.All{}, Fraction: 1}, fn: 1, pds: 1},
+		{Method: Method{Name: "FedFT-RDS (50%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Random{}, Fraction: 0.5}, fn: 1, pds: 0.5},
+		{Method: Method{Name: "FedFT-EDS (50%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Entropy{Temperature: paperTemperature}, Fraction: 0.5}, fn: 1, pds: 0.5},
+	}
+	return rows
+}
+
+// RunTable3 executes the 100-client straggler experiment.
+func RunTable3(env *Env) (*Table3Result, error) {
+	t100, err := env.Target100()
+	if err != nil {
+		return nil, err
+	}
+	targets := []*data.Domain{env.Suite.Target10, t100}
+	res := &Table3Result{}
+	for ti, target := range targets {
+		for _, alpha := range []float64{0.1, 0.5} {
+			fed, err := env.BuildFederation(target, env.Dims.LargeClients, alpha, 7000+int64(ti*1000)+int64(alpha*100))
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range table3Methods() {
+				hist, err := env.RunMethod(row.Method, fed, target, env.Suite.Source, 3)
+				if err != nil {
+					return nil, err
+				}
+				eff, err := hist.LearningEfficiency()
+				if err != nil {
+					eff = 0
+				}
+				res.Cells = append(res.Cells, Table3Cell{
+					Method:       row.Name,
+					Fn:           row.fn,
+					Pds:          row.pds,
+					Dataset:      target.Spec.Name,
+					Alpha:        alpha,
+					BestAccuracy: hist.BestAccuracy,
+					Curve:        hist.Curve(),
+					TrainSeconds: hist.TotalTrainSeconds,
+					Efficiency:   eff,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Get returns the cell for (method, dataset, alpha), or false.
+func (r *Table3Result) Get(method, dataset string, alpha float64) (Table3Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Method == method && c.Dataset == dataset && c.Alpha == alpha {
+			return c, true
+		}
+	}
+	return Table3Cell{}, false
+}
+
+// Methods returns distinct method labels in first-seen order.
+func (r *Table3Result) Methods() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Method] {
+			seen[c.Method] = true
+			out = append(out, c.Method)
+		}
+	}
+	return out
+}
+
+// datasets returns distinct dataset names in first-seen order.
+func (r *Table3Result) datasets() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			out = append(out, c.Dataset)
+		}
+	}
+	return out
+}
+
+// Render prints the table in the paper's shape.
+func (r *Table3Result) Render() string {
+	ds := r.datasets()
+	header := []string{"Method", "fn", "Pds"}
+	for _, d := range ds {
+		header = append(header, d+" α=0.1", d+" α=0.5")
+	}
+	tbl := NewTable("Table III — top-1 accuracy (%) with the large client pool and straggler simulation", header...)
+	for _, m := range r.Methods() {
+		var fn, pds float64
+		for _, c := range r.Cells {
+			if c.Method == m {
+				fn, pds = c.Fn, c.Pds
+				break
+			}
+		}
+		row := []string{m, fmt.Sprintf("%.0f%%", fn*100), fmt.Sprintf("%.0f%%", pds*100)}
+		for _, d := range ds {
+			for _, alpha := range []float64{0.1, 0.5} {
+				if c, ok := r.Get(m, d, alpha); ok {
+					row = append(row, Pct(c.BestAccuracy))
+				} else {
+					row = append(row, "")
+				}
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String()
+}
+
+// RenderFigure7 prints the 100-client learning-efficiency points (Fig. 7).
+func (r *Table3Result) RenderFigure7(dataset string, alpha float64) string {
+	tbl := NewTable(fmt.Sprintf("Fig. 7 — learning efficiency at scale, %s Diri(%g)", dataset, alpha),
+		"Method", "BestAcc(%)", "TrainSeconds", "Efficiency(%/s)")
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Alpha == alpha {
+			tbl.AddRow(c.Method, Pct(c.BestAccuracy), F3(c.TrainSeconds), F3(c.Efficiency))
+		}
+	}
+	return tbl.String()
+}
+
+// RenderFigure8 prints the FedAvg-participation vs FedFT-EDS curves (Fig. 8).
+func (r *Table3Result) RenderFigure8(dataset string, alpha float64) string {
+	keep := map[string]bool{
+		"FedAvg w/o pt": true, "FedAvg 100% c.p.": true,
+		"FedAvg 20% c.p.": true, "FedAvg 10% c.p.": true,
+		"FedFT-EDS (10%)": true,
+	}
+	var series []Series
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Alpha == alpha && keep[c.Method] {
+			series = append(series, Series{Name: c.Method, Values: c.Curve})
+		}
+	}
+	return RenderCurves(fmt.Sprintf("Fig. 8 — participation curves, %s Diri(%g)", dataset, alpha), series)
+}
+
+// RenderFigure9 prints the selection-fraction curves (Fig. 9).
+func (r *Table3Result) RenderFigure9(dataset string, alpha float64) string {
+	keep := map[string]bool{
+		"FedFT-RDS (10%)": true, "FedFT-EDS (10%)": true,
+		"FedFT-RDS (50%)": true, "FedFT-EDS (50%)": true,
+		"FedFT-ALL": true,
+	}
+	var series []Series
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Alpha == alpha && keep[c.Method] {
+			series = append(series, Series{Name: c.Method, Values: c.Curve})
+		}
+	}
+	return RenderCurves(fmt.Sprintf("Fig. 9 — selection-fraction curves, %s Diri(%g)", dataset, alpha), series)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+)
+
+// Table4Row is one cross-domain method outcome.
+type Table4Row struct {
+	// Method is the paper's label.
+	Method string
+	// Pds is the selection fraction.
+	Pds float64
+	// Accuracy is the best test accuracy on the far domain.
+	Accuracy float64
+}
+
+// Table4Result reproduces Table IV: cross-domain evaluation on the
+// speech-commands analogue under strong heterogeneity.
+type Table4Result struct {
+	// Rows holds the method outcomes in paper order.
+	Rows []Table4Row
+}
+
+// RunTable4 executes the cross-domain experiment (far target, Diri(0.1),
+// full participation on the large client pool).
+func RunTable4(env *Env) (*Table4Result, error) {
+	target := env.Suite.Far
+	fed, err := env.BuildFederation(target, env.Dims.LargeClients, 0.1, 9000)
+	if err != nil {
+		return nil, err
+	}
+	methods := []struct {
+		Method
+		pds float64
+	}{
+		{Method: Method{Name: "FedAvg w/o pt", Pretrained: false, Part: models.FinetuneFull, Selector: selection.All{}, Fraction: 1}, pds: 1},
+		{Method: Method{Name: "FedAvg w/ pt", Pretrained: true, Part: models.FinetuneFull, Selector: selection.All{}, Fraction: 1}, pds: 1},
+		{Method: Method{Name: "FedFT-RDS (10%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Random{}, Fraction: 0.1}, pds: 0.1},
+		{Method: Method{Name: "FedFT-EDS (10%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Entropy{Temperature: paperTemperature}, Fraction: 0.1}, pds: 0.1},
+		{Method: Method{Name: "FedFT-RDS (50%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Random{}, Fraction: 0.5}, pds: 0.5},
+		{Method: Method{Name: "FedFT-EDS (50%)", Pretrained: true, Part: models.FinetuneModerate, Selector: selection.Entropy{Temperature: paperTemperature}, Fraction: 0.5}, pds: 0.5},
+	}
+	res := &Table4Result{}
+	for _, m := range methods {
+		hist, err := env.RunMethod(m.Method, fed, target, env.Suite.Source, 4)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{Method: m.Name, Pds: m.pds, Accuracy: hist.BestAccuracy})
+	}
+	central, err := env.RunCentralized(fed, target, env.Suite.Source)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table4Row{Method: "Centralised", Pds: 1, Accuracy: central.BestAccuracy})
+	return res, nil
+}
+
+// Get returns the row for a method, or false.
+func (r *Table4Result) Get(method string) (Table4Row, bool) {
+	for _, row := range r.Rows {
+		if row.Method == method {
+			return row, true
+		}
+	}
+	return Table4Row{}, false
+}
+
+// Render prints the table in the paper's shape.
+func (r *Table4Result) Render() string {
+	tbl := NewTable("Table IV — cross-domain top-1 accuracy (%) on the speech-command analogue, Diri(0.1)",
+		"Method", "Pds", "Top-1 Acc")
+	for _, row := range r.Rows {
+		tbl.AddRow(row.Method, pdsLabel(row.Pds), Pct(row.Accuracy))
+	}
+	return tbl.String()
+}
+
+// pdsLabel formats a selection fraction as a percentage label.
+func pdsLabel(p float64) string {
+	return fmt.Sprintf("%.0f%%", 100*p)
+}

@@ -1,0 +1,436 @@
+// Package models provides the model zoo used in the paper's experiments — a
+// Wide ResNet (WRN-16-k) and a block-structured MLP — together with the
+// machinery FedFT-EDS needs on top of a bare network: named layer groups
+// (low / mid / up / classifier), partial freezing for fine-tuning, state
+// (de)serialization for server↔client communication, deterministic cloning,
+// and FLOP accounting split by group for the device-time model.
+package models
+
+import (
+	"errors"
+	"fmt"
+
+	"fedfteds/internal/nn"
+	"fedfteds/internal/tensor"
+)
+
+// Group names, ordered bottom (input side) to top (output side). They mirror
+// the paper's WRN layer levels: layer1 (low), layer2 (mid), layer3 (up), and
+// the classifier head.
+const (
+	GroupLow        = "low"
+	GroupMid        = "mid"
+	GroupUp         = "up"
+	GroupClassifier = "classifier"
+)
+
+// groupOrder is the canonical bottom-to-top group ordering.
+var groupOrder = []string{GroupLow, GroupMid, GroupUp, GroupClassifier}
+
+// FinetunePart selects how much of the model clients train, matching the
+// paper's ablation in Fig. 10a. The remainder of the model is frozen.
+type FinetunePart int
+
+const (
+	// FinetuneFull trains the entire model (no frozen feature extractor).
+	FinetuneFull FinetunePart = iota + 1
+	// FinetuneLarge freezes only the low group.
+	FinetuneLarge
+	// FinetuneModerate freezes low and mid groups; this is the paper's
+	// default ("fine-tuned from layer 3").
+	FinetuneModerate
+	// FinetuneClassifier trains only the classifier head.
+	FinetuneClassifier
+)
+
+// String implements fmt.Stringer.
+func (f FinetunePart) String() string {
+	switch f {
+	case FinetuneFull:
+		return "full"
+	case FinetuneLarge:
+		return "large"
+	case FinetuneModerate:
+		return "moderate"
+	case FinetuneClassifier:
+		return "classifier"
+	default:
+		return fmt.Sprintf("FinetunePart(%d)", int(f))
+	}
+}
+
+// trainableGroups returns the names of groups trained under f.
+func (f FinetunePart) trainableGroups() ([]string, error) {
+	switch f {
+	case FinetuneFull:
+		return []string{GroupLow, GroupMid, GroupUp, GroupClassifier}, nil
+	case FinetuneLarge:
+		return []string{GroupMid, GroupUp, GroupClassifier}, nil
+	case FinetuneModerate:
+		return []string{GroupUp, GroupClassifier}, nil
+	case FinetuneClassifier:
+		return []string{GroupClassifier}, nil
+	default:
+		return nil, fmt.Errorf("models: unknown finetune part %d", int(f))
+	}
+}
+
+// ErrSpec reports an invalid model specification.
+var ErrSpec = errors.New("models: invalid spec")
+
+// Arch identifies a model architecture.
+type Arch string
+
+const (
+	// ArchMLP is the block-structured multilayer perceptron used by the
+	// experiment harness (see DESIGN.md for why it stands in for the WRN).
+	ArchMLP Arch = "mlp"
+	// ArchWRN is the Wide ResNet 16-k from the paper.
+	ArchWRN Arch = "wrn"
+)
+
+// Spec fully determines a model so that clones can be rebuilt from scratch.
+type Spec struct {
+	// Arch selects the architecture.
+	Arch Arch
+	// InputShape is the per-sample input shape: [features] for the MLP,
+	// [channels, height, width] for the WRN.
+	InputShape []int
+	// NumClasses is the classifier output width.
+	NumClasses int
+	// Hidden is the MLP hidden width (ignored by WRN).
+	Hidden int
+	// Depth is the WRN depth (e.g. 16); must satisfy depth = 6n+4.
+	Depth int
+	// WidthFactor is the WRN width multiplier k.
+	WidthFactor int
+	// DropoutRate is the optional dropout inside WRN blocks / between MLP
+	// blocks; zero disables it.
+	DropoutRate float64
+	// InitSeed seeds weight initialization deterministically.
+	InitSeed int64
+}
+
+// Model is a network organized into the four named groups.
+type Model struct {
+	spec   Spec
+	groups []*nn.Sequential // parallel to groupOrder
+	part   FinetunePart
+}
+
+// Build constructs a model from its spec with deterministic initialization.
+func Build(spec Spec) (*Model, error) {
+	if spec.NumClasses <= 1 {
+		return nil, fmt.Errorf("%w: NumClasses %d", ErrSpec, spec.NumClasses)
+	}
+	var (
+		groups []*nn.Sequential
+		err    error
+	)
+	switch spec.Arch {
+	case ArchMLP:
+		groups, err = buildMLP(spec)
+	case ArchWRN:
+		groups, err = buildWRN(spec)
+	default:
+		return nil, fmt.Errorf("%w: unknown arch %q", ErrSpec, spec.Arch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{spec: spec, groups: groups, part: FinetuneFull}
+	// Validate the chain end to end.
+	if _, err := m.OutputShape(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Spec returns the model's build specification.
+func (m *Model) Spec() Spec { return m.spec }
+
+// Group returns the named group's layer container.
+func (m *Model) Group(name string) (*nn.Sequential, error) {
+	for i, g := range groupOrder {
+		if g == name {
+			return m.groups[i], nil
+		}
+	}
+	return nil, fmt.Errorf("models: unknown group %q", name)
+}
+
+// GroupNames returns the canonical group ordering.
+func GroupNames() []string { return append([]string(nil), groupOrder...) }
+
+// Forward runs the full network on a batch.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, g := range m.groups {
+		x = g.Forward(x, train)
+	}
+	return x
+}
+
+// ForwardCollectGroups runs a forward pass and returns the activation after
+// each group, flattened to (N, features). Used for CKA.
+func (m *Model) ForwardCollectGroups(x *tensor.Tensor, train bool) map[string]*tensor.Tensor {
+	outs := make(map[string]*tensor.Tensor, len(m.groups))
+	for i, g := range m.groups {
+		x = g.Forward(x, train)
+		n := x.Dim(0)
+		outs[groupOrder[i]] = x.MustReshape(n, x.Len()/max(n, 1))
+	}
+	return outs
+}
+
+// Backward backpropagates dlogits through the network, honouring frozen
+// groups (backprop stops below the lowest trainable group).
+func (m *Model) Backward(dlogits *tensor.Tensor) {
+	lowest := len(m.groups)
+	for i, g := range m.groups {
+		if !g.Frozen() {
+			lowest = i
+			break
+		}
+	}
+	dy := dlogits
+	for i := len(m.groups) - 1; i >= 0; i-- {
+		need := i > lowest
+		dy = m.groups[i].Backward(dy, need)
+		if !need {
+			return
+		}
+	}
+}
+
+// SetFinetunePart freezes groups according to part.
+func (m *Model) SetFinetunePart(part FinetunePart) error {
+	trainable, err := part.trainableGroups()
+	if err != nil {
+		return err
+	}
+	set := make(map[string]bool, len(trainable))
+	for _, g := range trainable {
+		set[g] = true
+	}
+	for i, name := range groupOrder {
+		m.groups[i].SetFrozen(!set[name])
+	}
+	m.part = part
+	return nil
+}
+
+// FinetunePart returns the current partial-training setting.
+func (m *Model) FinetunePart() FinetunePart { return m.part }
+
+// Params returns all parameters, bottom to top.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, g := range m.groups {
+		ps = append(ps, g.Params()...)
+	}
+	return ps
+}
+
+// TrainableParams returns parameters of non-frozen layers only.
+func (m *Model) TrainableParams() []*nn.Param {
+	var ps []*nn.Param
+	for _, g := range m.groups {
+		ps = append(ps, g.TrainableParams()...)
+	}
+	return ps
+}
+
+// ZeroGrads zeroes every parameter gradient.
+func (m *Model) ZeroGrads() {
+	for _, g := range m.groups {
+		g.ZeroGrads()
+	}
+}
+
+// StateTensors returns the full model state — every parameter followed by
+// every buffer, in deterministic bottom-to-top order. The returned tensors
+// are the live ones; callers clone if they need snapshots.
+func (m *Model) StateTensors() []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for _, g := range m.groups {
+		for _, p := range g.Params() {
+			ts = append(ts, p.W)
+		}
+	}
+	for _, g := range m.groups {
+		ts = append(ts, g.Buffers()...)
+	}
+	return ts
+}
+
+// GroupStateTensors returns the live state tensors (params then buffers) of
+// the named groups only, in canonical order. This is what FedFT ships over
+// the wire: only the trainable upper part.
+func (m *Model) GroupStateTensors(names []string) ([]*tensor.Tensor, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var ts []*tensor.Tensor
+	for i, name := range groupOrder {
+		if !want[name] {
+			continue
+		}
+		for _, p := range m.groups[i].Params() {
+			ts = append(ts, p.W)
+		}
+	}
+	for i, name := range groupOrder {
+		if !want[name] {
+			continue
+		}
+		ts = append(ts, m.groups[i].Buffers()...)
+	}
+	if len(names) > 0 && len(ts) == 0 {
+		return nil, fmt.Errorf("models: no state for groups %v", names)
+	}
+	return ts, nil
+}
+
+// TrainableGroupNames returns the group names trained under the current
+// finetune part.
+func (m *Model) TrainableGroupNames() []string {
+	names, err := m.part.trainableGroups()
+	if err != nil {
+		// part is always set through SetFinetunePart, which validates.
+		panic(err)
+	}
+	return names
+}
+
+// CopyStateFrom copies all state tensors from src into m. The models must
+// share a spec.
+func (m *Model) CopyStateFrom(src *Model) error {
+	dst := m.StateTensors()
+	srcTs := src.StateTensors()
+	if len(dst) != len(srcTs) {
+		return fmt.Errorf("models: state mismatch: %d vs %d tensors", len(dst), len(srcTs))
+	}
+	for i := range dst {
+		if err := dst[i].CopyFrom(srcTs[i]); err != nil {
+			return fmt.Errorf("models: state tensor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CopyGroupStateFrom copies the named groups' state (params and buffers)
+// from src into m. The groups must be architecturally identical in both
+// models; other groups (typically the classifier head, when transferring a
+// pretrained feature extractor across label spaces) are untouched.
+func (m *Model) CopyGroupStateFrom(src *Model, groups []string) error {
+	dst, err := m.GroupStateTensors(groups)
+	if err != nil {
+		return err
+	}
+	srcTs, err := src.GroupStateTensors(groups)
+	if err != nil {
+		return err
+	}
+	if len(dst) != len(srcTs) {
+		return fmt.Errorf("models: group state mismatch: %d vs %d tensors", len(dst), len(srcTs))
+	}
+	for i := range dst {
+		if err := dst[i].CopyFrom(srcTs[i]); err != nil {
+			return fmt.Errorf("models: group state tensor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone builds a fresh model from the same spec and copies all state.
+// The clone is independent: training it does not affect m. The clone
+// preserves the finetune part.
+func (m *Model) Clone() (*Model, error) {
+	c, err := Build(m.spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CopyStateFrom(m); err != nil {
+		return nil, err
+	}
+	if err := c.SetFinetunePart(m.part); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// OutputShape returns the per-sample output shape.
+func (m *Model) OutputShape() ([]int, error) {
+	in := m.spec.InputShape
+	var err error
+	for i, g := range m.groups {
+		in, err = g.OutputShape(in)
+		if err != nil {
+			return nil, fmt.Errorf("models: group %q: %w", groupOrder[i], err)
+		}
+	}
+	return in, nil
+}
+
+// ParamCount returns the total number of parameter elements.
+func (m *Model) ParamCount() int {
+	var n int
+	for _, p := range m.Params() {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// TrainableParamCount returns the number of trainable parameter elements.
+func (m *Model) TrainableParamCount() int {
+	var n int
+	for _, p := range m.TrainableParams() {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// GroupFLOPs returns the forward FLOPs per sample of each group, in group
+// order, plus the total.
+func (m *Model) GroupFLOPs() (perGroup []int64, total int64) {
+	in := m.spec.InputShape
+	perGroup = make([]int64, len(m.groups))
+	for i, g := range m.groups {
+		f := g.FLOPsPerSample(in)
+		perGroup[i] = f
+		total += f
+		next, err := g.OutputShape(in)
+		if err != nil {
+			panic(err) // validated at Build time
+		}
+		in = next
+	}
+	return perGroup, total
+}
+
+// ForwardFLOPsPerSample returns the forward cost of the full network.
+func (m *Model) ForwardFLOPsPerSample() int64 {
+	_, total := m.GroupFLOPs()
+	return total
+}
+
+// TrainFLOPsPerSample models one training step on one sample: a full forward
+// pass plus a backward pass over the groups at or above the lowest trainable
+// group (backward ≈ 2× forward for the traversed region). This is the
+// quantity the paper's partial fine-tuning reduces.
+func (m *Model) TrainFLOPsPerSample() int64 {
+	perGroup, total := m.GroupFLOPs()
+	lowest := len(m.groups)
+	for i, g := range m.groups {
+		if !g.Frozen() {
+			lowest = i
+			break
+		}
+	}
+	var back int64
+	for i := lowest; i < len(m.groups); i++ {
+		back += 2 * perGroup[i]
+	}
+	return total + back
+}

@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedfteds/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (N, C, H, W) inputs implemented with
+// im2col and the tensor package's parallel matmul.
+type Conv2D struct {
+	base
+	inC, outC       int
+	kernel          int
+	stride, padding int
+	useBias         bool
+
+	weight *Param // (outC, inC*kernel*kernel)
+	bias   *Param // (outC), nil when useBias is false
+
+	cols    *tensor.Tensor // cached im2col matrix (N*OH*OW, inC*K*K)
+	inShape []int          // cached input shape
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// ConvOpts configures optional Conv2D behaviour.
+type ConvOpts struct {
+	// Stride is the convolution stride (default 1).
+	Stride int
+	// Padding is the symmetric zero padding (default 0).
+	Padding int
+	// NoBias omits the additive bias (the usual choice before batch norm).
+	NoBias bool
+}
+
+// NewConv2D constructs a kernel×kernel convolution with He-normal weights.
+func NewConv2D(name string, inC, outC, kernel int, opts ConvOpts, rng *rand.Rand) (*Conv2D, error) {
+	if inC <= 0 || outC <= 0 || kernel <= 0 {
+		return nil, fmt.Errorf("nn: conv %q: invalid dims inC=%d outC=%d k=%d", name, inC, outC, kernel)
+	}
+	stride := opts.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	if stride < 0 || opts.Padding < 0 {
+		return nil, fmt.Errorf("nn: conv %q: invalid stride=%d padding=%d", name, stride, opts.Padding)
+	}
+	fanIn := inC * kernel * kernel
+	w := tensor.New(outC, fanIn)
+	w.FillKaiming(rng, fanIn)
+	c := &Conv2D{
+		base:    base{name: name},
+		inC:     inC,
+		outC:    outC,
+		kernel:  kernel,
+		stride:  stride,
+		padding: opts.Padding,
+		useBias: !opts.NoBias,
+		weight:  newParam("weight", w, false),
+	}
+	if c.useBias {
+		c.bias = newParam("bias", tensor.New(outC), true)
+	}
+	return c, nil
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.bias != nil {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}
+
+// outDims returns output spatial dims for input spatial dims.
+func (c *Conv2D) outDims(h, w int) (oh, ow int) {
+	oh = (h+2*c.padding-c.kernel)/c.stride + 1
+	ow = (w+2*c.padding-c.kernel)/c.stride + 1
+	return oh, ow
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		panic(shapeErr("conv "+c.name, []int{-1, c.inC, -1, -1}, x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.outDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(shapeErr("conv "+c.name, "positive output dims", x.Shape()))
+	}
+	ck := c.inC * c.kernel * c.kernel
+	cols := tensor.New(n*oh*ow, ck)
+	im2col(x.Data(), cols.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
+
+	// out (N*OH*OW, outC) = cols @ Wᵀ.
+	out := tensor.New(n*oh*ow, c.outC)
+	if err := tensor.MatMulTransB(out, cols, c.weight.W); err != nil {
+		panic(err)
+	}
+	if c.useBias {
+		if err := out.AddRowVector(c.bias.W); err != nil {
+			panic(err)
+		}
+	}
+
+	// Reorder rows (n, oh, ow) × outC to (N, outC, OH, OW).
+	y := tensor.New(n, c.outC, oh, ow)
+	od, yd := out.Data(), y.Data()
+	sp := oh * ow
+	for i := 0; i < n; i++ {
+		for s := 0; s < sp; s++ {
+			row := od[(i*sp+s)*c.outC : (i*sp+s+1)*c.outC]
+			for oc := 0; oc < c.outC; oc++ {
+				yd[(i*c.outC+oc)*sp+s] = row[oc]
+			}
+		}
+	}
+
+	if train && !c.frozen {
+		c.cols = cols
+		c.inShape = x.Shape()
+	} else {
+		c.cols = nil
+		c.inShape = x.Shape()
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
+	if dy.Rank() != 4 || dy.Dim(1) != c.outC {
+		panic(shapeErr("conv "+c.name+" backward", []int{-1, c.outC, -1, -1}, dy.Shape()))
+	}
+	n, oh, ow := dy.Dim(0), dy.Dim(2), dy.Dim(3)
+	sp := oh * ow
+	ck := c.inC * c.kernel * c.kernel
+
+	// dOut (N*OH*OW, outC): reorder from (N, outC, OH, OW).
+	dout := tensor.New(n*sp, c.outC)
+	dd, dyd := dout.Data(), dy.Data()
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.outC; oc++ {
+			src := dyd[(i*c.outC+oc)*sp : (i*c.outC+oc+1)*sp]
+			for s, v := range src {
+				dd[(i*sp+s)*c.outC+oc] = v
+			}
+		}
+	}
+
+	if !c.frozen {
+		if c.cols == nil {
+			panic("nn: conv " + c.name + ": Backward without train Forward")
+		}
+		// dW += dOutᵀ @ cols ; db += column sums of dOut.
+		dw := tensor.New(c.outC, ck)
+		if err := tensor.MatMulTransA(dw, dout, c.cols); err != nil {
+			panic(err)
+		}
+		if err := c.weight.G.Add(dw); err != nil {
+			panic(err)
+		}
+		if c.useBias {
+			db := tensor.New(c.outC)
+			if err := dout.SumRows(db); err != nil {
+				panic(err)
+			}
+			if err := c.bias.G.Add(db); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if !needDx {
+		return nil
+	}
+	// dcols = dOut @ W, then scatter back with col2im.
+	dcols := tensor.New(n*sp, ck)
+	if err := tensor.MatMul(dcols, dout, c.weight.W); err != nil {
+		panic(err)
+	}
+	h, w := c.inShape[2], c.inShape[3]
+	dx := tensor.New(n, c.inC, h, w)
+	col2im(dcols.Data(), dx.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
+	return dx
+}
+
+// OutputShape implements Layer.
+func (c *Conv2D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != c.inC {
+		return nil, fmt.Errorf("nn: conv %q: per-sample input %v, want [%d H W]", c.name, in, c.inC)
+	}
+	oh, ow := c.outDims(in[1], in[2])
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: conv %q: input %v too small for kernel %d", c.name, in, c.kernel)
+	}
+	return []int{c.outC, oh, ow}, nil
+}
+
+// FLOPsPerSample implements Layer: 2 × MACs of the im2col matmul.
+func (c *Conv2D) FLOPsPerSample(in []int) int64 {
+	oh, ow := c.outDims(in[1], in[2])
+	return 2 * int64(c.inC*c.kernel*c.kernel) * int64(c.outC) * int64(oh*ow)
+}
+
+// im2col unpacks convolution windows of x (N,C,H,W) into rows of cols
+// ((N*OH*OW) × (C*K*K)), zero-padding out-of-range positions.
+func im2col(x, cols []float32, n, ch, h, w, k, stride, pad, oh, ow int) {
+	ck := ch * k * k
+	for i := 0; i < n; i++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols[((i*oh+oy)*ow+ox)*ck:]
+				for cc := 0; cc < ch; cc++ {
+					base := (i*ch + cc) * h * w
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride - pad + ky
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride - pad + kx
+							var v float32
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								v = x[base+iy*w+ix]
+							}
+							row[(cc*k+ky)*k+kx] = v
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatter-adds gradient columns back into dx (N,C,H,W).
+func col2im(cols, dx []float32, n, ch, h, w, k, stride, pad, oh, ow int) {
+	ck := ch * k * k
+	for i := 0; i < n; i++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols[((i*oh+oy)*ow+ox)*ck:]
+				for cc := 0; cc < ch; cc++ {
+					base := (i*ch + cc) * h * w
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dx[base+iy*w+ix] += row[(cc*k+ky)*k+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedfteds/internal/tensor"
+)
+
+// SoftmaxCrossEntropy is the categorical cross-entropy loss on logits with an
+// optional softmax temperature. Temperature 1 is the standard training loss;
+// the entropy-based data selector uses Softmax directly with ρ < 1 instead.
+type SoftmaxCrossEntropy struct {
+	// Temperature scales logits as z/ρ before the softmax. Zero means 1.
+	Temperature float64
+}
+
+// Loss returns the mean cross-entropy over the batch and the gradient of
+// that mean with respect to the logits.
+//
+// logits has shape (N, C) and labels has length N with values in [0, C).
+func (l SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor, error) {
+	if logits.Rank() != 2 {
+		return 0, nil, fmt.Errorf("nn: cross-entropy: logits rank %d, want 2", logits.Rank())
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("nn: cross-entropy: %d labels for batch %d", len(labels), n)
+	}
+	rho := l.Temperature
+	if rho == 0 {
+		rho = 1
+	}
+	if rho <= 0 {
+		return 0, nil, fmt.Errorf("nn: cross-entropy: temperature %v must be positive", rho)
+	}
+	dlogits := tensor.New(n, c)
+	var total float64
+	scaled := make([]float32, c)
+	logp := make([]float32, c)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= c {
+			return 0, nil, fmt.Errorf("nn: cross-entropy: label %d outside [0,%d)", y, c)
+		}
+		row := logits.Data()[i*c : (i+1)*c]
+		for j, v := range row {
+			scaled[j] = float32(float64(v) / rho)
+		}
+		LogSoftmaxRow(logp, scaled)
+		total -= float64(logp[y])
+		drow := dlogits.Data()[i*c : (i+1)*c]
+		invNRho := 1.0 / (float64(n) * rho)
+		for j := range drow {
+			p := math.Exp(float64(logp[j]))
+			ind := 0.0
+			if j == y {
+				ind = 1.0
+			}
+			drow[j] = float32((p - ind) * invNRho)
+		}
+	}
+	return total / float64(n), dlogits, nil
+}
+
+// Value returns only the mean loss, without allocating gradients.
+func (l SoftmaxCrossEntropy) Value(logits *tensor.Tensor, labels []int) (float64, error) {
+	if logits.Rank() != 2 {
+		return 0, fmt.Errorf("nn: cross-entropy: logits rank %d, want 2", logits.Rank())
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		return 0, fmt.Errorf("nn: cross-entropy: %d labels for batch %d", len(labels), n)
+	}
+	rho := l.Temperature
+	if rho == 0 {
+		rho = 1
+	}
+	var total float64
+	scaled := make([]float32, c)
+	logp := make([]float32, c)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= c {
+			return 0, fmt.Errorf("nn: cross-entropy: label %d outside [0,%d)", y, c)
+		}
+		row := logits.Data()[i*c : (i+1)*c]
+		for j, v := range row {
+			scaled[j] = float32(float64(v) / rho)
+		}
+		LogSoftmaxRow(logp, scaled)
+		total -= float64(logp[y])
+	}
+	return total / float64(n), nil
+}
+
+// ShannonEntropyRows returns the Shannon entropy (natural log) of each row of
+// a row-stochastic matrix such as a Softmax output. Zero probabilities
+// contribute zero, matching the limit p·log p → 0.
+func ShannonEntropyRows(probs *tensor.Tensor) []float64 {
+	if probs.Rank() != 2 {
+		panic(shapeErr("entropy", "rank 2", probs.Shape()))
+	}
+	n, c := probs.Dim(0), probs.Dim(1)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := probs.Data()[i*c : (i+1)*c]
+		var h float64
+		for _, p := range row {
+			if p > 0 {
+				fp := float64(p)
+				h -= fp * math.Log(fp)
+			}
+		}
+		out[i] = h
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedfteds/internal/tensor"
+)
+
+// Flatten reshapes (N, ...) inputs to (N, prod(...)).
+type Flatten struct {
+	base
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten constructs a flattening layer.
+func NewFlatten(name string) *Flatten {
+	return &Flatten{base: base{name: name}}
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() < 2 {
+		panic(shapeErr("flatten "+f.name, "rank >= 2", x.Shape()))
+	}
+	n := x.Dim(0)
+	rest := x.Len() / max(n, 1)
+	if train {
+		f.inShape = x.Shape()
+	}
+	return x.Clone().MustReshape(n, rest)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
+	if !needDx {
+		return nil
+	}
+	if f.inShape == nil {
+		panic("nn: flatten " + f.name + ": Backward without train Forward")
+	}
+	return dy.Clone().MustReshape(f.inShape...)
+}
+
+// OutputShape implements Layer.
+func (f *Flatten) OutputShape(in []int) ([]int, error) {
+	return []int{tensor.Volume(in)}, nil
+}
+
+// FLOPsPerSample implements Layer.
+func (f *Flatten) FLOPsPerSample(in []int) int64 { return 0 }
+
+// Dropout is inverted dropout: in training mode it zeroes each element with
+// probability Rate and scales survivors by 1/(1-Rate); in evaluation or when
+// frozen it is the identity.
+type Dropout struct {
+	base
+	rate float64
+	rng  *rand.Rand
+	mask []float32
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a dropout layer with the given drop rate in [0, 1).
+// The layer owns a deterministic RNG derived from seed.
+func NewDropout(name string, rate float64, seed int64) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout %q: rate %v outside [0,1)", name, rate)
+	}
+	return &Dropout{
+		base: base{name: name},
+		rate: rate,
+		rng:  rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Reseed replaces the dropout RNG; used when cloning models so clones draw
+// independent masks.
+func (d *Dropout) Reseed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.frozen || d.rate == 0 {
+		d.mask = nil
+		return x.Clone()
+	}
+	y := x.Clone()
+	if cap(d.mask) < y.Len() {
+		d.mask = make([]float32, y.Len())
+	}
+	d.mask = d.mask[:y.Len()]
+	keep := float32(1.0 / (1.0 - d.rate))
+	for i := range y.Data() {
+		if d.rng.Float64() < d.rate {
+			d.mask[i] = 0
+			y.Data()[i] = 0
+		} else {
+			d.mask[i] = keep
+			y.Data()[i] *= keep
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
+	if !needDx {
+		return nil
+	}
+	if d.mask == nil {
+		return dy.Clone()
+	}
+	dx := dy.Clone()
+	for i := range dx.Data() {
+		dx.Data()[i] *= d.mask[i]
+	}
+	return dx
+}
+
+// OutputShape implements Layer.
+func (d *Dropout) OutputShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// FLOPsPerSample implements Layer.
+func (d *Dropout) FLOPsPerSample(in []int) int64 { return int64(tensor.Volume(in)) }

@@ -1,0 +1,344 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedfteds/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel. It accepts rank-2 inputs
+// (N, C), normalizing over the batch, and rank-4 inputs (N, C, H, W),
+// normalizing over batch and spatial dimensions.
+//
+// In training mode (and not frozen) it normalizes with batch statistics and
+// maintains exponential running statistics; in evaluation mode or when frozen
+// it normalizes with the running statistics. Running statistics are exposed
+// as Buffers so they travel with the model between server and clients.
+type BatchNorm struct {
+	base
+	channels int
+	eps      float64
+	momentum float64
+
+	gamma *Param
+	beta  *Param
+
+	runMean *tensor.Tensor
+	runVar  *tensor.Tensor
+
+	// Cached state from the last training-mode forward.
+	xhat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+	// evalBackward marks that the last training forward normalized with
+	// running statistics (degenerate batch of one): Backward then uses the
+	// decoupled gradient dx = dy·γ·invStd instead of the batch-stat formula.
+	evalBackward bool
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// NewBatchNorm constructs a batch-norm layer over the given channel count
+// with scale initialized to one, shift to zero, eps 1e-5 and running-stat
+// momentum 0.1.
+func NewBatchNorm(name string, channels int) (*BatchNorm, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("nn: batchnorm %q: invalid channels %d", name, channels)
+	}
+	g := tensor.New(channels)
+	g.Fill(1)
+	rv := tensor.New(channels)
+	rv.Fill(1)
+	return &BatchNorm{
+		base:     base{name: name},
+		channels: channels,
+		eps:      1e-5,
+		momentum: 0.1,
+		gamma:    newParam("gamma", g, true),
+		beta:     newParam("beta", tensor.New(channels), true),
+		runMean:  tensor.New(channels),
+		runVar:   rv,
+	}, nil
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+
+// Buffers implements Layer, exposing the running mean and variance.
+func (bn *BatchNorm) Buffers() []*tensor.Tensor {
+	return []*tensor.Tensor{bn.runMean, bn.runVar}
+}
+
+// channelGeometry returns (groupSize, spatial) where input has N groups of
+// channels×spatial values; spatial is 1 for rank-2 inputs.
+func (bn *BatchNorm) channelGeometry(shape []int) (n, spatial int) {
+	switch len(shape) {
+	case 2:
+		if shape[1] != bn.channels {
+			panic(shapeErr("batchnorm "+bn.name, bn.channels, shape))
+		}
+		return shape[0], 1
+	case 4:
+		if shape[1] != bn.channels {
+			panic(shapeErr("batchnorm "+bn.name, bn.channels, shape))
+		}
+		return shape[0], shape[2] * shape[3]
+	default:
+		panic(shapeErr("batchnorm "+bn.name, "rank 2 or 4", shape))
+	}
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shape := x.Shape()
+	n, spatial := bn.channelGeometry(shape)
+	y := tensor.New(shape...)
+	useBatchStats := train && !bn.frozen && n*spatial > 1
+
+	if useBatchStats {
+		mean := make([]float64, bn.channels)
+		variance := make([]float64, bn.channels)
+		bn.forEachChannel(x, shape, func(c int, vals []float32) {
+			var s float64
+			for _, v := range vals {
+				s += float64(v)
+			}
+			mean[c] += s
+		})
+		m := float64(n * spatial)
+		for c := range mean {
+			mean[c] /= m
+		}
+		bn.forEachChannel(x, shape, func(c int, vals []float32) {
+			var s float64
+			for _, v := range vals {
+				d := float64(v) - mean[c]
+				s += d * d
+			}
+			variance[c] += s
+		})
+		for c := range variance {
+			variance[c] /= m
+		}
+		// Update running statistics.
+		for c := 0; c < bn.channels; c++ {
+			rm := float64(bn.runMean.Data()[c])
+			rv := float64(bn.runVar.Data()[c])
+			bn.runMean.Data()[c] = float32((1-bn.momentum)*rm + bn.momentum*mean[c])
+			bn.runVar.Data()[c] = float32((1-bn.momentum)*rv + bn.momentum*variance[c])
+		}
+		invStd := make([]float64, bn.channels)
+		for c := range invStd {
+			invStd[c] = 1.0 / math.Sqrt(variance[c]+bn.eps)
+		}
+		xhat := tensor.New(shape...)
+		bn.mapChannels(x, xhat, shape, func(c int, v float32) float32 {
+			return float32((float64(v) - mean[c]) * invStd[c])
+		})
+		bn.mapChannels(xhat, y, shape, func(c int, v float32) float32 {
+			return bn.gamma.W.Data()[c]*v + bn.beta.W.Data()[c]
+		})
+		bn.xhat = xhat
+		bn.invStd = invStd
+		bn.inShape = shape
+		bn.evalBackward = false
+		return y
+	}
+
+	// Evaluation / frozen path: use running statistics. A training-mode call
+	// lands here only for a degenerate batch (one value per channel), where
+	// batch statistics are undefined; it keeps a cache so Backward works.
+	invStd := make([]float64, bn.channels)
+	for c := range invStd {
+		invStd[c] = 1.0 / math.Sqrt(float64(bn.runVar.Data()[c])+bn.eps)
+	}
+	trainDegenerate := train && !bn.frozen
+	var xhat *tensor.Tensor
+	if trainDegenerate {
+		xhat = tensor.New(shape...)
+	}
+	bn.mapChannels(x, y, shape, func(c int, v float32) float32 {
+		xh := (float64(v) - float64(bn.runMean.Data()[c])) * invStd[c]
+		return float32(float64(bn.gamma.W.Data()[c])*xh + float64(bn.beta.W.Data()[c]))
+	})
+	if trainDegenerate {
+		bn.mapChannels(x, xhat, shape, func(c int, v float32) float32 {
+			return float32((float64(v) - float64(bn.runMean.Data()[c])) * invStd[c])
+		})
+	}
+	bn.xhat = xhat
+	bn.invStd = invStd
+	bn.inShape = shape
+	bn.evalBackward = true
+	return y
+}
+
+// Backward implements Layer.
+func (bn *BatchNorm) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
+	shape := dy.Shape()
+	n, spatial := bn.channelGeometry(shape)
+	m := float64(n * spatial)
+
+	if bn.xhat == nil || bn.evalBackward {
+		if bn.invStd == nil {
+			panic("nn: batchnorm " + bn.name + ": Backward without Forward")
+		}
+		// Running-statistics normalization: the statistics do not depend on
+		// the batch, so dx decouples to dy·γ·invStd; dγ/dβ accumulate from
+		// the cached xhat when the layer is trainable.
+		if !bn.frozen && bn.xhat != nil {
+			dgamma := make([]float64, bn.channels)
+			dbeta := make([]float64, bn.channels)
+			bn.forEachChannelPair(dy, bn.xhat, shape, func(c int, dv, xh float32) {
+				dgamma[c] += float64(dv) * float64(xh)
+				dbeta[c] += float64(dv)
+			})
+			for c := 0; c < bn.channels; c++ {
+				bn.gamma.G.Data()[c] += float32(dgamma[c])
+				bn.beta.G.Data()[c] += float32(dbeta[c])
+			}
+		}
+		if !needDx {
+			return nil
+		}
+		dx := tensor.New(shape...)
+		bn.mapChannels(dy, dx, shape, func(c int, v float32) float32 {
+			return float32(float64(v) * float64(bn.gamma.W.Data()[c]) * bn.invStd[c])
+		})
+		return dx
+	}
+
+	// dgamma_c = Σ dy*xhat ; dbeta_c = Σ dy (over batch+spatial).
+	dgamma := make([]float64, bn.channels)
+	dbeta := make([]float64, bn.channels)
+	bn.forEachChannelPair(dy, bn.xhat, shape, func(c int, dv, xh float32) {
+		dgamma[c] += float64(dv) * float64(xh)
+		dbeta[c] += float64(dv)
+	})
+	if !bn.frozen {
+		for c := 0; c < bn.channels; c++ {
+			bn.gamma.G.Data()[c] += float32(dgamma[c])
+			bn.beta.G.Data()[c] += float32(dbeta[c])
+		}
+	}
+	if !needDx {
+		return nil
+	}
+	// dx = gamma*invStd/m * (m*dy - dbeta - xhat*dgamma)
+	dx := tensor.New(shape...)
+	bn.mapChannelsPair(dy, bn.xhat, dx, shape, func(c int, dv, xh float32) float32 {
+		g := float64(bn.gamma.W.Data()[c]) * bn.invStd[c] / m
+		return float32(g * (m*float64(dv) - dbeta[c] - float64(xh)*dgamma[c]))
+	})
+	return dx
+}
+
+// forEachChannel calls f once per (sample, channel) with the contiguous
+// spatial values of that channel.
+func (bn *BatchNorm) forEachChannel(x *tensor.Tensor, shape []int, f func(c int, vals []float32)) {
+	if len(shape) == 2 {
+		n, c := shape[0], shape[1]
+		d := x.Data()
+		for i := 0; i < n; i++ {
+			row := d[i*c : (i+1)*c]
+			for ch := 0; ch < c; ch++ {
+				f(ch, row[ch:ch+1])
+			}
+		}
+		return
+	}
+	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
+	d := x.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * sp
+			f(ch, d[off:off+sp])
+		}
+	}
+}
+
+func (bn *BatchNorm) forEachChannelPair(a, b *tensor.Tensor, shape []int, f func(c int, av, bv float32)) {
+	ad, bd := a.Data(), b.Data()
+	if len(shape) == 2 {
+		n, c := shape[0], shape[1]
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c; ch++ {
+				off := i*c + ch
+				f(ch, ad[off], bd[off])
+			}
+		}
+		return
+	}
+	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * sp
+			for s := 0; s < sp; s++ {
+				f(ch, ad[off+s], bd[off+s])
+			}
+		}
+	}
+}
+
+func (bn *BatchNorm) mapChannels(src, dst *tensor.Tensor, shape []int, f func(c int, v float32) float32) {
+	sd, dd := src.Data(), dst.Data()
+	if len(shape) == 2 {
+		n, c := shape[0], shape[1]
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c; ch++ {
+				off := i*c + ch
+				dd[off] = f(ch, sd[off])
+			}
+		}
+		return
+	}
+	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * sp
+			for s := 0; s < sp; s++ {
+				dd[off+s] = f(ch, sd[off+s])
+			}
+		}
+	}
+}
+
+func (bn *BatchNorm) mapChannelsPair(a, b, dst *tensor.Tensor, shape []int, f func(c int, av, bv float32) float32) {
+	ad, bd, dd := a.Data(), b.Data(), dst.Data()
+	if len(shape) == 2 {
+		n, c := shape[0], shape[1]
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c; ch++ {
+				off := i*c + ch
+				dd[off] = f(ch, ad[off], bd[off])
+			}
+		}
+		return
+	}
+	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * sp
+			for s := 0; s < sp; s++ {
+				dd[off+s] = f(ch, ad[off+s], bd[off+s])
+			}
+		}
+	}
+}
+
+// OutputShape implements Layer.
+func (bn *BatchNorm) OutputShape(in []int) ([]int, error) {
+	if len(in) != 1 && len(in) != 3 {
+		return nil, fmt.Errorf("nn: batchnorm %q: per-sample shape %v", bn.name, in)
+	}
+	if in[0] != bn.channels {
+		return nil, fmt.Errorf("nn: batchnorm %q: channels %d, want %d", bn.name, in[0], bn.channels)
+	}
+	return append([]int(nil), in...), nil
+}
+
+// FLOPsPerSample implements Layer.
+func (bn *BatchNorm) FLOPsPerSample(in []int) int64 {
+	return 4 * int64(tensor.Volume(in))
+}

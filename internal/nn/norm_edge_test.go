@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+func TestBatchNormDegenerateBatchOfOne(t *testing.T) {
+	// A training forward with batch size 1 must not panic and must use the
+	// running statistics, and Backward must produce finite gradients.
+	bn, err := NewBatchNorm("bn", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed running stats with a few proper batches.
+	rng := rand.New(rand.NewSource(1))
+	warm := tensor.New(16, 3)
+	warm.FillNormal(rng, 2, 1)
+	for i := 0; i < 10; i++ {
+		bn.Forward(warm, true)
+	}
+	rm := bn.runMean.Clone()
+
+	single := tensor.New(1, 3)
+	single.FillNormal(rng, 2, 1)
+	y := bn.Forward(single, true)
+	if !y.IsFinite() {
+		t.Fatal("degenerate batch produced non-finite output")
+	}
+	// Running stats must not have been polluted by the undefined batch stats.
+	if !bn.runMean.Equal(rm) {
+		t.Fatal("batch-of-one forward updated running statistics")
+	}
+	dy := tensor.New(1, 3)
+	dy.Fill(1)
+	dx := bn.Backward(dy, true)
+	if dx == nil || !dx.IsFinite() {
+		t.Fatal("degenerate batch backward not finite")
+	}
+	// Gamma gradient accumulated (layer is trainable).
+	if bn.gamma.G.Norm2() == 0 {
+		t.Fatal("no gamma gradient from degenerate-batch backward")
+	}
+}
+
+func TestBatchNormGradCheckDegeneratePath(t *testing.T) {
+	// Numeric check of the decoupled backward: loss = Σ y² through a BN in
+	// eval-statistics mode (frozen), perturbing the input.
+	bn, err := NewBatchNorm("bn", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	warm := tensor.New(32, 2)
+	warm.FillNormal(rng, 0, 2)
+	bn.Forward(warm, true)
+	bn.SetFrozen(true)
+
+	x := tensor.New(1, 2)
+	x.FillNormal(rng, 0, 1)
+	lossOf := func(in *tensor.Tensor) float64 {
+		y := bn.Forward(in, true)
+		var s float64
+		for _, v := range y.Data() {
+			s += float64(v) * float64(v)
+		}
+		return s
+	}
+	y := bn.Forward(x, true)
+	dy := y.Clone()
+	dy.Scale(2)
+	dx := bn.Backward(dy, true)
+
+	const eps = 1e-3
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		up := lossOf(x)
+		x.Data()[i] = orig - eps
+		down := lossOf(x)
+		x.Data()[i] = orig
+		numeric := (up - down) / (2 * eps)
+		analytic := float64(dx.Data()[i])
+		if math.Abs(numeric-analytic) > 1e-2*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("dx[%d]: analytic %.5f numeric %.5f", i, analytic, numeric)
+		}
+	}
+}
+
+func TestSoftmaxPanicsOnBadInput(t *testing.T) {
+	check := func(name string, f func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+	check("rank1", func() { Softmax(tensor.New(4), 1) })
+	check("zero temp", func() { Softmax(tensor.New(1, 4), 0) })
+	check("entropy rank", func() { ShannonEntropyRows(tensor.New(4)) })
+}
+
+func TestSequentialNestedFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inner1, err := NewDense("i1", 4, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner2, err := NewDense("i2", 4, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested := NewSequential("outer", NewSequential("inner", inner1), inner2)
+	if nested.Frozen() {
+		t.Fatal("fresh container reported frozen")
+	}
+	inner1.SetFrozen(true)
+	if nested.Frozen() {
+		t.Fatal("partially frozen container reported fully frozen")
+	}
+	if got := len(nested.TrainableParams()); got != 2 {
+		t.Fatalf("TrainableParams = %d, want 2", got)
+	}
+	inner2.SetFrozen(true)
+	if !nested.Frozen() {
+		t.Fatal("fully frozen container not reported frozen")
+	}
+}
+
+func TestResidualFrozenNoGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b1, err := NewDense("b", 3, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewDense("s", 3, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewResidual("r", NewSequential("body", b1), NewSequential("short", sc))
+	res.SetFrozen(true)
+	x := tensor.New(2, 3)
+	x.FillNormal(rng, 0, 1)
+	y := res.Forward(x, true)
+	dy := y.Clone()
+	dx := res.Backward(dy, true)
+	if dx == nil {
+		t.Fatal("frozen residual should still pass dx when requested")
+	}
+	for _, p := range res.Params() {
+		if p.G.Norm2() != 0 {
+			t.Fatalf("frozen residual accumulated gradient on %q", p.Name)
+		}
+	}
+}
+
+func TestConvNoBiasHasSingleParam(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := NewConv2D("c", 2, 3, 3, ConvOpts{NoBias: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Params()); got != 1 {
+		t.Fatalf("NoBias conv has %d params, want 1", got)
+	}
+	withBias, err := NewConv2D("c2", 2, 3, 3, ConvOpts{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(withBias.Params()); got != 2 {
+		t.Fatalf("biased conv has %d params, want 2", got)
+	}
+}
+
+func TestNewConvRejectsBadOpts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewConv2D("c", 0, 3, 3, ConvOpts{}, rng); err == nil {
+		t.Fatal("expected error for inC=0")
+	}
+	if _, err := NewConv2D("c", 2, 3, 3, ConvOpts{Padding: -1}, rng); err == nil {
+		t.Fatal("expected error for negative padding")
+	}
+	if _, err := NewConv2D("c", 2, 3, 3, ConvOpts{Stride: -2}, rng); err == nil {
+		t.Fatal("expected error for negative stride")
+	}
+}

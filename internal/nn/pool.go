@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedfteds/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer with square window and equal stride.
+type MaxPool2D struct {
+	base
+	window int
+
+	argmax  []int // flat input index of each output element
+	inShape []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D constructs a window×window max pool with stride = window.
+func NewMaxPool2D(name string, window int) (*MaxPool2D, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("nn: maxpool %q: invalid window %d", name, window)
+	}
+	return &MaxPool2D{base: base{name: name}, window: window}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(shapeErr("maxpool "+p.name, "rank 4", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/p.window, w/p.window
+	if oh == 0 || ow == 0 {
+		panic(shapeErr("maxpool "+p.name, "input >= window", x.Shape()))
+	}
+	y := tensor.New(n, c, oh, ow)
+	arg := make([]int, n*c*oh*ow)
+	xd, yd := x.Data(), y.Data()
+	for i := 0; i < n*c; i++ {
+		in := xd[i*h*w : (i+1)*h*w]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bi := (i*oh+oy)*ow + ox
+				best := in[oy*p.window*w+ox*p.window]
+				bestIdx := i*h*w + oy*p.window*w + ox*p.window
+				for ky := 0; ky < p.window; ky++ {
+					for kx := 0; kx < p.window; kx++ {
+						idx := (oy*p.window+ky)*w + ox*p.window + kx
+						if in[idx] > best {
+							best = in[idx]
+							bestIdx = i*h*w + idx
+						}
+					}
+				}
+				yd[bi] = best
+				arg[bi] = bestIdx
+			}
+		}
+	}
+	if train {
+		p.argmax = arg
+		p.inShape = x.Shape()
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
+	if !needDx {
+		return nil
+	}
+	if p.argmax == nil {
+		panic("nn: maxpool " + p.name + ": Backward without train Forward")
+	}
+	dx := tensor.New(p.inShape...)
+	dxd := dx.Data()
+	for bi, src := range p.argmax {
+		dxd[src] += dy.Data()[bi]
+	}
+	return dx
+}
+
+// OutputShape implements Layer.
+func (p *MaxPool2D) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: maxpool %q: per-sample input %v", p.name, in)
+	}
+	oh, ow := in[1]/p.window, in[2]/p.window
+	if oh == 0 || ow == 0 {
+		return nil, fmt.Errorf("nn: maxpool %q: input %v smaller than window %d", p.name, in, p.window)
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+// FLOPsPerSample implements Layer.
+func (p *MaxPool2D) FLOPsPerSample(in []int) int64 { return int64(tensor.Volume(in)) }
+
+// GlobalAvgPool averages each channel's spatial plane, mapping (N, C, H, W)
+// to (N, C). It is the head pooling of the Wide ResNet.
+type GlobalAvgPool struct {
+	base
+	inShape []int
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool {
+	return &GlobalAvgPool{base: base{name: name}}
+}
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(shapeErr("gap "+g.name, "rank 4", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	sp := h * w
+	y := tensor.New(n, c)
+	xd, yd := x.Data(), y.Data()
+	inv := 1.0 / float64(sp)
+	for i := 0; i < n*c; i++ {
+		var s float64
+		for _, v := range xd[i*sp : (i+1)*sp] {
+			s += float64(v)
+		}
+		yd[i] = float32(s * inv)
+	}
+	if train {
+		g.inShape = x.Shape()
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
+	if !needDx {
+		return nil
+	}
+	if g.inShape == nil {
+		panic("nn: gap " + g.name + ": Backward without train Forward")
+	}
+	h, w := g.inShape[2], g.inShape[3]
+	sp := h * w
+	dx := tensor.New(g.inShape...)
+	dxd := dx.Data()
+	inv := float32(1.0 / float64(sp))
+	for i, dv := range dy.Data() {
+		grad := dv * inv
+		row := dxd[i*sp : (i+1)*sp]
+		for j := range row {
+			row[j] = grad
+		}
+	}
+	return dx
+}
+
+// OutputShape implements Layer.
+func (g *GlobalAvgPool) OutputShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: gap %q: per-sample input %v", g.name, in)
+	}
+	return []int{in[0]}, nil
+}
+
+// FLOPsPerSample implements Layer.
+func (g *GlobalAvgPool) FLOPsPerSample(in []int) int64 { return int64(tensor.Volume(in)) }

@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps a zero-based round or epoch index to a learning rate.
+type Schedule interface {
+	// At returns the learning rate for step t.
+	At(t int) float64
+}
+
+// ConstantSchedule always returns LR.
+type ConstantSchedule struct {
+	// LR is the constant learning rate.
+	LR float64
+}
+
+var _ Schedule = ConstantSchedule{}
+
+// At implements Schedule.
+func (c ConstantSchedule) At(int) float64 { return c.LR }
+
+// StepSchedule decays the base rate by Gamma every Every steps.
+type StepSchedule struct {
+	// Base is the initial learning rate.
+	Base float64
+	// Every is the decay period in steps; must be positive.
+	Every int
+	// Gamma is the multiplicative decay per period.
+	Gamma float64
+}
+
+var _ Schedule = StepSchedule{}
+
+// At implements Schedule.
+func (s StepSchedule) At(t int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(t/s.Every))
+}
+
+// CosineSchedule anneals from Base to Floor over Horizon steps.
+type CosineSchedule struct {
+	// Base is the initial learning rate.
+	Base float64
+	// Floor is the final learning rate.
+	Floor float64
+	// Horizon is the annealing length in steps; must be positive.
+	Horizon int
+}
+
+var _ Schedule = CosineSchedule{}
+
+// At implements Schedule.
+func (c CosineSchedule) At(t int) float64 {
+	if c.Horizon <= 0 {
+		return c.Base
+	}
+	if t >= c.Horizon {
+		return c.Floor
+	}
+	frac := float64(t) / float64(c.Horizon)
+	return c.Floor + 0.5*(c.Base-c.Floor)*(1+math.Cos(math.Pi*frac))
+}
+
+// Validate checks a schedule's parameters.
+func Validate(s Schedule) error {
+	switch v := s.(type) {
+	case ConstantSchedule:
+		if v.LR <= 0 {
+			return fmt.Errorf("%w: constant LR %v", ErrConfig, v.LR)
+		}
+	case StepSchedule:
+		if v.Base <= 0 || v.Every <= 0 || v.Gamma <= 0 || v.Gamma > 1 {
+			return fmt.Errorf("%w: step schedule %+v", ErrConfig, v)
+		}
+	case CosineSchedule:
+		if v.Base <= 0 || v.Floor < 0 || v.Floor > v.Base || v.Horizon <= 0 {
+			return fmt.Errorf("%w: cosine schedule %+v", ErrConfig, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/nn"
+	"fedfteds/internal/tensor"
+)
+
+// quadParam builds a single 1-element parameter with value v.
+func quadParam(v float32) *nn.Param {
+	w := tensor.MustFromSlice([]float32{v}, 1)
+	return &nn.Param{Name: "w", W: w, G: tensor.New(1)}
+}
+
+func TestNewSGDValidation(t *testing.T) {
+	p := quadParam(1)
+	tests := []struct {
+		name string
+		cfg  SGDConfig
+	}{
+		{name: "zero lr", cfg: SGDConfig{LR: 0}},
+		{name: "negative lr", cfg: SGDConfig{LR: -1}},
+		{name: "momentum 1", cfg: SGDConfig{LR: 0.1, Momentum: 1}},
+		{name: "negative wd", cfg: SGDConfig{LR: 0.1, WeightDecay: -1}},
+		{name: "negative mu", cfg: SGDConfig{LR: 0.1, ProxMu: -0.5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSGD(tt.cfg, []*nn.Param{p}); !errors.Is(err, ErrConfig) {
+				t.Fatalf("expected ErrConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestSGDMinimizesQuadratic(t *testing.T) {
+	// f(w) = (w-3)²/2, grad = w-3; plain SGD should converge to 3.
+	p := quadParam(0)
+	s, err := NewSGD(SGDConfig{LR: 0.1}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p.G.Data()[0] = p.W.Data()[0] - 3
+		s.Step()
+	}
+	if got := p.W.Data()[0]; math.Abs(float64(got)-3) > 1e-3 {
+		t.Fatalf("converged to %v, want 3", got)
+	}
+}
+
+func TestSGDMomentumMatchesManualUpdate(t *testing.T) {
+	p := quadParam(1)
+	s, err := NewSGD(SGDConfig{LR: 0.5, Momentum: 0.9}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two steps with constant gradient 1:
+	// v1 = 1,        w1 = 1 - 0.5*1   = 0.5
+	// v2 = 0.9 + 1,  w2 = 0.5 - 0.95  = -0.45
+	p.G.Data()[0] = 1
+	s.Step()
+	if got := p.W.Data()[0]; math.Abs(float64(got)-0.5) > 1e-6 {
+		t.Fatalf("after step 1: %v, want 0.5", got)
+	}
+	p.G.Data()[0] = 1
+	s.Step()
+	if got := p.W.Data()[0]; math.Abs(float64(got)+0.45) > 1e-6 {
+		t.Fatalf("after step 2: %v, want -0.45", got)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := quadParam(2)
+	s, err := NewSGD(SGDConfig{LR: 0.1, WeightDecay: 0.5}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero task gradient: w ← w - lr*wd*w = 2 - 0.1*0.5*2 = 1.9.
+	s.Step()
+	if got := p.W.Data()[0]; math.Abs(float64(got)-1.9) > 1e-6 {
+		t.Fatalf("w = %v, want 1.9", got)
+	}
+}
+
+func TestSGDNoDecayRespected(t *testing.T) {
+	p := quadParam(2)
+	p.NoDecay = true
+	s, err := NewSGD(SGDConfig{LR: 0.1, WeightDecay: 0.5}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	if got := p.W.Data()[0]; got != 2 {
+		t.Fatalf("NoDecay param changed to %v", got)
+	}
+}
+
+func TestSGDProximalPullsTowardAnchor(t *testing.T) {
+	p := quadParam(5)
+	s, err := NewSGD(SGDConfig{LR: 0.1, ProxMu: 1.0}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := tensor.MustFromSlice([]float32{0}, 1)
+	if err := s.SetProxAnchor([]*tensor.Tensor{anchor}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero task gradient: proximal term alone pulls w toward 0.
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	if got := p.W.Data()[0]; math.Abs(float64(got)) > 1e-3 {
+		t.Fatalf("w = %v, want ~0 under proximal pull", got)
+	}
+}
+
+func TestSGDProximalAnchorShapeMismatch(t *testing.T) {
+	p := quadParam(1)
+	s, err := NewSGD(SGDConfig{LR: 0.1, ProxMu: 1}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.New(2)
+	if err := s.SetProxAnchor([]*tensor.Tensor{bad}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("expected ErrConfig, got %v", err)
+	}
+	if err := s.SetProxAnchor(nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("expected ErrConfig for count mismatch, got %v", err)
+	}
+}
+
+func TestSGDStepZeroesGradients(t *testing.T) {
+	p := quadParam(1)
+	s, err := NewSGD(SGDConfig{LR: 0.1}, []*nn.Param{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.G.Data()[0] = 7
+	s.Step()
+	if p.G.Data()[0] != 0 {
+		t.Fatal("Step did not zero gradients")
+	}
+}
+
+func TestSGDNesterovDiffersFromHeavyBall(t *testing.T) {
+	mk := func(nesterov bool) float32 {
+		p := quadParam(1)
+		s, err := NewSGD(SGDConfig{LR: 0.1, Momentum: 0.9, Nesterov: nesterov}, []*nn.Param{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			p.G.Data()[0] = 1
+			s.Step()
+		}
+		return p.W.Data()[0]
+	}
+	if mk(true) == mk(false) {
+		t.Fatal("Nesterov and heavy-ball updates are identical")
+	}
+}
+
+func TestSGDTrainsRealModel(t *testing.T) {
+	// End-to-end: a dense net fits a separable 2-class problem.
+	rng := rand.New(rand.NewSource(1))
+	d1, err := nn.NewDense("fc1", 2, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := nn.NewDense("fc2", 16, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := nn.NewSequential("net", d1, nn.NewReLU("r"), d2)
+	s, err := NewSGD(SGDConfig{LR: 0.1, Momentum: 0.5}, model.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 64
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		cx := float32(2*cls - 1) // -1 or +1
+		x.Set(cx+0.3*float32(rng.NormFloat64()), i, 0)
+		x.Set(0.3*float32(rng.NormFloat64()), i, 1)
+	}
+	loss := nn.SoftmaxCrossEntropy{}
+	var last float64
+	for epoch := 0; epoch < 60; epoch++ {
+		logits := model.Forward(x, true)
+		v, dl, err := loss.Loss(logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model.Backward(dl, false)
+		s.Step()
+		last = v
+	}
+	if last > 0.1 {
+		t.Fatalf("final loss %v, want < 0.1 on separable data", last)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Schedule
+		t    int
+		want float64
+	}{
+		{name: "constant", s: ConstantSchedule{LR: 0.1}, t: 100, want: 0.1},
+		{name: "step at 0", s: StepSchedule{Base: 1, Every: 10, Gamma: 0.5}, t: 9, want: 1},
+		{name: "step after decay", s: StepSchedule{Base: 1, Every: 10, Gamma: 0.5}, t: 10, want: 0.5},
+		{name: "step two decays", s: StepSchedule{Base: 1, Every: 10, Gamma: 0.5}, t: 25, want: 0.25},
+		{name: "cosine start", s: CosineSchedule{Base: 1, Floor: 0, Horizon: 10}, t: 0, want: 1},
+		{name: "cosine end", s: CosineSchedule{Base: 1, Floor: 0.1, Horizon: 10}, t: 10, want: 0.1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.At(tt.t); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("At(%d) = %v, want %v", tt.t, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCosineMidpoint(t *testing.T) {
+	s := CosineSchedule{Base: 1, Floor: 0, Horizon: 10}
+	if got := s.At(5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("cosine midpoint = %v, want 0.5", got)
+	}
+}
+
+func TestValidateSchedules(t *testing.T) {
+	if err := Validate(ConstantSchedule{LR: -1}); err == nil {
+		t.Fatal("expected error for negative constant LR")
+	}
+	if err := Validate(StepSchedule{Base: 1, Every: 0, Gamma: 0.5}); err == nil {
+		t.Fatal("expected error for zero period")
+	}
+	if err := Validate(CosineSchedule{Base: 1, Floor: 2, Horizon: 5}); err == nil {
+		t.Fatal("expected error for floor above base")
+	}
+	if err := Validate(ConstantSchedule{LR: 0.1}); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/tensor"
+)
+
+func TestGradNormSelectsMisclassified(t *testing.T) {
+	m := testModel(t)
+	// Build a dataset where half the labels are deliberately wrong: the
+	// gradient-norm score must prefer the mislabeled samples, because the
+	// model's (random but consistent) predictions are furthest from those
+	// labels on average.
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.New(60, 8)
+	x.FillNormal(rng, 0, 1)
+	y := make([]int, 60)
+	for i := range y {
+		y[i] = i % 4
+	}
+	ds, err := data.NewDataset(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := GradNorm{}.Select(m, ds, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 15 {
+		t.Fatalf("selected %d, want 15", len(idx))
+	}
+	// Scores of selected samples must dominate the unselected ones.
+	all := gradNormScores(t, m, ds)
+	sel := map[int]bool{}
+	minSel := math.Inf(1)
+	for _, i := range idx {
+		sel[i] = true
+		if all[i] < minSel {
+			minSel = all[i]
+		}
+	}
+	for i, s := range all {
+		if !sel[i] && s > minSel+1e-12 {
+			t.Fatalf("unselected sample %d has score %v > min selected %v", i, s, minSel)
+		}
+	}
+}
+
+// gradNormScores recomputes the selector's scores for verification.
+func gradNormScores(t *testing.T, m interface {
+	Forward(*tensor.Tensor, bool) *tensor.Tensor
+}, ds *data.Dataset) []float64 {
+	t.Helper()
+	logits := m.Forward(ds.X, false)
+	n, c := logits.Dim(0), logits.Dim(1)
+	probs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		row := logits.Data()[i*c : (i+1)*c]
+		// Stable softmax.
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		p := make([]float64, c)
+		for j, v := range row {
+			p[j] = math.Exp(float64(v - maxv))
+			sum += p[j]
+		}
+		var s float64
+		for j := range p {
+			d := p[j] / sum
+			if j == ds.Y[i] {
+				d -= 1
+			}
+			s += d * d
+		}
+		probs = append(probs, math.Sqrt(s))
+	}
+	return probs
+}
+
+func TestGradNormScoringPassesAndName(t *testing.T) {
+	if (GradNorm{}).ScoringPasses() != 1 {
+		t.Fatal("GradNorm must report one scoring pass")
+	}
+	if (GradNorm{}).Name() != "gradnorm" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestGradNormFractionValidation(t *testing.T) {
+	m := testModel(t)
+	ds := testDataset(t, 10)
+	if _, err := (GradNorm{}).Select(m, ds, 0, nil); err == nil {
+		t.Fatal("expected error for zero fraction")
+	}
+}

@@ -1,0 +1,144 @@
+package simtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedfteds/internal/models"
+)
+
+// costModel builds a model once for the property tests.
+func costModel(t *testing.T) *models.Model {
+	t.Helper()
+	m, err := models.Build(models.Spec{
+		Arch:       models.ArchMLP,
+		InputShape: []int{32},
+		NumClasses: 8,
+		Hidden:     24,
+		InitSeed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestQuickCostMonotoneInEpochs(t *testing.T) {
+	m := costModel(t)
+	dev := Device{FLOPSRate: 1e9}
+	f := func(rawEpochs, rawSel uint8) bool {
+		epochs := int(rawEpochs%10) + 1
+		sel := int(rawSel%50) + 1
+		a, err := ClientRoundCost(m, dev, 100, sel, epochs, 0)
+		if err != nil {
+			return false
+		}
+		b, err := ClientRoundCost(m, dev, 100, sel, epochs+1, 0)
+		if err != nil {
+			return false
+		}
+		return b.TrainSeconds > a.TrainSeconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCostMonotoneInSelectedSize(t *testing.T) {
+	m := costModel(t)
+	dev := Device{FLOPSRate: 1e9}
+	f := func(raw uint8) bool {
+		sel := int(raw%99) + 1
+		a, err := ClientRoundCost(m, dev, 100, sel, 3, 1)
+		if err != nil {
+			return false
+		}
+		b, err := ClientRoundCost(m, dev, 100, sel-1, 3, 1)
+		if sel-1 == 0 {
+			return err == nil && b.TrainSeconds == 0
+		}
+		if err != nil {
+			return false
+		}
+		// Selection cost is identical (same full-set pass); training shrinks.
+		return a.SelectionSeconds == b.SelectionSeconds && a.TrainSeconds > b.TrainSeconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFasterDeviceNeverSlower(t *testing.T) {
+	m := costModel(t)
+	f := func(raw uint8) bool {
+		rate := 1e8 * float64(raw%50+1)
+		slow, err := ClientRoundCost(m, Device{FLOPSRate: rate}, 80, 40, 2, 1)
+		if err != nil {
+			return false
+		}
+		fast, err := ClientRoundCost(m, Device{FLOPSRate: 2 * rate}, 80, 40, 2, 1)
+		if err != nil {
+			return false
+		}
+		return fast.Total() < slow.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFractionParticipationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(rawN, rawFrac uint8) bool {
+		n := int(rawN%40) + 1
+		frac := float64(rawFrac%100+1) / 100
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		got := FractionParticipation{Fraction: frac}.Complete(ids, nil, rng)
+		if len(got) < 1 || len(got) > n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, id := range got {
+			if id < 0 || id >= n || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeadlineNeverEmpty(t *testing.T) {
+	f := func(rawDeadline uint8, rawTimes []uint8) bool {
+		if len(rawTimes) == 0 {
+			return true
+		}
+		ids := make([]int, len(rawTimes))
+		times := make([]float64, len(rawTimes))
+		for i, r := range rawTimes {
+			ids[i] = i
+			times[i] = float64(r)
+		}
+		deadline := float64(rawDeadline)
+		got := DeadlineStraggler{DeadlineSeconds: deadline}.Complete(ids, times, nil)
+		if len(got) == 0 {
+			return false
+		}
+		for _, id := range got {
+			if id < 0 || id >= len(ids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

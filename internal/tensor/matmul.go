@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of result elements before
+// MatMul fans work out to multiple goroutines. Below this, goroutine overhead
+// dominates.
+const matmulParallelThreshold = 64 * 64
+
+// MatMul computes dst = a @ b for rank-2 tensors a (M, K) and b (K, N),
+// writing into dst (M, N). dst must not alias a or b. Large products are
+// split across GOMAXPROCS goroutines by row blocks; the result is identical
+// regardless of parallelism.
+func MatMul(dst, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		return fmt.Errorf("%w: matmul wants rank-2, got %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmul %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	if m*n >= matmulParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		matmulParallel(dst, a, b, m, k, n)
+		return nil
+	}
+	matmulRows(dst, a, b, 0, m, k, n)
+	return nil
+}
+
+// MatMulNew is MatMul allocating its destination.
+func MatMulNew(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: matmul wants rank-2, got %v @ %v", ErrShape, a.shape, b.shape)
+	}
+	dst := New(a.shape[0], b.shape[1])
+	if err := MatMul(dst, a, b); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func matmulParallel(dst, a, b *Tensor, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of dst = a @ b using an ikj loop order so
+// the inner loop streams through contiguous rows of b and dst.
+func matmulRows(dst, a, b *Tensor, lo, hi, k, n int) {
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := lo; i < hi; i++ {
+		drow := dd[i*n : (i+1)*n]
+		clear(drow)
+		arow := ad[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ @ b for a (K, M) and b (K, N) into dst (M, N).
+// Used by backward passes to avoid materializing transposes.
+func MatMulTransA(dst, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		return fmt.Errorf("%w: matmulTA wants rank-2, got %v,%v,%v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmulTA %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	dst.Zero()
+	ad, bd, dd := a.data, b.data, dst.data
+	// Accumulate rank-1 updates: for each shared row p, dst += a[p,:]ᵀ ⊗ b[p,:].
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulTransB computes dst = a @ bᵀ for a (M, K) and b (N, K) into dst (M, N).
+func MatMulTransB(dst, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		return fmt.Errorf("%w: matmulTB wants rank-2, got %v,%v,%v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmulTB %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		drow := dd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+	return nil
+}
+
+// Transpose returns a new tensor that is the transpose of a rank-2 tensor.
+func (t *Tensor) Transpose() (*Tensor, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("%w: transpose on rank-%d", ErrShape, t.Rank())
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out, nil
+}

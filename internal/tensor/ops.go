@@ -1,0 +1,215 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add computes t += o element-wise.
+func (t *Tensor) Add(o *Tensor) error {
+	if len(t.data) != len(o.data) {
+		return fmt.Errorf("%w: add %v to %v", ErrShape, o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return nil
+}
+
+// Sub computes t -= o element-wise.
+func (t *Tensor) Sub(o *Tensor) error {
+	if len(t.data) != len(o.data) {
+		return fmt.Errorf("%w: sub %v from %v", ErrShape, o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return nil
+}
+
+// Mul computes t *= o element-wise (Hadamard product).
+func (t *Tensor) Mul(o *Tensor) error {
+	if len(t.data) != len(o.data) {
+		return fmt.Errorf("%w: mul %v with %v", ErrShape, o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+	return nil
+}
+
+// Scale computes t *= a.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AddScalar computes t += a element-wise.
+func (t *Tensor) AddScalar(a float32) {
+	for i := range t.data {
+		t.data[i] += a
+	}
+}
+
+// Axpy computes t += a*x element-wise.
+func (t *Tensor) Axpy(a float32, x *Tensor) error {
+	if len(t.data) != len(x.data) {
+		return fmt.Errorf("%w: axpy %v into %v", ErrShape, x.shape, t.shape)
+	}
+	for i, v := range x.data {
+		t.data[i] += a * v
+	}
+	return nil
+}
+
+// Lerp computes t = (1-a)*t + a*x element-wise (linear interpolation).
+func (t *Tensor) Lerp(a float32, x *Tensor) error {
+	if len(t.data) != len(x.data) {
+		return fmt.Errorf("%w: lerp %v into %v", ErrShape, x.shape, t.shape)
+	}
+	for i, v := range x.data {
+		t.data[i] = (1-a)*t.data[i] + a*v
+	}
+	return nil
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors,
+// accumulated in float64 for stability.
+func (t *Tensor) Dot(o *Tensor) (float64, error) {
+	if len(t.data) != len(o.data) {
+		return 0, fmt.Errorf("%w: dot %v with %v", ErrShape, o.shape, t.shape)
+	}
+	var s float64
+	for i, v := range o.data {
+		s += float64(t.data[i]) * float64(v)
+	}
+	return s, nil
+}
+
+// Sum returns the sum of all elements, accumulated in float64.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxIndex returns the index and value of the maximum element of a flat
+// tensor. Ties resolve to the lowest index. It panics on an empty tensor.
+func (t *Tensor) MaxIndex() (int, float32) {
+	if len(t.data) == 0 {
+		panic("tensor: MaxIndex on empty tensor")
+	}
+	best, bv := 0, t.data[0]
+	for i, v := range t.data[1:] {
+		if v > bv {
+			best, bv = i+1, v
+		}
+	}
+	return best, bv
+}
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Clamp limits every element to [lo, hi].
+func (t *Tensor) Clamp(lo, hi float32) {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}
+
+// AddRowVector adds vector v (length C) to every row of a (N, C) tensor.
+func (t *Tensor) AddRowVector(v *Tensor) error {
+	if len(t.shape) != 2 {
+		return fmt.Errorf("%w: AddRowVector on rank-%d tensor", ErrShape, len(t.shape))
+	}
+	n, c := t.shape[0], t.shape[1]
+	if len(v.data) != c {
+		return fmt.Errorf("%w: row vector %v for matrix %v", ErrShape, v.shape, t.shape)
+	}
+	for i := 0; i < n; i++ {
+		row := t.data[i*c : (i+1)*c]
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+	return nil
+}
+
+// SumRows writes the column-wise sum of a (N, C) tensor into dst (length C).
+func (t *Tensor) SumRows(dst *Tensor) error {
+	if len(t.shape) != 2 {
+		return fmt.Errorf("%w: SumRows on rank-%d tensor", ErrShape, len(t.shape))
+	}
+	n, c := t.shape[0], t.shape[1]
+	if len(dst.data) != c {
+		return fmt.Errorf("%w: dst %v for matrix %v", ErrShape, dst.shape, t.shape)
+	}
+	dst.Zero()
+	for i := 0; i < n; i++ {
+		row := t.data[i*c : (i+1)*c]
+		for j := range row {
+			dst.data[j] += row[j]
+		}
+	}
+	return nil
+}
+
+// Equal reports whether t and o have the same shape and identical elements.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether t and o have the same shape and element-wise
+// absolute differences no greater than tol.
+func (t *Tensor) AllClose(o *Tensor, tol float32) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.data {
+		d := v - o.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

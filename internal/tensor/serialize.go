@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire format (little endian):
+//
+//	u8  rank
+//	u32 × rank  dims
+//	f32 × volume  data
+//
+// The format is deliberately minimal: it is the payload of the FL model
+// messages, where compactness matters (the paper's FedFT only ships the
+// upper part of the model each round).
+
+// ErrCorrupt reports a malformed serialized tensor.
+var ErrCorrupt = errors.New("tensor: corrupt serialized data")
+
+// maxSerializedDims bounds decoded tensor volume (1 GiB of float32) so a
+// corrupt or hostile stream cannot trigger an enormous allocation.
+const maxSerializedVolume = 1 << 28
+
+// WriteTo serializes t to w in the binary wire format.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	if len(t.shape) > 255 {
+		return 0, fmt.Errorf("tensor: rank %d exceeds wire format limit", len(t.shape))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(len(t.shape))); err != nil {
+		return n, fmt.Errorf("tensor: write rank: %w", err)
+	}
+	n++
+	for _, d := range t.shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return n, fmt.Errorf("tensor: write dim: %w", err)
+		}
+		n += 4
+	}
+	buf := make([]byte, 4*len(t.data))
+	for i, v := range t.data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	wn, err := w.Write(buf)
+	n += int64(wn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: write data: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom deserializes a tensor from r, replacing t's shape and storage.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	var rank uint8
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return n, fmt.Errorf("tensor: read rank: %w", err)
+	}
+	n++
+	shape := make([]int, rank)
+	vol := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return n, fmt.Errorf("tensor: read dim: %w", err)
+		}
+		n += 4
+		shape[i] = int(d)
+		vol *= int(d)
+		if vol > maxSerializedVolume {
+			return n, fmt.Errorf("%w: volume exceeds limit", ErrCorrupt)
+		}
+	}
+	buf := make([]byte, 4*vol)
+	rn, err := io.ReadFull(r, buf)
+	n += int64(rn)
+	if err != nil {
+		return n, fmt.Errorf("tensor: read data: %w", err)
+	}
+	data := make([]float32, vol)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	t.shape = shape
+	t.data = data
+	return n, nil
+}
+
+// EncodedSize returns the number of bytes WriteTo will produce.
+func (t *Tensor) EncodedSize() int {
+	return 1 + 4*len(t.shape) + 4*len(t.data)
+}
