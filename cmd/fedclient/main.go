@@ -129,6 +129,7 @@ func run(args []string) error {
 			State:        blob,
 			NumSelected:  out.NumSelected,
 			TrainSeconds: out.Cost.Total(),
+			TrainLoss:    out.TrainLoss,
 		}); err != nil {
 			return err
 		}

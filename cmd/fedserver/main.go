@@ -1,8 +1,14 @@
 // Command fedserver runs a real distributed FedFT-EDS server over TCP: it
 // waits for the expected number of fedclient processes to register, then
-// drives the configured number of communication rounds, aggregating the
-// trainable upper part of the model weighted by each client's selected-set
-// size, and evaluates the global model after every round.
+// drives the configured number of communication rounds through the
+// fault-tolerant round engine, streaming each client's update into the
+// selected-size-weighted aggregate as it arrives, and evaluates the global
+// model after every round.
+//
+// The engine makes the federation survive real-world client behavior: a
+// crashed client is dropped and the round completes as long as -quorum of
+// the live clients report, and a hung client is cut off at -round-deadline
+// instead of blocking the server forever (it may rejoin at the next round).
 //
 // Clients regenerate their local partitions deterministically from the
 // shared -seed, so server and clients agree on data without moving it —
@@ -10,7 +16,8 @@
 //
 // Usage:
 //
-//	fedserver -addr 127.0.0.1:7070 -clients 4 -rounds 10 -fraction 0.5
+//	fedserver -addr 127.0.0.1:7070 -clients 4 -rounds 10 -fraction 0.5 \
+//	          -round-deadline 2m -quorum 0.6
 package main
 
 import (
@@ -18,13 +25,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"fedfteds/internal/comm"
+	"fedfteds/internal/core"
 	"fedfteds/internal/data"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
-	"fedfteds/internal/tensor"
 )
 
 func main() {
@@ -42,7 +50,14 @@ func run(args []string) error {
 	fraction := fs.Float64("fraction", 0.5, "selection fraction P_ds")
 	epochs := fs.Int("epochs", 5, "local epochs E")
 	seed := fs.Int64("seed", 1, "shared federation seed")
+	roundDeadline := fs.Duration("round-deadline", 0, "per-round deadline; hung clients are dropped at expiry (0 = wait forever)")
+	quorum := fs.Float64("quorum", 1, "fraction of live clients whose updates a round needs to succeed, in (0, 1]")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Fail on bad engine flags now, not after all clients have joined.
+	engineCfg := comm.EngineConfig{RoundDeadline: *roundDeadline, Quorum: *quorum}
+	if err := engineCfg.Validate(); err != nil {
 		return err
 	}
 
@@ -70,9 +85,17 @@ func run(args []string) error {
 			log.Printf("shutdown: %v", err)
 		}
 	}()
-	ids := sess.ClientIDs()
-	log.Printf("federation ready: clients %v", ids)
+	log.Printf("federation ready: clients %v", sess.ClientIDs())
 
+	engine, err := comm.NewRoundEngine(sess, engineCfg)
+	if err != nil {
+		return err
+	}
+
+	// Report rounds through the same History the in-process simulator
+	// produces, so distributed and simulated runs are directly comparable.
+	var hist core.History
+	var cumTrainSeconds float64
 	for round := 1; round <= *rounds; round++ {
 		stateTs, err := global.GroupStateTensors(commGroups)
 		if err != nil {
@@ -82,61 +105,80 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		updates, err := sess.RunRound(comm.RoundStart{
+		// Stream each update into the weighted sum as it arrives: the
+		// server holds one decoded state at a time, O(state) not O(N·state).
+		agg := comm.NewStreamAggregator()
+		var roundTrainSeconds, lossSum float64
+		out, err := engine.RunRound(comm.RoundStart{
 			Round:          round,
 			State:          blob,
 			Groups:         commGroups,
 			SelectFraction: *fraction,
 			LocalEpochs:    *epochs,
-		}, ids)
+		}, func(u comm.ClientUpdate) error {
+			if err := agg.Add(u); err != nil {
+				return err
+			}
+			roundTrainSeconds += u.TrainSeconds
+			lossSum += u.TrainLoss
+			return nil
+		})
+		logFailures(out)
 		if err != nil {
 			return err
 		}
-		if err := aggregate(global, commGroups, updates); err != nil {
+		fused, err := agg.Finish()
+		if err != nil {
 			return err
 		}
+		// stateTs are live views of the global model's groups — copy the
+		// aggregate straight back into them.
+		for i := range stateTs {
+			if err := stateTs[i].CopyFrom(fused[i]); err != nil {
+				return err
+			}
+		}
+
 		acc, err := metrics.Accuracy(global, world.Test)
 		if err != nil {
 			return err
 		}
-		log.Printf("round %d/%d: %d updates, test accuracy %.2f%%", round, *rounds, len(updates), 100*acc)
+		cumTrainSeconds += roundTrainSeconds
+		hist.Records = append(hist.Records, core.RoundRecord{
+			Round:           round,
+			Participants:    len(out.Reported),
+			TestAccuracy:    acc,
+			MeanTrainLoss:   lossSum / float64(len(out.Reported)),
+			CumTrainSeconds: cumTrainSeconds,
+		})
+		if acc > hist.BestAccuracy {
+			hist.BestAccuracy = acc
+		}
+		hist.FinalAccuracy = acc
+		log.Printf("round %d/%d: %d/%d clients reported (%d timed out, %d dropped, %d late), test accuracy %.2f%%",
+			round, *rounds, len(out.Reported), len(out.Reported)+len(out.TimedOut)+len(out.Dropped),
+			len(out.TimedOut), len(out.Dropped), out.LateDiscarded, 100*acc)
+	}
+	hist.TotalTrainSeconds = cumTrainSeconds
+	if eff, err := hist.LearningEfficiency(); err == nil {
+		log.Printf("run complete: best accuracy %.2f%%, total client time %.1fs, learning efficiency %.2f %%/s",
+			100*hist.BestAccuracy, hist.TotalTrainSeconds, eff)
+	} else {
+		log.Printf("run complete: best accuracy %.2f%%", 100*hist.BestAccuracy)
 	}
 	return nil
 }
 
-// aggregate fuses client updates into the global model weighted by selected
-// sizes (paper Eq. 5).
-func aggregate(global *models.Model, groups []string, updates []comm.ClientUpdate) error {
-	var total float64
-	states := make([][]*tensor.Tensor, len(updates))
-	for i, u := range updates {
-		ts, err := comm.DecodeTensors(u.State)
-		if err != nil {
-			return fmt.Errorf("decode update from client %d: %w", u.ClientID, err)
-		}
-		states[i] = ts
-		total += float64(u.NumSelected)
+// logFailures reports a round's failed clients in deterministic order.
+func logFailures(out comm.RoundOutcome) {
+	ids := make([]int, 0, len(out.Failures))
+	for id := range out.Failures {
+		ids = append(ids, id)
 	}
-	if total <= 0 {
-		return fmt.Errorf("aggregate: no selected samples reported")
+	sort.Ints(ids)
+	for _, id := range ids {
+		log.Printf("round %d: client %d: %v", out.Round, id, out.Failures[id])
 	}
-	dst, err := global.GroupStateTensors(groups)
-	if err != nil {
-		return err
-	}
-	for ti := range dst {
-		dst[ti].Zero()
-		for i, ts := range states {
-			if ti >= len(ts) {
-				return fmt.Errorf("client %d sent %d tensors, want %d", updates[i].ClientID, len(ts), len(dst))
-			}
-			w := float32(float64(updates[i].NumSelected) / total)
-			if err := dst[ti].Axpy(w, ts[ti]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // World is the deterministic shared setup both binaries derive from -seed.

@@ -6,7 +6,11 @@
 // FedFT-EDS with full participation, then compares accuracy, total client
 // compute time, and the paper's learning-efficiency metric. It also
 // demonstrates the deadline-based straggler policy, where participation
-// emerges from each device's projected round time instead of being fixed.
+// emerges from each device's projected round time instead of being fixed,
+// and finishes with a distributed kill-a-client scenario: the same wire
+// protocol cmd/fedserver speaks, run in-process over pipes, where one
+// client crashes mid-round and the quorum-based round engine completes the
+// remaining rounds without it.
 //
 // Run with:
 //
@@ -17,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
 	"fedfteds"
 )
@@ -172,5 +178,174 @@ func run() error {
 		fmt.Printf("%-22s best %.2f%%, avg %.1f of %d clients finish each round\n",
 			sc.name, 100*hist.BestAccuracy, avgParticipants, numClients)
 	}
+
+	return runDistributed(pretrained, clients, test, seed)
+}
+
+// runDistributed replays the straggler story on the real wire protocol: an
+// in-process federation over pipe transports where client 2 crashes while
+// a round is in flight. The quorum-based round engine drops it and the
+// remaining clients finish the run.
+func runDistributed(pretrained *fedfteds.Model, clients []*fedfteds.Client, test *fedfteds.Dataset, seed int64) error {
+	const (
+		distClients = 6
+		distRounds  = 6
+		killRound   = 3 // client 2 dies while round 3 is in flight
+	)
+	fmt.Println("\ndistributed mode (same protocol as fedserver/fedclient, in-process):")
+	fmt.Printf("client 2 is killed during round %d; quorum 0.5 keeps the run alive:\n", killRound)
+
+	lst := fedfteds.NewPipeListener(distClients)
+	var wg sync.WaitGroup
+	for i := 0; i < distClients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			kill := 0
+			if id == 2 {
+				kill = killRound
+			}
+			if err := runDistClient(lst.ClientSide(id), clients[id], pretrained, seed, kill); err != nil {
+				log.Printf("client %d: %v", id, err)
+			}
+		}(i)
+	}
+
+	sess, err := fedfteds.AcceptClients(lst, distClients, distRounds)
+	if err != nil {
+		return err
+	}
+	engine, err := fedfteds.NewRoundEngine(sess, fedfteds.EngineConfig{
+		Quorum:        0.5,
+		RoundDeadline: 30 * time.Second, // safety net; the crash is what this demo exercises
+	})
+	if err != nil {
+		return err
+	}
+
+	global, err := pretrained.Clone()
+	if err != nil {
+		return err
+	}
+	if err := global.SetFinetunePart(fedfteds.FinetuneModerate); err != nil {
+		return err
+	}
+	commGroups := global.TrainableGroupNames()
+	for round := 1; round <= distRounds; round++ {
+		stateTs, err := global.GroupStateTensors(commGroups)
+		if err != nil {
+			return err
+		}
+		blob, err := fedfteds.EncodeTensors(stateTs)
+		if err != nil {
+			return err
+		}
+		agg := fedfteds.NewStreamAggregator()
+		out, err := engine.RunRound(fedfteds.RoundStart{
+			Round:          round,
+			State:          blob,
+			Groups:         commGroups,
+			SelectFraction: 0.5,
+			LocalEpochs:    2,
+		}, agg.Add)
+		if err != nil {
+			return err
+		}
+		fused, err := agg.Finish()
+		if err != nil {
+			return err
+		}
+		// stateTs are live views of the global model's groups — copy the
+		// aggregate straight back into them.
+		for i := range stateTs {
+			if err := stateTs[i].CopyFrom(fused[i]); err != nil {
+				return err
+			}
+		}
+		acc, err := fedfteds.Accuracy(global, test)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  round %d: %d/%d clients reported (%d dropped), accuracy %.2f%%\n",
+			round, len(out.Reported), distClients, len(out.Dropped), 100*acc)
+	}
+	if err := sess.Shutdown("done"); err != nil {
+		return err
+	}
+	wg.Wait()
 	return nil
+}
+
+// runDistClient is the in-process analogue of cmd/fedclient. When
+// killRound is reached it closes the connection mid-round without
+// replying, simulating a crashed process.
+func runDistClient(conn fedfteds.Conn, cl *fedfteds.Client, pretrained *fedfteds.Model, seed int64, killRound int) error {
+	sess, welcome, err := fedfteds.JoinFederation(conn, cl.ID, cl.Data.Len())
+	if err != nil {
+		return err
+	}
+	global, err := pretrained.Clone()
+	if err != nil {
+		return err
+	}
+	if err := global.SetFinetunePart(fedfteds.FinetuneModerate); err != nil {
+		return err
+	}
+	for {
+		rs, ok, err := sess.NextRound()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return sess.Close()
+		}
+		if killRound > 0 && rs.Round == killRound {
+			fmt.Printf("  client %d: crashing during round %d\n", cl.ID, rs.Round)
+			return conn.Close()
+		}
+		stateTs, err := fedfteds.DecodeTensors(rs.State)
+		if err != nil {
+			return err
+		}
+		dst, err := global.GroupStateTensors(rs.Groups)
+		if err != nil {
+			return err
+		}
+		for i := range dst {
+			if err := dst[i].CopyFrom(stateTs[i]); err != nil {
+				return err
+			}
+		}
+		cfg, err := fedfteds.NewLocalConfig(fedfteds.Config{
+			Rounds:         welcome.Rounds,
+			LocalEpochs:    rs.LocalEpochs,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   fedfteds.FinetuneModerate,
+			Selector:       fedfteds.EntropySelector{Temperature: 0.1},
+			SelectFraction: rs.SelectFraction,
+			Seed:           seed,
+		})
+		if err != nil {
+			return err
+		}
+		out, err := fedfteds.LocalUpdate(cfg, global, cl, rs.Round)
+		if err != nil {
+			return err
+		}
+		blob, err := fedfteds.EncodeTensors(out.State)
+		if err != nil {
+			return err
+		}
+		if err := sess.SendUpdate(fedfteds.ClientUpdate{
+			ClientID:     cl.ID,
+			Round:        rs.Round,
+			State:        blob,
+			NumSelected:  out.NumSelected,
+			TrainSeconds: out.Cost.Total(),
+			TrainLoss:    out.TrainLoss,
+		}); err != nil {
+			return err
+		}
+	}
 }

@@ -15,6 +15,7 @@
 package fedfteds
 
 import (
+	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
 	"fedfteds/internal/experiments"
@@ -130,6 +131,61 @@ var PretrainTransfer = core.PretrainTransfer
 
 // LocalUpdate runs one client-side round (used by distributed clients).
 var LocalUpdate = core.LocalUpdate
+
+// NewLocalConfig applies defaults and validates a config for standalone
+// LocalUpdate use in distributed clients.
+var NewLocalConfig = core.NewLocalConfig
+
+// Distributed wire protocol (what cmd/fedserver and cmd/fedclient speak,
+// also runnable in-process over pipes).
+type (
+	// Conn is one message-oriented connection between client and server.
+	Conn = comm.Conn
+	// Listener accepts federated clients.
+	Listener = comm.Listener
+	// PipeListener runs the wire protocol in-process.
+	PipeListener = comm.PipeListener
+	// ServerSession is the server half of the protocol.
+	ServerSession = comm.ServerSession
+	// ClientSession is the client half of the protocol.
+	ClientSession = comm.ClientSession
+	// RoundEngine drives deadline-aware, quorum-based federated rounds.
+	RoundEngine = comm.RoundEngine
+	// EngineConfig tunes the round engine's fault tolerance.
+	EngineConfig = comm.EngineConfig
+	// RoundOutcome reports one distributed round's participation.
+	RoundOutcome = comm.RoundOutcome
+	// StreamAggregator folds updates into a weighted sum as they arrive.
+	StreamAggregator = comm.StreamAggregator
+	// RoundStart instructs a client to run one local round.
+	RoundStart = comm.RoundStart
+	// ClientUpdate carries a client's trained state to the server.
+	ClientUpdate = comm.ClientUpdate
+	// Welcome acknowledges a client's registration.
+	Welcome = comm.Welcome
+)
+
+// Distributed-mode constructors and helpers.
+var (
+	// NewPipeListener creates n in-process protocol pipe pairs.
+	NewPipeListener = comm.NewPipeListener
+	// AcceptClients registers the expected number of clients.
+	AcceptClients = comm.AcceptClients
+	// JoinFederation registers one client with a server.
+	JoinFederation = comm.Join
+	// NewRoundEngine wraps a server session in the fault-tolerant engine.
+	NewRoundEngine = comm.NewRoundEngine
+	// NewStreamAggregator starts an empty O(state) aggregator.
+	NewStreamAggregator = comm.NewStreamAggregator
+	// EncodeTensors serializes model state for the wire.
+	EncodeTensors = comm.EncodeTensors
+	// DecodeTensors reverses EncodeTensors.
+	DecodeTensors = comm.DecodeTensors
+	// ListenTCP starts a federation listener.
+	ListenTCP = comm.ListenTCP
+	// DialTCP connects to a fedserver.
+	DialTCP = comm.DialTCP
+)
 
 // Devices and stragglers.
 type (

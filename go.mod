@@ -1,0 +1,3 @@
+module fedfteds
+
+go 1.24

@@ -1,0 +1,333 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"fedfteds/internal/tensor"
+)
+
+// ErrQuorum reports a round that finished with fewer client updates than
+// the configured quorum requires.
+var ErrQuorum = errors.New("comm: quorum not met")
+
+// EngineConfig tunes the fault tolerance of a RoundEngine.
+type EngineConfig struct {
+	// RoundDeadline bounds one full round per client: the broadcast write
+	// and the update read must both finish inside it. A client that blows
+	// the deadline is dropped for the round but keeps its connection and
+	// may rejoin at the next round. Zero means no deadline: the engine
+	// waits indefinitely (a hung client then blocks the round, as the
+	// plain ServerSession.RunRound always did).
+	RoundDeadline time.Duration
+	// Quorum is the fraction of the round's live clients, in (0, 1], whose
+	// updates must arrive for the round to succeed. Zero defaults to 1
+	// (every live client must report). At least one update is always
+	// required.
+	Quorum float64
+}
+
+// Validate checks the configuration bounds.
+func (c EngineConfig) Validate() error {
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("%w: quorum %v outside [0, 1]", ErrProtocol, c.Quorum)
+	}
+	if c.RoundDeadline < 0 {
+		return fmt.Errorf("%w: negative round deadline %v", ErrProtocol, c.RoundDeadline)
+	}
+	return nil
+}
+
+// RoundEngine drives fault-tolerant federated rounds over a ServerSession.
+// It broadcasts concurrently, bounds each round with a deadline, folds
+// updates into the caller's aggregate as they arrive (O(state) server
+// memory, decode overlapped with network wait), and completes the round as
+// long as a quorum of clients reported.
+//
+// Failed clients fall in two classes, mirroring the straggler semantics of
+// the in-process simulator (internal/simtime): a deadline timeout is a
+// straggler — it is dropped for the round but stays registered and may
+// rejoin at the next round (its stale update is discarded by the round
+// check) — while a connection or protocol error is a crash: the connection
+// is closed and the client leaves the federation for good.
+type RoundEngine struct {
+	sess *ServerSession
+	cfg  EngineConfig
+}
+
+// NewRoundEngine validates the configuration and wraps a session.
+func NewRoundEngine(sess *ServerSession, cfg EngineConfig) (*RoundEngine, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("%w: nil session", ErrProtocol)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &RoundEngine{sess: sess, cfg: cfg}, nil
+}
+
+// RoundOutcome reports one round's participation, the distributed analogue
+// of the simulator's per-round participant count.
+type RoundOutcome struct {
+	// Round is the 1-based round index.
+	Round int
+	// Reported lists the clients whose updates were folded, ascending.
+	Reported []int
+	// TimedOut lists clients dropped at the deadline; they stay registered
+	// and may rejoin at the next round.
+	TimedOut []int
+	// Dropped lists clients removed from the federation (dead connection,
+	// protocol violation, or a rejected update).
+	Dropped []int
+	// LateDiscarded counts stale updates from earlier rounds that were
+	// received and discarded during this round.
+	LateDiscarded int
+	// Failures maps each failed client to its error.
+	Failures map[int]error
+}
+
+// RunRound executes one round against every live client: concurrent
+// broadcast of rs, then one update per client, each folded via fold as it
+// arrives. fold is called from a single goroutine, never concurrently. A
+// fold error counts as that client's failure (the fold must then have left
+// the aggregate untouched, as StreamAggregator.Add guarantees), so one bad
+// update cannot poison the round.
+//
+// The round succeeds when at least quorum·(live clients) updates were
+// folded; otherwise the joined per-client errors are returned.
+func (e *RoundEngine) RunRound(rs RoundStart, fold func(ClientUpdate) error) (RoundOutcome, error) {
+	return e.sess.runRound(rs, e.sess.ClientIDs(), e.cfg, fold)
+}
+
+// runRound is the shared engine core; see RoundEngine.RunRound.
+func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfig, fold func(ClientUpdate) error) (RoundOutcome, error) {
+	out := RoundOutcome{Round: rs.Round, Failures: make(map[int]error)}
+	if len(clientIDs) == 0 {
+		return out, fmt.Errorf("%w: round %d: no clients remain", ErrQuorum, rs.Round)
+	}
+	conns := make(map[int]Conn, len(clientIDs))
+	for _, id := range clientIDs {
+		conn, ok := s.conns[id]
+		if !ok {
+			return out, fmt.Errorf("%w: unknown client %d", ErrProtocol, id)
+		}
+		conns[id] = conn
+	}
+	env, err := EncodeBody(MsgRoundStart, rs)
+	if err != nil {
+		return out, err
+	}
+
+	// Arm (or clear) every connection's deadline for the whole round.
+	var deadline time.Time
+	if cfg.RoundDeadline > 0 {
+		deadline = time.Now().Add(cfg.RoundDeadline)
+	}
+	for _, conn := range conns {
+		if dc, ok := conn.(DeadlineConn); ok {
+			_ = dc.SetDeadline(deadline)
+		}
+	}
+
+	// One goroutine per client sends the broadcast and reads the reply, so
+	// broadcast wall time is the slowest single send, not the sum, and slow
+	// clients never delay fast ones. Goroutines only touch their captured
+	// conn — the conns map stays single-writer (this goroutine).
+	type result struct {
+		id  int
+		u   ClientUpdate
+		err error
+	}
+	results := make(chan result, len(conns))
+	var late atomic.Int64
+	for id, conn := range conns {
+		go func(id int, conn Conn) {
+			if err := conn.Send(env); err != nil {
+				results <- result{id: id, err: fmt.Errorf("comm: round %d to client %d: %w", rs.Round, id, err)}
+				return
+			}
+			for {
+				env, err := conn.Recv()
+				if err != nil {
+					results <- result{id: id, err: fmt.Errorf("comm: update from client %d: %w", id, err)}
+					return
+				}
+				if env.Type != MsgClientUpdate {
+					results <- result{id: id, err: fmt.Errorf("%w: expected update from %d, got %v", ErrProtocol, id, env.Type)}
+					return
+				}
+				var u ClientUpdate
+				if err := DecodeBody(env, &u); err != nil {
+					results <- result{id: id, err: err}
+					return
+				}
+				if u.Round < rs.Round {
+					// Stale work from a round this client missed: discard
+					// it and keep waiting for the current round's update.
+					late.Add(1)
+					continue
+				}
+				if u.Round != rs.Round || u.ClientID != id {
+					results <- result{id: id, err: fmt.Errorf("%w: client %d answered round %d as client %d during round %d",
+						ErrProtocol, id, u.Round, u.ClientID, rs.Round)}
+					return
+				}
+				results <- result{id: id, u: u}
+				return
+			}
+		}(id, conn)
+	}
+
+	// Fold updates in arrival order: the aggregate stays O(state) and each
+	// decode overlaps the remaining clients' network wait.
+	for range conns {
+		r := <-results
+		if r.err == nil {
+			if err := fold(r.u); err != nil {
+				r.err = fmt.Errorf("comm: folding update from client %d: %w", r.id, err)
+			}
+		}
+		if r.err != nil {
+			out.Failures[r.id] = r.err
+			if isTimeout(r.err) {
+				out.TimedOut = append(out.TimedOut, r.id)
+			} else {
+				out.Dropped = append(out.Dropped, r.id)
+				_ = conns[r.id].Close()
+				delete(s.conns, r.id)
+			}
+			continue
+		}
+		out.Reported = append(out.Reported, r.id)
+	}
+	out.LateDiscarded = int(late.Load())
+	sort.Ints(out.Reported)
+	sort.Ints(out.TimedOut)
+	sort.Ints(out.Dropped)
+
+	// Disarm the round deadline on surviving connections so the gap before
+	// the next round (or the shutdown frames) is not bounded by this one.
+	if !deadline.IsZero() {
+		for id, conn := range conns {
+			if _, alive := s.conns[id]; !alive {
+				continue
+			}
+			if dc, ok := conn.(DeadlineConn); ok {
+				_ = dc.SetDeadline(time.Time{})
+			}
+		}
+	}
+
+	if need := quorumCount(cfg.Quorum, len(clientIDs)); len(out.Reported) < need {
+		errs := []error{fmt.Errorf("%w: round %d: %d of %d clients reported, need %d",
+			ErrQuorum, rs.Round, len(out.Reported), len(clientIDs), need)}
+		for _, id := range out.TimedOut {
+			errs = append(errs, out.Failures[id])
+		}
+		for _, id := range out.Dropped {
+			errs = append(errs, out.Failures[id])
+		}
+		return out, errors.Join(errs...)
+	}
+	return out, nil
+}
+
+// quorumCount converts a quorum fraction into a required update count.
+func quorumCount(q float64, n int) int {
+	if q <= 0 {
+		q = 1
+	}
+	need := int(math.Ceil(q * float64(n)))
+	if need < 1 {
+		need = 1
+	}
+	if need > n {
+		need = n
+	}
+	return need
+}
+
+// isTimeout distinguishes a straggler (deadline exceeded, client may
+// recover) from a dead or misbehaving connection.
+func isTimeout(err error) bool {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// StreamAggregator folds client updates into the selected-size-weighted sum
+// of paper Eq. 5 as they arrive. Only the running sum is retained, so
+// server memory is O(state) regardless of federation size — the buffered
+// alternative holds all N decoded states at once.
+type StreamAggregator struct {
+	acc   []*tensor.Tensor
+	total float64
+	count int
+}
+
+// NewStreamAggregator returns an empty aggregator for one round.
+func NewStreamAggregator() *StreamAggregator { return &StreamAggregator{} }
+
+// Add decodes one update and folds it into the running sum, weighted by the
+// client's selected-set size. The fold is atomic: every validation happens
+// before the sum is touched, so on error the aggregate is unchanged and the
+// caller can drop the client yet keep the round.
+func (a *StreamAggregator) Add(u ClientUpdate) error {
+	if u.NumSelected <= 0 {
+		return fmt.Errorf("%w: client %d reports %d selected samples", ErrProtocol, u.ClientID, u.NumSelected)
+	}
+	ts, err := DecodeTensors(u.State)
+	if err != nil {
+		return fmt.Errorf("comm: aggregate client %d: %w", u.ClientID, err)
+	}
+	w := float32(u.NumSelected)
+	if a.acc == nil {
+		for _, t := range ts {
+			t.Scale(w)
+		}
+		a.acc = ts
+	} else {
+		if len(ts) != len(a.acc) {
+			return fmt.Errorf("%w: client %d sent %d tensors, want %d", ErrProtocol, u.ClientID, len(ts), len(a.acc))
+		}
+		for i := range ts {
+			if !a.acc[i].SameShape(ts[i]) {
+				return fmt.Errorf("%w: client %d tensor %d shape mismatch", ErrProtocol, u.ClientID, i)
+			}
+		}
+		for i := range ts {
+			if err := a.acc[i].Axpy(w, ts[i]); err != nil {
+				return err
+			}
+		}
+	}
+	a.total += float64(u.NumSelected)
+	a.count++
+	return nil
+}
+
+// Updates returns how many updates have been folded so far.
+func (a *StreamAggregator) Updates() int { return a.count }
+
+// Finish normalizes the sum into the aggregated state and resets the
+// aggregator. It fails when no update was folded.
+func (a *StreamAggregator) Finish() ([]*tensor.Tensor, error) {
+	if a.count == 0 || a.total <= 0 {
+		return nil, fmt.Errorf("comm: aggregate: no client updates")
+	}
+	inv := float32(1 / a.total)
+	for _, t := range a.acc {
+		t.Scale(inv)
+	}
+	out := a.acc
+	a.acc, a.total, a.count = nil, 0, 0
+	return out, nil
+}

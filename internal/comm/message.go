@@ -15,6 +15,11 @@ import (
 // ErrProtocol reports a malformed or unexpected message.
 var ErrProtocol = errors.New("comm: protocol error")
 
+// ErrTimeout reports a Send or Recv that exceeded the connection deadline.
+// TCP connections surface the equivalent os.ErrDeadlineExceeded instead;
+// isTimeout recognizes both.
+var ErrTimeout = errors.New("comm: deadline exceeded")
+
 // MsgType identifies a message on the wire.
 type MsgType uint8
 
@@ -92,6 +97,9 @@ type ClientUpdate struct {
 	NumSelected int
 	// TrainSeconds is the client's reported local compute time.
 	TrainSeconds float64
+	// TrainLoss is the final epoch's mean training loss, so the server can
+	// report rounds the same way the in-process simulator does.
+	TrainLoss float64
 }
 
 // Shutdown ends the session.

@@ -1,10 +1,16 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
+
+// shutdownTimeout bounds each shutdown send, so a hung client that stopped
+// reading cannot wedge the server at exit.
+const shutdownTimeout = 10 * time.Second
 
 // ServerSession coordinates a registered set of federated clients over any
 // Transport. It implements the server half of the wire protocol.
@@ -13,37 +19,48 @@ type ServerSession struct {
 }
 
 // AcceptClients blocks until numClients clients have registered, answering
-// each Hello with a Welcome.
+// each Hello with a Welcome. On error every accepted connection — including
+// the one mid-handshake — is closed before returning, so no descriptor
+// leaks.
 func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 	if numClients <= 0 {
 		return nil, fmt.Errorf("%w: numClients %d", ErrProtocol, numClients)
 	}
 	s := &ServerSession{conns: make(map[int]Conn, numClients)}
+	fail := func(conn Conn, err error) (*ServerSession, error) {
+		if conn != nil {
+			_ = conn.Close()
+		}
+		for _, c := range s.conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
 	for len(s.conns) < numClients {
 		conn, err := l.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("comm: accepting client %d of %d: %w", len(s.conns)+1, numClients, err)
+			return fail(nil, fmt.Errorf("comm: accepting client %d of %d: %w", len(s.conns)+1, numClients, err))
 		}
 		env, err := conn.Recv()
 		if err != nil {
-			return nil, fmt.Errorf("comm: reading hello: %w", err)
+			return fail(conn, fmt.Errorf("comm: reading hello: %w", err))
 		}
 		if env.Type != MsgHello {
-			return nil, fmt.Errorf("%w: expected hello, got %v", ErrProtocol, env.Type)
+			return fail(conn, fmt.Errorf("%w: expected hello, got %v", ErrProtocol, env.Type))
 		}
 		var hello Hello
 		if err := DecodeBody(env, &hello); err != nil {
-			return nil, err
+			return fail(conn, err)
 		}
 		if _, dup := s.conns[hello.ClientID]; dup {
-			return nil, fmt.Errorf("%w: duplicate client id %d", ErrProtocol, hello.ClientID)
+			return fail(conn, fmt.Errorf("%w: duplicate client id %d", ErrProtocol, hello.ClientID))
 		}
 		welcome, err := EncodeBody(MsgWelcome, Welcome{NumClients: numClients, Rounds: rounds})
 		if err != nil {
-			return nil, err
+			return fail(conn, err)
 		}
 		if err := conn.Send(welcome); err != nil {
-			return nil, fmt.Errorf("comm: sending welcome to %d: %w", hello.ClientID, err)
+			return fail(conn, fmt.Errorf("comm: sending welcome to %d: %w", hello.ClientID, err))
 		}
 		s.conns[hello.ClientID] = conn
 	}
@@ -61,77 +78,53 @@ func (s *ServerSession) ClientIDs() []int {
 }
 
 // RunRound broadcasts a RoundStart to the given clients and collects one
-// ClientUpdate from each. Updates return ordered by client ID.
+// ClientUpdate from each. Updates return ordered by client ID. It is the
+// fail-stop special case of the RoundEngine: full quorum, no deadline, all
+// updates buffered — any client failure fails the round. Use a RoundEngine
+// for partial participation.
 func (s *ServerSession) RunRound(rs RoundStart, clientIDs []int) ([]ClientUpdate, error) {
-	env, err := EncodeBody(MsgRoundStart, rs)
+	var updates []ClientUpdate
+	_, err := s.runRound(rs, clientIDs, EngineConfig{}, func(u ClientUpdate) error {
+		updates = append(updates, u)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	for _, id := range clientIDs {
-		conn, ok := s.conns[id]
-		if !ok {
-			return nil, fmt.Errorf("%w: unknown client %d", ErrProtocol, id)
-		}
-		if err := conn.Send(env); err != nil {
-			return nil, fmt.Errorf("comm: round %d to client %d: %w", rs.Round, id, err)
-		}
-	}
-
-	updates := make([]ClientUpdate, len(clientIDs))
-	errs := make([]error, len(clientIDs))
-	var wg sync.WaitGroup
-	for i, id := range clientIDs {
-		wg.Add(1)
-		go func(slot, id int) {
-			defer wg.Done()
-			env, err := s.conns[id].Recv()
-			if err != nil {
-				errs[slot] = fmt.Errorf("comm: update from client %d: %w", id, err)
-				return
-			}
-			if env.Type != MsgClientUpdate {
-				errs[slot] = fmt.Errorf("%w: expected update from %d, got %v", ErrProtocol, id, env.Type)
-				return
-			}
-			var u ClientUpdate
-			if err := DecodeBody(env, &u); err != nil {
-				errs[slot] = err
-				return
-			}
-			if u.Round != rs.Round {
-				errs[slot] = fmt.Errorf("%w: client %d answered round %d during round %d",
-					ErrProtocol, id, u.Round, rs.Round)
-				return
-			}
-			updates[slot] = u
-		}(i, id)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
 	}
 	sort.Slice(updates, func(a, b int) bool { return updates[a].ClientID < updates[b].ClientID })
 	return updates, nil
 }
 
-// Shutdown notifies every client and closes all connections.
+// Shutdown notifies every client concurrently, closes every connection even
+// when sends fail, and returns the joined errors in client-ID order.
 func (s *ServerSession) Shutdown(reason string) error {
 	env, err := EncodeBody(MsgShutdown, Shutdown{Reason: reason})
 	if err != nil {
 		return err
 	}
-	var firstErr error
-	for id, conn := range s.conns {
-		if err := conn.Send(env); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("comm: shutdown to %d: %w", id, err)
-		}
-		if err := conn.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	ids := s.ClientIDs()
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i, id int, conn Conn) {
+			defer wg.Done()
+			if dc, ok := conn.(DeadlineConn); ok {
+				_ = dc.SetDeadline(time.Now().Add(shutdownTimeout))
+			}
+			var sendErr, closeErr error
+			if err := conn.Send(env); err != nil {
+				sendErr = fmt.Errorf("comm: shutdown to %d: %w", id, err)
+			}
+			if err := conn.Close(); err != nil {
+				closeErr = fmt.Errorf("comm: closing %d: %w", id, err)
+			}
+			errs[i] = errors.Join(sendErr, closeErr)
+		}(i, id, s.conns[id])
 	}
-	return firstErr
+	wg.Wait()
+	clear(s.conns)
+	return errors.Join(errs...)
 }
 
 // ClientSession is the client half of the wire protocol.

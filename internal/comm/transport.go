@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,13 +75,31 @@ type Conn interface {
 	Close() error
 }
 
+// DeadlineConn is a Conn whose blocking Send and Recv calls can be bounded
+// in time. Both transports implement it; the RoundEngine uses it to turn a
+// hung client into a timeout instead of a wedged server.
+type DeadlineConn interface {
+	Conn
+	// SetDeadline bounds all future Send and Recv calls. The zero time
+	// clears the deadline.
+	SetDeadline(time.Time) error
+}
+
 // TCPConn frames envelopes over a net.Conn:
 // 4-byte little-endian length, 1-byte type, body.
+//
+// A deadline that expires between frames is a clean timeout: the stream
+// stays aligned and the connection remains usable (the round engine's
+// straggler-rejoin path relies on this). A deadline that expires mid-frame
+// leaves the stream desynchronized, so the connection marks itself broken
+// and every later call fails with ErrProtocol — never a timeout — which
+// makes the engine drop the client instead of reusing a corrupt stream.
 type TCPConn struct {
 	conn net.Conn
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
+	broken atomic.Bool
 }
 
 var _ Conn = (*TCPConn)(nil)
@@ -88,21 +107,34 @@ var _ Conn = (*TCPConn)(nil)
 // NewTCPConn wraps an established net.Conn.
 func NewTCPConn(conn net.Conn) *TCPConn { return &TCPConn{conn: conn} }
 
+// desync marks the stream unusable and returns the wrapping error.
+func (c *TCPConn) desync(op string, err error) error {
+	c.broken.Store(true)
+	return fmt.Errorf("%w: %s failed mid-frame, stream desynchronized: %v", ErrProtocol, op, err)
+}
+
 // Send implements Conn.
 func (c *TCPConn) Send(e Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.broken.Load() {
+		return fmt.Errorf("%w: connection desynchronized", ErrProtocol)
+	}
 	if len(e.Body) > maxFrameBytes {
 		return fmt.Errorf("%w: frame %d bytes exceeds limit", ErrProtocol, len(e.Body))
 	}
 	header := make([]byte, 5)
 	binary.LittleEndian.PutUint32(header, uint32(len(e.Body)))
 	header[4] = byte(e.Type)
-	if _, err := c.conn.Write(header); err != nil {
+	if n, err := c.conn.Write(header); err != nil {
+		if n > 0 {
+			return c.desync("write header", err)
+		}
 		return fmt.Errorf("comm: write header: %w", err)
 	}
 	if _, err := c.conn.Write(e.Body); err != nil {
-		return fmt.Errorf("comm: write body: %w", err)
+		// The header is already on the wire; the frame is incomplete.
+		return c.desync("write body", err)
 	}
 	return nil
 }
@@ -111,8 +143,14 @@ func (c *TCPConn) Send(e Envelope) error {
 func (c *TCPConn) Recv() (Envelope, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	if c.broken.Load() {
+		return Envelope{}, fmt.Errorf("%w: connection desynchronized", ErrProtocol)
+	}
 	header := make([]byte, 5)
-	if _, err := io.ReadFull(c.conn, header); err != nil {
+	if n, err := io.ReadFull(c.conn, header); err != nil {
+		if n > 0 {
+			return Envelope{}, c.desync("read header", err)
+		}
 		return Envelope{}, fmt.Errorf("comm: read header: %w", err)
 	}
 	size := binary.LittleEndian.Uint32(header)
@@ -121,7 +159,7 @@ func (c *TCPConn) Recv() (Envelope, error) {
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(c.conn, body); err != nil {
-		return Envelope{}, fmt.Errorf("comm: read body: %w", err)
+		return Envelope{}, c.desync("read body", err)
 	}
 	return Envelope{Type: MsgType(header[4]), Body: body}, nil
 }
@@ -202,22 +240,74 @@ type pipeConn struct {
 	recv  chan Envelope
 	done  chan struct{}
 	close func()
+
+	mu       sync.Mutex
+	deadline time.Time
 }
 
-var _ Conn = (*pipeConn)(nil)
+var _ DeadlineConn = (*pipeConn)(nil)
+
+// SetDeadline implements DeadlineConn.
+func (p *pipeConn) SetDeadline(t time.Time) error {
+	p.mu.Lock()
+	p.deadline = t
+	p.mu.Unlock()
+	return nil
+}
+
+// expiry returns a channel that fires at the current deadline, or a nil
+// channel (blocks forever) when no deadline is set. The returned error is
+// non-nil when the deadline has already passed.
+func (p *pipeConn) expiry() (<-chan time.Time, *time.Timer, error) {
+	p.mu.Lock()
+	d := p.deadline
+	p.mu.Unlock()
+	if d.IsZero() {
+		return nil, nil, nil
+	}
+	rem := time.Until(d)
+	if rem <= 0 {
+		return nil, nil, fmt.Errorf("comm: pipe: %w", ErrTimeout)
+	}
+	timer := time.NewTimer(rem)
+	return timer.C, timer, nil
+}
 
 // Send implements Conn.
 func (p *pipeConn) Send(e Envelope) error {
+	expired, timer, err := p.expiry()
+	if err != nil {
+		return err
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
+	// Fail deterministically once closed: with buffer space free, the
+	// select below could otherwise pick the send case at random.
+	select {
+	case <-p.done:
+		return fmt.Errorf("%w: connection closed", ErrProtocol)
+	default:
+	}
 	select {
 	case p.send <- e:
 		return nil
 	case <-p.done:
 		return fmt.Errorf("%w: connection closed", ErrProtocol)
+	case <-expired:
+		return fmt.Errorf("comm: pipe send: %w", ErrTimeout)
 	}
 }
 
 // Recv implements Conn.
 func (p *pipeConn) Recv() (Envelope, error) {
+	expired, timer, err := p.expiry()
+	if err != nil {
+		return Envelope{}, err
+	}
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case e := <-p.recv:
 		return e, nil
@@ -229,6 +319,8 @@ func (p *pipeConn) Recv() (Envelope, error) {
 		default:
 		}
 		return Envelope{}, fmt.Errorf("%w: connection closed", ErrProtocol)
+	case <-expired:
+		return Envelope{}, fmt.Errorf("comm: pipe recv: %w", ErrTimeout)
 	}
 }
 
@@ -237,3 +329,46 @@ func (p *pipeConn) Close() error {
 	p.close()
 	return nil
 }
+
+// PipeListener serves the server halves of pre-created in-process pipe
+// pairs, so a ServerSession and its clients can run the full wire protocol
+// inside one process (tests and the examples/straggler distributed demo).
+type PipeListener struct {
+	mu     sync.Mutex
+	server []Conn
+	client []Conn
+	next   int
+}
+
+var _ Listener = (*PipeListener)(nil)
+
+// NewPipeListener creates n connected pipe pairs. The server halves are
+// handed out by Accept; ClientSide returns the matching client halves.
+func NewPipeListener(n int) *PipeListener {
+	l := &PipeListener{server: make([]Conn, n), client: make([]Conn, n)}
+	for i := range l.server {
+		l.server[i], l.client[i] = Pipe()
+	}
+	return l
+}
+
+// ClientSide returns the client half of pair i.
+func (l *PipeListener) ClientSide(i int) Conn { return l.client[i] }
+
+// Accept implements Listener.
+func (l *PipeListener) Accept() (Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next >= len(l.server) {
+		return nil, fmt.Errorf("%w: all %d pipe clients accepted", ErrProtocol, len(l.server))
+	}
+	c := l.server[l.next]
+	l.next++
+	return c, nil
+}
+
+// Addr implements Listener.
+func (l *PipeListener) Addr() string { return "pipe" }
+
+// Close implements Listener.
+func (l *PipeListener) Close() error { return nil }
