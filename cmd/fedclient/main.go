@@ -2,7 +2,19 @@
 // it regenerates its local non-IID partition deterministically from the
 // shared -seed and its -id, connects to a fedserver, and answers each round
 // with a FedFT-EDS local update (entropy-selected subset, partial
-// fine-tuning, only the upper model part on the wire).
+// fine-tuning, only the upper model part on the wire) plus its mean EDS
+// entropy, the utility signal the server's cohort scheduler exploits.
+//
+// When the server schedules cohorts (-cohort on fedserver), rounds this
+// client is not part of are invisible here: the client simply blocks until
+// a cohort includes it again.
+//
+// Exit status distinguishes how the session ended, so scripted fleets can
+// detect eviction: 0 after a clean server shutdown, 3 when the connection
+// was severed without a shutdown message — the server either removed this
+// client (crash-class drop) or died itself; the wire cannot distinguish
+// the two, so status 3 means "do not blindly rejoin, inspect the server
+// first" — and 1 for local errors.
 //
 // Usage (one process per client):
 //
@@ -10,9 +22,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"time"
 
@@ -23,39 +38,120 @@ import (
 	"fedfteds/internal/selection"
 )
 
+// exitEvicted is the exit status after a crash-class removal by the server,
+// distinct from 1 (local failure) so fleet scripts can tell them apart.
+const exitEvicted = 3
+
+// errEvicted marks a crash-class drop: the server closed this client's
+// connection without a shutdown message.
+var errEvicted = errors.New("evicted by server")
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "fedclient:", err)
-		os.Exit(1)
+	err := run(os.Args[1:])
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "fedclient:", err)
+	if errors.Is(err, errEvicted) {
+		os.Exit(exitEvicted)
+	}
+	os.Exit(1)
+}
+
+// clientConfig is the validated flag set of one fedclient run.
+type clientConfig struct {
+	addr        string
+	id          int
+	numClients  int
+	seed        int64
+	temperature float64
+	timeout     time.Duration
+}
+
+// parseFlags parses and fail-fast validates the command line.
+func parseFlags(args []string) (clientConfig, error) {
+	var cfg clientConfig
+	fs := flag.NewFlagSet("fedclient", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:7070", "server address")
+	fs.IntVar(&cfg.id, "id", 0, "this client's federation index")
+	fs.IntVar(&cfg.numClients, "clients", 2, "federation size (must match the server)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "shared federation seed (must match the server)")
+	fs.Float64Var(&cfg.temperature, "temperature", 0.1, "hardened-softmax temperature ρ")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial timeout")
+	if err := fs.Parse(args); err != nil {
+		return clientConfig{}, err
+	}
+	if cfg.numClients <= 0 {
+		return clientConfig{}, fmt.Errorf("-clients %d must be positive", cfg.numClients)
+	}
+	if cfg.id < 0 || cfg.id >= cfg.numClients {
+		return clientConfig{}, fmt.Errorf("-id %d outside [0, %d)", cfg.id, cfg.numClients)
+	}
+	if cfg.temperature <= 0 {
+		return clientConfig{}, fmt.Errorf("-temperature %v must be positive", cfg.temperature)
+	}
+	if cfg.timeout <= 0 {
+		return clientConfig{}, fmt.Errorf("-timeout %v must be positive", cfg.timeout)
+	}
+	return cfg, nil
+}
+
+// classifyDrop distinguishes a severed connection — the server removed
+// this client (the engine closes the connection on a crash-class failure)
+// or the server itself went down; the two are indistinguishable on the
+// wire — from other errors. The message is actionable: it names the round,
+// points at the server log, and says how to recover.
+func classifyDrop(round int, id int, err error) error {
+	if !isConnectionDrop(err) {
+		return err
+	}
+	return fmt.Errorf("%w during round %d: the connection was severed without a shutdown message — "+
+		"either this client was evicted (crash-class drop: a previous update failed or violated the "+
+		"protocol) or the server went down; this client cannot rejoin the running federation: "+
+		"check the server log for \"client %d\" to find the offending round (no mention means the "+
+		"server died), then restart the process for the next federation (%v)",
+		errEvicted, round, id, err)
+}
+
+// isConnectionDrop reports whether err is the transport-level signature of
+// a closed peer connection: EOF on the TCP framing, a reset/closed socket,
+// or a mid-frame desynchronization whose cause was one of those (the
+// server vanishing while a frame was in flight).
+func isConnectionDrop(err error) bool {
+	var de *comm.DesyncError
+	if errors.As(err, &de) {
+		return isConnectionDrop(de.Cause)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	// A timeout-class network error is a deadline, not a severed peer —
+	// mirror the engine's straggler/crash boundary.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	var op *net.OpError
+	return errors.As(err, &op)
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("fedclient", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7070", "server address")
-	id := fs.Int("id", 0, "this client's federation index")
-	numClients := fs.Int("clients", 2, "federation size (must match the server)")
-	seed := fs.Int64("seed", 1, "shared federation seed (must match the server)")
-	temperature := fs.Float64("temperature", 0.1, "hardened-softmax temperature ρ")
-	timeout := fs.Duration("timeout", 10*time.Second, "dial timeout")
-	if err := fs.Parse(args); err != nil {
+	cfg, err := parseFlags(args)
+	if err != nil {
 		return err
-	}
-	if *id < 0 || *id >= *numClients {
-		return fmt.Errorf("client id %d outside [0,%d)", *id, *numClients)
 	}
 
 	// Rebuild the shared world deterministically: same seed ⇒ same domains,
 	// same partition, same pretrained model as the server.
-	env, err := experiments.NewEnv(experiments.ScaleFast, *seed)
+	env, err := experiments.NewEnv(experiments.ScaleFast, cfg.seed)
 	if err != nil {
 		return err
 	}
-	fed, err := env.BuildFederation(env.Suite.Target10, *numClients, 0.1, 31337)
+	fed, err := env.BuildFederation(env.Suite.Target10, cfg.numClients, 0.1, 31337)
 	if err != nil {
 		return err
 	}
-	me := fed.Clients[*id]
+	me := fed.Clients[cfg.id]
 	global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
 	if err != nil {
 		return err
@@ -63,27 +159,29 @@ func run(args []string) error {
 	if err := global.SetFinetunePart(models.FinetuneModerate); err != nil {
 		return err
 	}
-	log.Printf("client %d: %d local samples", *id, me.Data.Len())
+	log.Printf("client %d: %d local samples", cfg.id, me.Data.Len())
 
-	conn, err := comm.DialTCP(*addr, *timeout)
+	conn, err := comm.DialTCP(cfg.addr, cfg.timeout)
 	if err != nil {
 		return err
 	}
-	sess, welcome, err := comm.Join(conn, *id, me.Data.Len())
+	sess, welcome, err := comm.Join(conn, cfg.id, me.Data.Len())
 	if err != nil {
 		return err
 	}
 	log.Printf("joined federation of %d for %d rounds", welcome.NumClients, welcome.Rounds)
 
+	lastRound := 0
 	for {
 		rs, ok, err := sess.NextRound()
 		if err != nil {
-			return err
+			return classifyDrop(lastRound+1, cfg.id, err)
 		}
 		if !ok {
 			log.Printf("server shut the session down")
 			return sess.Close()
 		}
+		lastRound = rs.Round
 		// Install the received global state.
 		stateTs, err := comm.DecodeTensors(rs.State)
 		if err != nil {
@@ -102,20 +200,20 @@ func run(args []string) error {
 			}
 		}
 
-		cfg, err := core.NewLocalConfig(core.Config{
+		localCfg, err := core.NewLocalConfig(core.Config{
 			Rounds:         welcome.Rounds,
 			LocalEpochs:    rs.LocalEpochs,
 			LR:             0.05,
 			Momentum:       0.5,
 			FinetunePart:   models.FinetuneModerate,
-			Selector:       selection.Entropy{Temperature: *temperature},
+			Selector:       selection.Entropy{Temperature: cfg.temperature},
 			SelectFraction: rs.SelectFraction,
-			Seed:           *seed,
+			Seed:           cfg.seed,
 		})
 		if err != nil {
 			return err
 		}
-		out, err := core.LocalUpdate(cfg, global, me, rs.Round)
+		out, err := core.LocalUpdate(localCfg, global, me, rs.Round)
 		if err != nil {
 			return err
 		}
@@ -124,15 +222,17 @@ func run(args []string) error {
 			return err
 		}
 		if err := sess.SendUpdate(comm.ClientUpdate{
-			ClientID:     *id,
+			ClientID:     cfg.id,
 			Round:        rs.Round,
 			State:        blob,
 			NumSelected:  out.NumSelected,
 			TrainSeconds: out.Cost.Total(),
 			TrainLoss:    out.TrainLoss,
+			MeanEntropy:  out.MeanEntropy,
 		}); err != nil {
-			return err
+			return classifyDrop(rs.Round, cfg.id, err)
 		}
-		log.Printf("round %d: trained on %d selected samples (loss %.3f)", rs.Round, out.NumSelected, out.TrainLoss)
+		log.Printf("round %d: trained on %d selected samples (loss %.3f, mean entropy %.3f)",
+			rs.Round, out.NumSelected, out.TrainLoss, out.MeanEntropy)
 	}
 }

@@ -7,8 +7,17 @@
 //
 // The engine makes the federation survive real-world client behavior: a
 // crashed client is dropped and the round completes as long as -quorum of
-// the live clients report, and a hung client is cut off at -round-deadline
-// instead of blocking the server forever (it may rejoin at the next round).
+// the round's clients report, and a hung client is cut off at
+// -round-deadline instead of blocking the server forever (it may rejoin at
+// the next round).
+//
+// With -cohort K the server additionally schedules: each round only K of
+// the live clients are contacted (policy chosen by -sched — uniform, size,
+// entropy, powerd, or avail:<inner>; the same names fedsim accepts), the
+// rest idle on their open connections until a later cohort includes them.
+// The entropy policy closes a feedback loop over the wire: clients report
+// their mean EDS entropy with every update, and the scheduler exploits the
+// most uncertain clients with ε-greedy exploration.
 //
 // Clients regenerate their local partitions deterministically from the
 // shared -seed, so server and clients agree on data without moving it —
@@ -17,7 +26,7 @@
 // Usage:
 //
 //	fedserver -addr 127.0.0.1:7070 -clients 4 -rounds 10 -fraction 0.5 \
-//	          -round-deadline 2m -quorum 0.6
+//	          -round-deadline 2m -quorum 0.6 -cohort 2 -sched entropy
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
@@ -33,6 +43,8 @@ import (
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
+	"fedfteds/internal/tensor"
 )
 
 func main() {
@@ -42,41 +54,102 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// serverConfig is the validated flag set of one fedserver run.
+type serverConfig struct {
+	addr          string
+	numClients    int
+	rounds        int
+	fraction      float64
+	epochs        int
+	seed          int64
+	roundDeadline time.Duration
+	quorum        float64
+	cohort        int
+	scheduler     sched.Scheduler // nil when -cohort is 0 (full pool)
+	schedName     string
+}
+
+// parseFlags parses and fail-fast validates the command line: bad -quorum,
+// -round-deadline, -cohort or -sched values are rejected here, before any
+// client has a chance to join a doomed federation.
+func parseFlags(args []string) (serverConfig, error) {
+	var cfg serverConfig
 	fs := flag.NewFlagSet("fedserver", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
-	numClients := fs.Int("clients", 2, "number of clients to wait for")
-	rounds := fs.Int("rounds", 10, "communication rounds")
-	fraction := fs.Float64("fraction", 0.5, "selection fraction P_ds")
-	epochs := fs.Int("epochs", 5, "local epochs E")
-	seed := fs.Int64("seed", 1, "shared federation seed")
-	roundDeadline := fs.Duration("round-deadline", 0, "per-round deadline; hung clients are dropped at expiry (0 = wait forever)")
-	quorum := fs.Float64("quorum", 1, "fraction of live clients whose updates a round needs to succeed, in (0, 1]")
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:7070", "listen address")
+	fs.IntVar(&cfg.numClients, "clients", 2, "number of clients to wait for")
+	fs.IntVar(&cfg.rounds, "rounds", 10, "communication rounds")
+	fs.Float64Var(&cfg.fraction, "fraction", 0.5, "selection fraction P_ds")
+	fs.IntVar(&cfg.epochs, "epochs", 5, "local epochs E")
+	fs.Int64Var(&cfg.seed, "seed", 1, "shared federation seed")
+	fs.DurationVar(&cfg.roundDeadline, "round-deadline", 0, "per-round deadline; hung clients are dropped at expiry (0 = wait forever)")
+	fs.Float64Var(&cfg.quorum, "quorum", 1, "fraction of the round's clients whose updates it needs to succeed, in (0, 1]")
+	fs.IntVar(&cfg.cohort, "cohort", 0, "clients scheduled per round, 0 = the whole federation")
+	fs.StringVar(&cfg.schedName, "sched", "uniform", "cohort scheduling policy: uniform, size, entropy, powerd, avail:<inner>")
 	if err := fs.Parse(args); err != nil {
+		return serverConfig{}, err
+	}
+	if cfg.quorum <= 0 || cfg.quorum > 1 {
+		return serverConfig{}, fmt.Errorf("-quorum %v outside (0, 1]", cfg.quorum)
+	}
+	if cfg.roundDeadline < 0 {
+		return serverConfig{}, fmt.Errorf("-round-deadline %v is negative", cfg.roundDeadline)
+	}
+	if cfg.numClients <= 0 {
+		return serverConfig{}, fmt.Errorf("-clients %d must be positive", cfg.numClients)
+	}
+	if cfg.fraction <= 0 || cfg.fraction > 1 {
+		return serverConfig{}, fmt.Errorf("-fraction %v outside (0, 1]", cfg.fraction)
+	}
+	if cfg.epochs <= 0 {
+		return serverConfig{}, fmt.Errorf("-epochs %d must be positive", cfg.epochs)
+	}
+	if cfg.rounds <= 0 {
+		return serverConfig{}, fmt.Errorf("-rounds %d must be positive", cfg.rounds)
+	}
+	if cfg.cohort < 0 {
+		return serverConfig{}, fmt.Errorf("-cohort %d is negative", cfg.cohort)
+	}
+	if cfg.cohort > cfg.numClients {
+		return serverConfig{}, fmt.Errorf("-cohort %d exceeds the federation size %d", cfg.cohort, cfg.numClients)
+	}
+	// The policy name is validated even with -cohort 0, so a typo surfaces
+	// now and not on the day scheduling is switched on.
+	scheduler, err := sched.Parse(cfg.schedName)
+	if err != nil {
+		return serverConfig{}, err
+	}
+	if cfg.cohort > 0 {
+		cfg.scheduler = scheduler
+	}
+	return cfg, nil
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
 		return err
 	}
-	// Fail on bad engine flags now, not after all clients have joined.
-	engineCfg := comm.EngineConfig{RoundDeadline: *roundDeadline, Quorum: *quorum}
+	engineCfg := comm.EngineConfig{RoundDeadline: cfg.roundDeadline, Quorum: cfg.quorum}
 	if err := engineCfg.Validate(); err != nil {
 		return err
 	}
 
 	// Build the shared world: domains, pretrained global model, test set.
-	world, err := NewWorld(*seed, *numClients)
+	world, err := NewWorld(cfg.seed, cfg.numClients)
 	if err != nil {
 		return err
 	}
 	global := world.Global
 	commGroups := global.TrainableGroupNames()
 
-	l, err := comm.ListenTCP(*addr)
+	l, err := comm.ListenTCP(cfg.addr)
 	if err != nil {
 		return err
 	}
 	defer l.Close()
-	log.Printf("listening on %s, waiting for %d clients", l.Addr(), *numClients)
+	log.Printf("listening on %s, waiting for %d clients", l.Addr(), cfg.numClients)
 
-	sess, err := comm.AcceptClients(l, *numClients, *rounds)
+	sess, err := comm.AcceptClients(l, cfg.numClients, cfg.rounds)
 	if err != nil {
 		return err
 	}
@@ -96,7 +169,8 @@ func run(args []string) error {
 	// produces, so distributed and simulated runs are directly comparable.
 	var hist core.History
 	var cumTrainSeconds float64
-	for round := 1; round <= *rounds; round++ {
+	tracker := sched.NewTracker()
+	for round := 1; round <= cfg.rounds; round++ {
 		stateTs, err := global.GroupStateTensors(commGroups)
 		if err != nil {
 			return err
@@ -105,27 +179,43 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+
+		// Schedule the round's cohort from the live clients; with -cohort 0
+		// the whole federation trains, as it always did.
+		live := sess.ClientIDs()
+		cohort, policy := live, ""
+		if cfg.scheduler != nil {
+			cohort = scheduleCohort(cfg, tracker, sess, round, live)
+			policy = cfg.scheduler.Name()
+		}
+
 		// Stream each update into the weighted sum as it arrives: the
 		// server holds one decoded state at a time, O(state) not O(N·state).
 		agg := comm.NewStreamAggregator()
 		var roundTrainSeconds, lossSum float64
-		out, err := engine.RunRound(comm.RoundStart{
+		out, err := engine.RunCohort(comm.RoundStart{
 			Round:          round,
 			State:          blob,
 			Groups:         commGroups,
-			SelectFraction: *fraction,
-			LocalEpochs:    *epochs,
-		}, func(u comm.ClientUpdate) error {
+			SelectFraction: cfg.fraction,
+			LocalEpochs:    cfg.epochs,
+		}, cohort, func(u comm.ClientUpdate) error {
 			if err := agg.Add(u); err != nil {
 				return err
 			}
 			roundTrainSeconds += u.TrainSeconds
 			lossSum += u.TrainLoss
+			tracker.ObserveUpdate(u.ClientID, u.MeanEntropy, u.TrainLoss, u.TrainSeconds)
 			return nil
 		})
 		logFailures(out)
 		if err != nil {
 			return err
+		}
+		// A timed-out client took at least the whole deadline; record that so
+		// time-driven policies stop treating a hung client as instant.
+		for _, id := range out.TimedOut {
+			tracker.ObserveTimeout(id, cfg.roundDeadline.Seconds())
 		}
 		fused, err := agg.Finish()
 		if err != nil {
@@ -146,6 +236,8 @@ func run(args []string) error {
 		cumTrainSeconds += roundTrainSeconds
 		hist.Records = append(hist.Records, core.RoundRecord{
 			Round:           round,
+			CohortSize:      len(cohort),
+			SchedPolicy:     policy,
 			Participants:    len(out.Reported),
 			TestAccuracy:    acc,
 			MeanTrainLoss:   lossSum / float64(len(out.Reported)),
@@ -155,9 +247,9 @@ func run(args []string) error {
 			hist.BestAccuracy = acc
 		}
 		hist.FinalAccuracy = acc
-		log.Printf("round %d/%d: %d/%d clients reported (%d timed out, %d dropped, %d late), test accuracy %.2f%%",
-			round, *rounds, len(out.Reported), len(out.Reported)+len(out.TimedOut)+len(out.Dropped),
-			len(out.TimedOut), len(out.Dropped), out.LateDiscarded, 100*acc)
+		log.Printf("round %d/%d: cohort %d/%d, %d reported (%d timed out, %d dropped, %d late), test accuracy %.2f%%",
+			round, cfg.rounds, len(cohort), len(live),
+			len(out.Reported), len(out.TimedOut), len(out.Dropped), out.LateDiscarded, 100*acc)
 	}
 	hist.TotalTrainSeconds = cumTrainSeconds
 	if eff, err := hist.LearningEfficiency(); err == nil {
@@ -167,6 +259,29 @@ func run(args []string) error {
 		log.Printf("run complete: best accuracy %.2f%%", 100*hist.BestAccuracy)
 	}
 	return nil
+}
+
+// scheduleCohort builds the candidate descriptors for the live clients and
+// asks the policy for this round's cohort. The candidate's projected time is
+// the client's last reported round seconds (zero before first contact), its
+// size the Hello-reported |D_i|, and its utility the tracker's latest value.
+func scheduleCohort(cfg serverConfig, tracker *sched.Tracker, sess *comm.ServerSession, round int, live []int) []int {
+	cands := make([]sched.Candidate, len(live))
+	for i, id := range live {
+		cands[i] = sched.Candidate{
+			ClientID:         id,
+			DataSize:         sess.LocalSize(id),
+			ProjectedSeconds: tracker.Seconds(id),
+			Available:        true,
+		}
+	}
+	tracker.Stamp(cands)
+	k := cfg.cohort
+	if k > len(live) {
+		k = len(live)
+	}
+	rng := tensor.NewRand(uint64(cfg.seed), uint64(round), sched.StreamTag)
+	return cfg.scheduler.Schedule(round, cands, k, rng)
 }
 
 // logFailures reports a round's failed clients in deterministic order.

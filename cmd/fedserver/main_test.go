@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.numClients != 2 || cfg.rounds != 10 || cfg.quorum != 1 || cfg.roundDeadline != 0 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.cohort != 0 || cfg.scheduler != nil {
+		t.Fatalf("scheduling must default off: %+v", cfg)
+	}
+	if cfg.schedName != "uniform" {
+		t.Fatalf("default policy %q", cfg.schedName)
+	}
+}
+
+func TestParseFlagsSchedulingOn(t *testing.T) {
+	cfg, err := parseFlags([]string{"-clients", "8", "-cohort", "3", "-sched", "avail:entropy",
+		"-round-deadline", "90s", "-quorum", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.cohort != 3 || cfg.scheduler == nil || cfg.scheduler.Name() != "avail:entropy" {
+		t.Fatalf("scheduling config: %+v", cfg)
+	}
+	if cfg.roundDeadline != 90*time.Second || cfg.quorum != 0.5 {
+		t.Fatalf("engine flags: %+v", cfg)
+	}
+}
+
+func TestParseFlagsFailFast(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"zero quorum", []string{"-quorum", "0"}, "-quorum"},
+		{"negative quorum", []string{"-quorum", "-0.1"}, "-quorum"},
+		{"quorum above one", []string{"-quorum", "1.5"}, "-quorum"},
+		{"negative deadline", []string{"-round-deadline", "-10s"}, "-round-deadline"},
+		{"zero clients", []string{"-clients", "0"}, "-clients"},
+		{"zero fraction", []string{"-fraction", "0"}, "-fraction"},
+		{"fraction above one", []string{"-fraction", "1.5"}, "-fraction"},
+		{"zero epochs", []string{"-epochs", "0"}, "-epochs"},
+		{"zero rounds", []string{"-rounds", "0"}, "-rounds"},
+		{"negative cohort", []string{"-cohort", "-1"}, "-cohort"},
+		{"cohort beyond pool", []string{"-clients", "3", "-cohort", "4"}, "-cohort"},
+		{"unknown policy", []string{"-sched", "fifo"}, "unknown policy"},
+		{"unknown policy with scheduling off", []string{"-cohort", "0", "-sched", "nope"}, "unknown policy"},
+		{"unknown inner policy", []string{"-cohort", "2", "-clients", "4", "-sched", "avail:fifo"}, "unknown policy"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := parseFlags(tt.args)
+			if err == nil {
+				t.Fatalf("args %v parsed without error", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestParseFlagsSchedNamesMatchFedsim pins the shared policy vocabulary:
+// every name fedserver accepts must parse, so the fedsim and fedserver
+// -sched flags stay interchangeable.
+func TestParseFlagsSchedNamesMatchFedsim(t *testing.T) {
+	for _, name := range []string{"uniform", "size", "entropy", "powerd", "avail:uniform", "avail:powerd"} {
+		if _, err := parseFlags([]string{"-clients", "4", "-cohort", "2", "-sched", name}); err != nil {
+			t.Fatalf("policy %q rejected: %v", name, err)
+		}
+	}
+}

@@ -5,10 +5,17 @@
 //
 //	fedsim -exp table2 -scale fast -seed 1
 //	fedsim -exp all -scale full
+//	fedsim -exp sched -scale fast -cohort 6 -sched entropy
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
-// fig7 fig8 fig9 fig10a fig10b fig10c ablations all. See DESIGN.md for the
-// experiment index.
+// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched all. See DESIGN.md
+// for the experiment index.
+//
+// The sched experiment compares cohort-scheduling policies (accuracy vs
+// cumulative client-seconds at a fixed cohort size K). -sched narrows it to
+// one policy — the names are the same ones fedserver accepts (uniform,
+// size, entropy, powerd, avail:<inner>) — and -cohort sets K (0 picks a
+// scale-appropriate default).
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"fedfteds/internal/experiments"
+	"fedfteds/internal/sched"
 )
 
 func main() {
@@ -30,15 +38,28 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, all)")
+	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, sched, all)")
 	scaleFlag := fs.String("scale", "fast", "experiment scale: smoke, fast or full")
 	seedFlag := fs.Int64("seed", 1, "run seed")
+	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
+	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
 		return err
+	}
+	// Fail on a bad policy name or cohort now, whatever experiments run.
+	schedOpts := schedOptions{cohort: *cohortFlag}
+	if *schedFlag != "all" {
+		if _, err := sched.Parse(*schedFlag); err != nil {
+			return err
+		}
+		schedOpts.policies = []string{*schedFlag}
+	}
+	if *cohortFlag < 0 {
+		return fmt.Errorf("-cohort %d is negative", *cohortFlag)
 	}
 	env, err := experiments.NewEnv(scale, *seedFlag)
 	if err != nil {
@@ -50,11 +71,11 @@ func run(args []string) error {
 		// table2+figs and table3+figs are composite ids that run the
 		// underlying experiment once and render every artifact from it.
 		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
-			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations"}
+			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations", "sched"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runExperiment(env, strings.TrimSpace(id))
+		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -64,10 +85,24 @@ func run(args []string) error {
 	return nil
 }
 
+// schedOptions parameterizes the scheduler-comparison experiment.
+type schedOptions struct {
+	// policies narrows the comparison; nil runs the standard lineup.
+	policies []string
+	// cohort is K; 0 picks the scale default.
+	cohort int
+}
+
 // runExperiment dispatches one experiment id. Figure ids that share a run
 // with a table (fig5..fig9) re-run the underlying table at this scale.
-func runExperiment(env *experiments.Env, id string) (string, error) {
+func runExperiment(env *experiments.Env, id string, schedOpts schedOptions) (string, error) {
 	switch id {
+	case "sched":
+		res, err := experiments.RunSchedCompare(env, schedOpts.policies, schedOpts.cohort)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "table2+figs":
 		res, err := experiments.RunTable2(env)
 		if err != nil {

@@ -30,9 +30,10 @@ func TestRunExperimentDispatch(t *testing.T) {
 		{id: "fig3", want: "CKA"},
 		{id: "table4", want: "cross-domain"},
 		{id: "fig10a", want: "fine-tuned"},
+		{id: "sched", want: "Scheduler comparison"},
 	} {
 		t.Run(tt.id, func(t *testing.T) {
-			out, err := runExperiment(env, tt.id)
+			out, err := runExperiment(env, tt.id, schedOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -45,7 +46,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 
 func TestRunExperimentUnknownID(t *testing.T) {
 	env := testEnv(t)
-	if _, err := runExperiment(env, "table99"); err == nil {
+	if _, err := runExperiment(env, "table99", schedOptions{}); err == nil {
 		t.Fatal("expected error for unknown experiment id")
 	}
 }
@@ -56,5 +57,20 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "nope", "-scale", "smoke"}); err == nil {
 		t.Fatal("expected error for unknown experiment")
+	}
+	// Scheduler flags fail fast, before any experiment runs.
+	if err := run([]string{"-exp", "sched", "-scale", "smoke", "-sched", "fifo"}); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+	if err := run([]string{"-exp", "sched", "-scale", "smoke", "-cohort", "-2"}); err == nil {
+		t.Fatal("expected error for negative cohort")
+	}
+}
+
+// TestRunSchedSinglePolicy runs the sched experiment narrowed to one policy
+// through the real CLI path, sharing the policy vocabulary with fedserver.
+func TestRunSchedSinglePolicy(t *testing.T) {
+	if err := run([]string{"-exp", "sched", "-scale", "smoke", "-sched", "powerd", "-cohort", "2"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,141 @@
+// Cohort scheduling with client churn: a 20-client federation where the
+// server only trains K=5 clients per round, comparing three schedulers end
+// to end through the public API:
+//
+//   - the full pool every round (no scheduler — the legacy baseline),
+//   - uniform random cohorts (classical FedAvg sampling),
+//   - entropy-utility cohorts under churn: an Availability wrapper models
+//     clients going offline (Markov on/off process) around an ε-greedy
+//     policy that exploits the clients reporting the highest mean EDS
+//     entropy — the paper's sample-level uncertainty signal reused one
+//     level up, as a client-level utility.
+//
+// The punchline mirrors the paper's workload-reduction argument: cohort
+// scheduling cuts cumulative client compute by ~4× while the utility-driven
+// policy keeps most of the accuracy, even with a quarter of the fleet
+// flickering offline.
+//
+// Run with:
+//
+//	go run ./examples/cohort
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fedfteds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		seed       = 41
+		numClients = 20
+		cohortK    = 5
+		rounds     = 8
+	)
+	suite, err := fedfteds.NewDomainSuite(seed)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sourceData, err := suite.Source.GenerateBalanced(3000, rng)
+	if err != nil {
+		return err
+	}
+	pool, err := suite.Target10.GenerateBalanced(numClients*50, rng)
+	if err != nil {
+		return err
+	}
+	test, err := suite.Target10.GenerateBalanced(500, rng)
+	if err != nil {
+		return err
+	}
+	spec := fedfteds.ModelSpec{
+		Arch:       fedfteds.ArchMLP,
+		InputShape: pool.SampleShape(),
+		NumClasses: pool.NumClasses,
+		Hidden:     64,
+		InitSeed:   seed,
+	}
+	pretrained, err := fedfteds.PretrainTransfer(spec, sourceData, fedfteds.CentralConfig{
+		Epochs: 8, LR: 0.05, Momentum: 0.5, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	parts, err := fedfteds.DirichletPartition(pool.Y, numClients, 0.1, 5, rng)
+	if err != nil {
+		return err
+	}
+	devices, err := fedfteds.NewHeterogeneousDevices(numClients, 1e9, 0.5, rng)
+	if err != nil {
+		return err
+	}
+	clients := make([]*fedfteds.Client, numClients)
+	for i, idxs := range parts {
+		ds, err := pool.Subset(idxs)
+		if err != nil {
+			return err
+		}
+		clients[i] = &fedfteds.Client{ID: i, Data: ds, Device: devices[i]}
+	}
+
+	// Every run shares the model initialization and seed; only the cohort
+	// schedule differs.
+	runs := []struct {
+		name      string
+		scheduler fedfteds.Scheduler
+		cohort    int
+	}{
+		{name: "full pool (no scheduler)"},
+		{name: "uniform cohort K=5", scheduler: fedfteds.UniformRandom{}, cohort: cohortK},
+		{name: "entropy cohort K=5 under churn",
+			scheduler: &fedfteds.Availability{
+				Inner:    fedfteds.EntropyUtility{Epsilon: 0.2},
+				DownProb: 0.25, UpProb: 0.5,
+			},
+			cohort: cohortK},
+	}
+	fmt.Printf("%d clients, %d rounds, FedFT-EDS locals (moderate part, P_ds=0.5)\n\n", numClients, rounds)
+	for _, r := range runs {
+		global, err := pretrained.Clone()
+		if err != nil {
+			return err
+		}
+		cfg := fedfteds.Config{
+			Rounds:         rounds,
+			LocalEpochs:    2,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   fedfteds.FinetuneModerate,
+			Selector:       fedfteds.EntropySelector{Temperature: 0.1},
+			SelectFraction: 0.5,
+			Scheduler:      r.scheduler,
+			CohortSize:     r.cohort,
+			Seed:           seed,
+		}
+		runner, err := fedfteds.NewRunner(cfg, global, clients, test)
+		if err != nil {
+			return err
+		}
+		hist, err := runner.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-32s best %.2f%%  final %.2f%%  client-seconds %8.1f\n",
+			r.name, 100*hist.BestAccuracy, 100*hist.FinalAccuracy, hist.TotalTrainSeconds)
+		last := hist.Records[len(hist.Records)-1]
+		fmt.Printf("%-32s last round: policy %q, cohort %d, %d participated\n\n",
+			"", last.SchedPolicy, last.CohortSize, last.Participants)
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
 	"fedfteds/internal/partition"
+	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 )
@@ -186,6 +187,38 @@ var (
 	// DialTCP connects to a fedserver.
 	DialTCP = comm.DialTCP
 )
+
+// Cohort scheduling (internal/sched): per round the server samples K
+// clients from the pool; straggler and fault-tolerance policies then apply
+// within the cohort. Set Config.Scheduler/Config.CohortSize in the
+// simulator, or RoundEngine.RunCohort in the distributed engine.
+type (
+	// Scheduler samples the per-round client cohort.
+	Scheduler = sched.Scheduler
+	// Candidate describes one client eligible for a round.
+	Candidate = sched.Candidate
+	// UniformRandom samples the cohort uniformly (FedAvg-style).
+	UniformRandom = sched.UniformRandom
+	// SizeWeighted samples clients proportionally to their dataset size.
+	SizeWeighted = sched.SizeWeighted
+	// EntropyUtility exploits high mean-EDS-entropy clients with ε-greedy
+	// exploration.
+	EntropyUtility = sched.EntropyUtility
+	// PowerOfD samples d·K candidates and keeps the K fastest.
+	PowerOfD = sched.PowerOfD
+	// Availability composes any inner policy with client churn (Markov
+	// on/off process or replayed trace).
+	Availability = sched.Availability
+	// UtilityTracker stores the per-client utility feedback loop.
+	UtilityTracker = sched.Tracker
+)
+
+// ParseScheduler maps the shared CLI policy names (uniform, size, entropy,
+// powerd, avail:<inner>) to a Scheduler.
+var ParseScheduler = sched.Parse
+
+// NewUtilityTracker starts an empty client-utility feedback store.
+var NewUtilityTracker = sched.NewTracker
 
 // Devices and stragglers.
 type (

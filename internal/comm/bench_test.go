@@ -1,0 +1,48 @@
+package comm
+
+// StreamAggregator benchmark at a realistic federation round size: 32
+// client updates, each carrying an MLP-upper-part-sized state (~80k
+// parameters across 4 tensors). One iteration folds a full round and
+// normalizes, the aggregator's whole per-round life cycle. Results feed
+// BENCH_sched.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+func BenchmarkStreamAggregatorRound(b *testing.B) {
+	const numUpdates = 32
+	shapes := [][]int{{256, 256}, {256}, {256, 64}, {64}}
+	rng := rand.New(rand.NewSource(1))
+	updates := make([]ClientUpdate, numUpdates)
+	var bytes int64
+	for c := range updates {
+		ts := make([]*tensor.Tensor, len(shapes))
+		for i, sh := range shapes {
+			ts[i] = tensor.New(sh...)
+			ts[i].FillNormal(rng, 0, 1)
+		}
+		blob, err := EncodeTensors(ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(blob))
+		updates[c] = ClientUpdate{ClientID: c, Round: 1, State: blob, NumSelected: 10 + c}
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := NewStreamAggregator()
+		for _, u := range updates {
+			if err := agg.Add(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := agg.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -105,6 +105,16 @@ func (e *RoundEngine) RunRound(rs RoundStart, fold func(ClientUpdate) error) (Ro
 	return e.sess.runRound(rs, e.sess.ClientIDs(), e.cfg, fold)
 }
 
+// RunCohort executes one round against only the scheduled cohort (a subset
+// of the live client IDs). Clients outside the cohort are not contacted at
+// all: no broadcast reaches them, their connections stay registered and
+// deadline-free, and they simply block waiting for the next RoundStart —
+// rejoining whenever a later cohort includes them. Quorum applies to the
+// cohort, not the full federation.
+func (e *RoundEngine) RunCohort(rs RoundStart, cohort []int, fold func(ClientUpdate) error) (RoundOutcome, error) {
+	return e.sess.runRound(rs, cohort, e.cfg, fold)
+}
+
 // runRound is the shared engine core; see RoundEngine.RunRound.
 func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfig, fold func(ClientUpdate) error) (RoundOutcome, error) {
 	out := RoundOutcome{Round: rs.Round, Failures: make(map[int]error)}
@@ -116,6 +126,11 @@ func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfi
 		conn, ok := s.conns[id]
 		if !ok {
 			return out, fmt.Errorf("%w: unknown client %d", ErrProtocol, id)
+		}
+		if _, dup := conns[id]; dup {
+			// A duplicated cohort entry would silently inflate the quorum
+			// denominator; reject it instead.
+			return out, fmt.Errorf("%w: duplicate client %d in cohort", ErrProtocol, id)
 		}
 		conns[id] = conn
 	}

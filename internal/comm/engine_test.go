@@ -101,6 +101,93 @@ func TestEngineQuorumSurvivesKilledClient(t *testing.T) {
 	}
 }
 
+// TestEngineCohortIdleClientsSurviveAndRejoin drives scheduled cohorts: a
+// round broadcast to cohort {0, 1} must never touch client 2 — it receives
+// no frame, keeps its connection, and counts toward no quorum — and a later
+// cohort that includes it gets its update as if nothing happened.
+func TestEngineCohortIdleClientsSurviveAndRejoin(t *testing.T) {
+	const numClients = 3
+	lst := NewPipeListener(numClients)
+	rounds := make([]chan int, numClients) // the round indices each client served
+	for i := 0; i < numClients; i++ {
+		rounds[i] = make(chan int, 8)
+		go func(id int) {
+			sess, _, err := Join(lst.ClientSide(id), id, 10+id)
+			if err != nil {
+				return
+			}
+			for {
+				rs, ok, err := sess.NextRound()
+				if err != nil || !ok {
+					close(rounds[id])
+					return
+				}
+				rounds[id] <- rs.Round
+				if err := sess.SendUpdate(ClientUpdate{ClientID: id, Round: rs.Round, NumSelected: 1}); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+
+	sess, err := AcceptClients(lst, numClients, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short deadline: if the engine waited on the idle client, the round
+	// would stall to the deadline and report a timeout.
+	eng, err := NewRoundEngine(sess, EngineConfig{RoundDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fold := func(ClientUpdate) error { return nil }
+	out, err := eng.RunCohort(RoundStart{Round: 1}, []int{0, 1}, fold)
+	if err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	if !reflect.DeepEqual(out.Reported, []int{0, 1}) || len(out.TimedOut) != 0 || len(out.Dropped) != 0 {
+		t.Fatalf("round 1 outcome %+v", out)
+	}
+	// The idle client stays registered with its Hello metadata intact.
+	if ids := sess.ClientIDs(); !reflect.DeepEqual(ids, []int{0, 1, 2}) {
+		t.Fatalf("live clients %v, want all three", ids)
+	}
+	if got := sess.LocalSize(2); got != 12 {
+		t.Fatalf("idle client's local size %d, want 12", got)
+	}
+
+	// The formerly idle client serves the next cohort; client 0 now idles.
+	out, err = eng.RunCohort(RoundStart{Round: 2}, []int{1, 2}, fold)
+	if err != nil {
+		t.Fatalf("round 2: %v", err)
+	}
+	if !reflect.DeepEqual(out.Reported, []int{1, 2}) {
+		t.Fatalf("round 2 reported %v", out.Reported)
+	}
+
+	// Duplicate cohort entries must be rejected, not silently collapsed.
+	if _, err := eng.RunCohort(RoundStart{Round: 3}, []int{1, 1}, fold); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("duplicate cohort: %v, want ErrProtocol", err)
+	}
+
+	if err := sess.Shutdown("done"); err != nil {
+		t.Fatal(err)
+	}
+	// Per-client service log: client 0 served only round 1, client 1 both
+	// rounds, client 2 only round 2 — idle rounds left no trace.
+	want := [][]int{{1}, {1, 2}, {2}}
+	for id := range rounds {
+		var got []int
+		for r := range rounds[id] {
+			got = append(got, r)
+		}
+		if !reflect.DeepEqual(got, want[id]) {
+			t.Fatalf("client %d served rounds %v, want %v", id, got, want[id])
+		}
+	}
+}
+
 func TestEngineDeadlineDropsStalledClientThenRejoins(t *testing.T) {
 	lst := NewPipeListener(2)
 	go echoClient(lst.ClientSide(0), 0)

@@ -100,6 +100,10 @@ type ClientUpdate struct {
 	// TrainLoss is the final epoch's mean training loss, so the server can
 	// report rounds the same way the in-process simulator does.
 	TrainLoss float64
+	// MeanEntropy is the mean EDS entropy over the client's full local
+	// dataset (NaN when the client's selector has no utility signal). The
+	// server feeds it to the cohort scheduler as the client-level utility.
+	MeanEntropy float64
 }
 
 // Shutdown ends the session.

@@ -16,6 +16,7 @@ const shutdownTimeout = 10 * time.Second
 // Transport. It implements the server half of the wire protocol.
 type ServerSession struct {
 	conns map[int]Conn // by client ID
+	sizes map[int]int  // local dataset sizes reported at Hello, by client ID
 }
 
 // AcceptClients blocks until numClients clients have registered, answering
@@ -26,7 +27,10 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 	if numClients <= 0 {
 		return nil, fmt.Errorf("%w: numClients %d", ErrProtocol, numClients)
 	}
-	s := &ServerSession{conns: make(map[int]Conn, numClients)}
+	s := &ServerSession{
+		conns: make(map[int]Conn, numClients),
+		sizes: make(map[int]int, numClients),
+	}
 	fail := func(conn Conn, err error) (*ServerSession, error) {
 		if conn != nil {
 			_ = conn.Close()
@@ -63,9 +67,14 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 			return fail(conn, fmt.Errorf("comm: sending welcome to %d: %w", hello.ClientID, err))
 		}
 		s.conns[hello.ClientID] = conn
+		s.sizes[hello.ClientID] = hello.LocalSize
 	}
 	return s, nil
 }
+
+// LocalSize returns the local dataset size the client reported at
+// registration (zero for unknown clients) — the scheduler's |D_i| signal.
+func (s *ServerSession) LocalSize(id int) int { return s.sizes[id] }
 
 // ClientIDs returns the registered client IDs in ascending order.
 func (s *ServerSession) ClientIDs() []int {

@@ -107,10 +107,31 @@ var _ Conn = (*TCPConn)(nil)
 // NewTCPConn wraps an established net.Conn.
 func NewTCPConn(conn net.Conn) *TCPConn { return &TCPConn{conn: conn} }
 
+// DesyncError reports a frame operation that failed mid-frame, leaving the
+// stream desynchronized. It matches ErrProtocol under errors.Is but
+// deliberately does NOT unwrap to its cause: a mid-frame deadline expiry
+// must classify as a protocol error (drop the corrupt connection), never as
+// a recoverable timeout. Callers that need the cause — e.g. fedclient
+// telling a severed connection from a local fault — read Cause directly.
+type DesyncError struct {
+	// Op names the failed frame operation ("write body", "read header", ...).
+	Op string
+	// Cause is the underlying transport error. Not part of the Is/As chain.
+	Cause error
+}
+
+// Error implements error.
+func (e *DesyncError) Error() string {
+	return fmt.Sprintf("%v: %s failed mid-frame, stream desynchronized: %v", ErrProtocol, e.Op, e.Cause)
+}
+
+// Is reports ErrProtocol, the class every desynchronized stream belongs to.
+func (e *DesyncError) Is(target error) bool { return target == ErrProtocol }
+
 // desync marks the stream unusable and returns the wrapping error.
 func (c *TCPConn) desync(op string, err error) error {
 	c.broken.Store(true)
-	return fmt.Errorf("%w: %s failed mid-frame, stream desynchronized: %v", ErrProtocol, op, err)
+	return &DesyncError{Op: op, Cause: err}
 }
 
 // Send implements Conn.

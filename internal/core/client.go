@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"fedfteds/internal/data"
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
 	"fedfteds/internal/opt"
+	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 	"fedfteds/internal/tensor"
 )
@@ -31,6 +33,11 @@ type LocalOutcome struct {
 	Cost simtime.RoundCost
 	// TrainLoss is the final epoch's mean training loss.
 	TrainLoss float64
+	// MeanEntropy is the mean EDS entropy over the client's full local
+	// dataset, reported from the selection scoring pass at no extra cost;
+	// NaN when the selector has no utility signal. The server's cohort
+	// scheduler uses it as the client-level utility.
+	MeanEntropy float64
 }
 
 // clientResult carries one client's round outcome back to the server.
@@ -41,6 +48,7 @@ type clientResult struct {
 	localSize   int
 	cost        simtime.RoundCost
 	trainLoss   float64
+	meanEntropy float64
 }
 
 // LocalUpdate executes one local round on a clone of the global model: data
@@ -58,7 +66,15 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 	}
 	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))
 
-	selIdx, err := cfg.Selector.Select(local, cl.Data, cfg.SelectFraction, rng)
+	var (
+		selIdx      []int
+		meanEntropy = math.NaN()
+	)
+	if us, ok := cfg.Selector.(selection.UtilityScorer); ok {
+		selIdx, meanEntropy, err = us.SelectWithUtility(local, cl.Data, cfg.SelectFraction, rng)
+	} else {
+		selIdx, err = cfg.Selector.Select(local, cl.Data, cfg.SelectFraction, rng)
+	}
 	if err != nil {
 		return LocalOutcome{}, fmt.Errorf("core: client %d: selection: %w", cl.ID, err)
 	}
@@ -126,6 +142,7 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 		NumSelected: selected.Len(),
 		Cost:        cost,
 		TrainLoss:   lastLoss,
+		MeanEntropy: meanEntropy,
 	}, nil
 }
 
@@ -155,5 +172,6 @@ func runClientRound(cfg Config, global *models.Model, cl *Client, round int) (cl
 		localSize:   cl.Data.Len(),
 		cost:        out.Cost,
 		trainLoss:   out.TrainLoss,
+		meanEntropy: out.MeanEntropy,
 	}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 )
@@ -69,6 +70,15 @@ type Config struct {
 	Selector selection.Selector
 	// SelectFraction is P_ds, the share of local data selected (0, 1].
 	SelectFraction float64
+	// Scheduler samples the per-round cohort from the full client pool
+	// before any training happens; the Straggler policy then applies within
+	// the cohort. Nil trains the whole pool every round (the legacy
+	// behavior, bit-identical to runs predating the scheduler).
+	Scheduler sched.Scheduler
+	// CohortSize is K, the number of clients the Scheduler may pick per
+	// round; 0 (or any value >= the pool) means the whole pool. Setting
+	// CohortSize without a Scheduler defaults to UniformRandom sampling.
+	CohortSize int
 	// Straggler decides which clients complete each round.
 	Straggler simtime.StragglerPolicy
 	// AggWeighting selects the aggregation weights (default WeightBySelected).
@@ -89,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Straggler == nil {
 		c.Straggler = simtime.FullParticipation{}
+	}
+	if c.CohortSize > 0 && c.Scheduler == nil {
+		c.Scheduler = sched.UniformRandom{}
 	}
 	if c.AggWeighting == 0 {
 		c.AggWeighting = WeightBySelected
@@ -130,6 +143,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: proximal mu %v", ErrConfig, c.ProxMu)
 	case c.SelectFraction <= 0 || c.SelectFraction > 1:
 		return fmt.Errorf("%w: select fraction %v", ErrConfig, c.SelectFraction)
+	case c.CohortSize < 0:
+		return fmt.Errorf("%w: cohort size %d", ErrConfig, c.CohortSize)
 	case c.EvalEvery < 0:
 		return fmt.Errorf("%w: eval every %d", ErrConfig, c.EvalEvery)
 	case c.Parallelism < 1:

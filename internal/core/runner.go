@@ -8,6 +8,7 @@ import (
 	"fedfteds/internal/data"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
 	"fedfteds/internal/simtime"
 	"fedfteds/internal/tensor"
 )
@@ -16,6 +17,13 @@ import (
 type RoundRecord struct {
 	// Round is the 1-based round index.
 	Round int
+	// CohortSize is how many clients the scheduler admitted to this round
+	// (the straggler policy then applies within the cohort). It equals the
+	// pool size when no scheduler is configured.
+	CohortSize int
+	// SchedPolicy names the cohort-scheduling policy that produced this
+	// round's cohort; empty when no scheduler is configured.
+	SchedPolicy string
 	// Participants is the number of clients whose updates were aggregated.
 	Participants int
 	// TestAccuracy is the global model's test accuracy after this round, or
@@ -65,6 +73,9 @@ type Runner struct {
 	global  *models.Model
 	clients []*Client
 	test    *data.Dataset
+	// utility feeds client-level feedback (mean EDS entropy, or train loss
+	// as a fallback) from each round back into the cohort scheduler.
+	utility *sched.Tracker
 }
 
 // NewRunner validates the configuration and constructs a runner. The global
@@ -91,7 +102,7 @@ func NewRunner(cfg Config, global *models.Model, clients []*Client, test *data.D
 	if test == nil || test.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty test set", ErrConfig)
 	}
-	return &Runner{cfg: cfg, global: global, clients: clients, test: test}, nil
+	return &Runner{cfg: cfg, global: global, clients: clients, test: test, utility: sched.NewTracker()}, nil
 }
 
 // GlobalModel returns the (live) global model.
@@ -114,7 +125,7 @@ func (r *Runner) Run() (History, error) {
 	}
 
 	for round := 1; round <= r.cfg.Rounds; round++ {
-		participants, err := r.sampleParticipants(round)
+		participants, positions, cohortSize, err := r.sampleParticipants(round)
 		if err != nil {
 			return hist, err
 		}
@@ -127,19 +138,24 @@ func (r *Runner) Run() (History, error) {
 		}
 
 		var lossSum float64
-		for _, res := range results {
+		for i, res := range results {
 			acct.AddRound(res.cost)
 			acct.AddCommunication(stateSize, stateSize)
 			lossSum += res.trainLoss
+			r.utility.ObserveUpdate(positions[i], res.meanEntropy, res.trainLoss, res.cost.Total())
 		}
 
 		rec := RoundRecord{
 			Round:           round,
+			CohortSize:      cohortSize,
 			Participants:    len(results),
 			TestAccuracy:    math.NaN(),
 			MeanTrainLoss:   lossSum / float64(len(results)),
 			CumTrainSeconds: acct.TotalSeconds(),
 			CumUplinkBytes:  acct.UplinkBytes(),
+		}
+		if r.cfg.Scheduler != nil {
+			rec.SchedPolicy = r.cfg.Scheduler.Name()
 		}
 		if r.cfg.EvalEvery > 0 && (round%r.cfg.EvalEvery == 0 || round == r.cfg.Rounds) {
 			acc, err := metrics.Accuracy(r.global, r.test)
@@ -160,8 +176,11 @@ func (r *Runner) Run() (History, error) {
 	return hist, nil
 }
 
-// sampleParticipants applies the straggler policy to the full client pool.
-func (r *Runner) sampleParticipants(round int) ([]*Client, error) {
+// sampleParticipants picks the round's cohort with the configured scheduler
+// (the whole pool when none is set) and then applies the straggler policy
+// within it. It returns the participants, their pool positions (parallel),
+// and the cohort size the scheduler admitted.
+func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 	ids := make([]int, len(r.clients))
 	times := make([]float64, len(r.clients))
 	for i, cl := range r.clients {
@@ -170,20 +189,51 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, error) {
 			cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
 			r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
 		if err != nil {
-			return nil, fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
+			return nil, nil, 0, fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
 		}
 		times[i] = cost.Total()
 	}
+
+	cohort, cohortTimes := ids, times
+	if r.cfg.Scheduler != nil {
+		// Candidates are keyed by pool position, the same key the straggler
+		// policy and the utility tracker use.
+		cands := make([]sched.Candidate, len(r.clients))
+		for i, cl := range r.clients {
+			cands[i] = sched.Candidate{
+				ClientID:         i,
+				DataSize:         cl.Data.Len(),
+				ProjectedSeconds: times[i],
+				Available:        true,
+			}
+		}
+		r.utility.Stamp(cands)
+		srng := tensor.NewRand(uint64(r.cfg.Seed), uint64(round), sched.StreamTag)
+		cohort = r.cfg.Scheduler.Schedule(round, cands, r.cfg.CohortSize, srng)
+		if len(cohort) == 0 {
+			return nil, nil, 0, fmt.Errorf("core: scheduler %s returned an empty cohort in round %d",
+				r.cfg.Scheduler.Name(), round)
+		}
+		cohortTimes = make([]float64, len(cohort))
+		for i, idx := range cohort {
+			if idx < 0 || idx >= len(r.clients) {
+				return nil, nil, 0, fmt.Errorf("core: scheduler %s returned unknown client %d in round %d",
+					r.cfg.Scheduler.Name(), idx, round)
+			}
+			cohortTimes[i] = times[idx]
+		}
+	}
+
 	rng := tensor.NewRand(uint64(r.cfg.Seed), uint64(round), 0xFACADE)
-	chosen := r.cfg.Straggler.Complete(ids, times, rng)
+	chosen := r.cfg.Straggler.Complete(cohort, cohortTimes, rng)
 	if len(chosen) == 0 {
-		return nil, fmt.Errorf("core: straggler policy left no participants in round %d", round)
+		return nil, nil, 0, fmt.Errorf("core: straggler policy left no participants in round %d", round)
 	}
 	out := make([]*Client, len(chosen))
 	for i, idx := range chosen {
 		out[i] = r.clients[idx]
 	}
-	return out, nil
+	return out, chosen, len(cohort), nil
 }
 
 // projectedSelected mirrors the selector's targetCount for cost projection.

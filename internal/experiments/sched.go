@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fedfteds/internal/core"
+	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/tensor"
+)
+
+// SchedPolicyNames is the scheduler-comparison lineup: every shipped policy
+// plus the churn wrapper around the baseline, so the comparison covers the
+// exploitation, speed, size and availability axes at once.
+var SchedPolicyNames = []string{"uniform", "size", "entropy", "powerd", "avail:uniform"}
+
+// SchedRow is one policy's outcome at the shared cohort size.
+type SchedRow struct {
+	// Policy is the scheduler's CLI name.
+	Policy string
+	// CohortSize is K, identical across rows by construction.
+	CohortSize int
+	// Hist is the policy's full run history; its records carry the per-round
+	// cohort size, participants and cumulative client-seconds.
+	Hist core.History
+}
+
+// SchedCompareResult compares cohort-scheduling policies at a fixed K on
+// one federation: accuracy against cumulative client-seconds, the same
+// trade-off the paper's learning-efficiency metric captures, now driven by
+// who is scheduled rather than what each client trains on.
+type SchedCompareResult struct {
+	// Rows holds one entry per policy, in SchedPolicyNames order.
+	Rows []SchedRow
+	// NumClients is the federation size the cohort is drawn from.
+	NumClients int
+}
+
+// RunSchedCompare runs every policy in policyNames (nil means the standard
+// SchedPolicyNames lineup) on one shared federation with cohort size K
+// (k <= 0 picks a scale-appropriate default of roughly a third of the
+// pool). All policies see the same clients, model initialization and seed;
+// only the cohort choice differs.
+func RunSchedCompare(env *Env, policyNames []string, k int) (*SchedCompareResult, error) {
+	if len(policyNames) == 0 {
+		policyNames = SchedPolicyNames
+	}
+	numClients := env.Dims.LargeClients
+	if k <= 0 {
+		k = numClients / 3
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > numClients {
+		k = numClients
+	}
+
+	fed, err := env.BuildFederation(env.Suite.Target10, numClients, 0.1, 4242)
+	if err != nil {
+		return nil, err
+	}
+	res := &SchedCompareResult{NumClients: numClients}
+	for _, name := range policyNames {
+		policy, err := sched.Parse(name)
+		if err != nil {
+			return nil, err
+		}
+		global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
+			Rounds:         env.Dims.Rounds,
+			LocalEpochs:    env.Dims.LocalEpochs,
+			LR:             paperLR,
+			Momentum:       paperMomentum,
+			FinetunePart:   models.FinetuneModerate,
+			Selector:       selection.Entropy{Temperature: paperTemperature},
+			SelectFraction: 0.5,
+			Scheduler:      policy,
+			CohortSize:     k,
+			// Every policy shares one seed: the comparison isolates the
+			// cohort choice, not the run randomness.
+			Seed: tensor.DeriveSeed(uint64(env.Seed), sched.StreamTag),
+		}
+		runner, err := core.NewRunner(cfg, global, fed.Clients, fed.Test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sched %s: %w", name, err)
+		}
+		hist, err := runner.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sched %s: run: %w", name, err)
+		}
+		res.Rows = append(res.Rows, SchedRow{Policy: name, CohortSize: k, Hist: hist})
+	}
+	return res, nil
+}
+
+// Render prints the comparison as a table: per policy the best and final
+// accuracy, total simulated client-seconds, and the mean participants per
+// round (the straggler survivors within the cohort).
+func (r *SchedCompareResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduler comparison: cohort K of %d clients, FedFT-EDS locals\n", r.NumClients)
+	fmt.Fprintf(&b, "%-14s %3s %9s %9s %14s %13s\n",
+		"policy", "K", "best acc", "final acc", "client-seconds", "participants")
+	for _, row := range r.Rows {
+		var partSum float64
+		for _, rec := range row.Hist.Records {
+			partSum += float64(rec.Participants)
+		}
+		meanPart := partSum / float64(len(row.Hist.Records))
+		fmt.Fprintf(&b, "%-14s %3d %8.2f%% %8.2f%% %14.4g %13.1f\n",
+			row.Policy, row.CohortSize,
+			100*row.Hist.BestAccuracy, 100*row.Hist.FinalAccuracy,
+			row.Hist.TotalTrainSeconds, meanPart)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunSchedCompareSmoke runs the scheduler comparison at smoke scale:
+// every policy must produce a full history whose records carry the cohort
+// size, policy name, participants and monotone cumulative client-seconds.
+func TestRunSchedCompareSmoke(t *testing.T) {
+	env, err := NewEnv(ScaleSmoke, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSchedCompare(env, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(SchedPolicyNames) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(SchedPolicyNames))
+	}
+	for i, row := range res.Rows {
+		if row.Policy != SchedPolicyNames[i] {
+			t.Fatalf("row %d policy %q, want %q", i, row.Policy, SchedPolicyNames[i])
+		}
+		if len(row.Hist.Records) != env.Dims.Rounds {
+			t.Fatalf("%s: %d records, want %d", row.Policy, len(row.Hist.Records), env.Dims.Rounds)
+		}
+		prevCum := 0.0
+		for _, rec := range row.Hist.Records {
+			if rec.SchedPolicy != row.Policy {
+				t.Fatalf("%s round %d: record policy %q", row.Policy, rec.Round, rec.SchedPolicy)
+			}
+			if rec.CohortSize < 1 || rec.CohortSize > 3 {
+				t.Fatalf("%s round %d: cohort size %d, want 1..3", row.Policy, rec.Round, rec.CohortSize)
+			}
+			if rec.Participants < 1 || rec.Participants > rec.CohortSize {
+				t.Fatalf("%s round %d: %d participants of cohort %d", row.Policy, rec.Round, rec.Participants, rec.CohortSize)
+			}
+			if rec.CumTrainSeconds < prevCum {
+				t.Fatalf("%s round %d: cumulative seconds decreased", row.Policy, rec.Round)
+			}
+			prevCum = rec.CumTrainSeconds
+		}
+		if math.IsNaN(row.Hist.FinalAccuracy) || row.Hist.FinalAccuracy <= 0 {
+			t.Fatalf("%s: final accuracy %v", row.Policy, row.Hist.FinalAccuracy)
+		}
+	}
+	if out := res.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

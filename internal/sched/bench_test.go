@@ -1,0 +1,54 @@
+package sched
+
+// Cohort-sampling benchmarks at federation scale: N = 1e5 candidates,
+// K = 1000 cohort slots — the regime the ROADMAP's millions-of-users server
+// must sustain once per round. Results feed BENCH_sched.json.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const (
+	benchN = 100_000
+	benchK = 1_000
+)
+
+// benchCandidates builds the N=1e5 candidate pool once per benchmark.
+func benchCandidates() []Candidate {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]Candidate, benchN)
+	for i := range out {
+		out[i] = Candidate{
+			ClientID:         i,
+			DataSize:         50 + rng.Intn(500),
+			ProjectedSeconds: 1 + 10*rng.Float64(),
+			Utility:          rng.Float64(),
+			HasUtility:       rng.Intn(4) != 0,
+			Available:        true,
+		}
+	}
+	return out
+}
+
+// benchSchedule times one Schedule call per iteration.
+func benchSchedule(b *testing.B, s Scheduler) {
+	b.Helper()
+	cands := benchCandidates()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cohort := s.Schedule(i+1, cands, benchK, rng)
+		if len(cohort) == 0 {
+			b.Fatal("empty cohort")
+		}
+	}
+}
+
+func BenchmarkUniformRandom100k(b *testing.B)  { benchSchedule(b, UniformRandom{}) }
+func BenchmarkSizeWeighted100k(b *testing.B)   { benchSchedule(b, SizeWeighted{}) }
+func BenchmarkEntropyUtility100k(b *testing.B) { benchSchedule(b, EntropyUtility{}) }
+func BenchmarkPowerOfD100k(b *testing.B)       { benchSchedule(b, PowerOfD{}) }
+func BenchmarkAvailability100k(b *testing.B) {
+	benchSchedule(b, &Availability{Inner: UniformRandom{}, DownProb: 0.1, UpProb: 0.3})
+}

@@ -1,0 +1,457 @@
+// Package sched implements server-side cohort scheduling: per round the
+// server samples K clients from the full pool, and only the cohort trains.
+// This is the client-level counterpart of the paper's sample-level entropy
+// selection — clients already compute EDS entropy scores for their data, so
+// the server can reuse the reported mean entropy as a client utility signal
+// (the EntropyUtility policy). The subsystem is shared by the in-process
+// simulator (core.Runner) and the distributed round engine
+// (comm.RoundEngine); straggler and fault-tolerance policies then apply
+// *within* the scheduled cohort.
+//
+// All policies are deterministic given the candidate slice and the caller's
+// rng, and return cohorts as ascending client IDs.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ErrSched reports an invalid scheduling configuration.
+var ErrSched = errors.New("sched: invalid configuration")
+
+// StreamTag is the rng-stream salt every scheduling call site mixes into
+// its per-round seed derivation (tensor.NewRand(seed, round, StreamTag)).
+// One shared constant keeps the simulator, the distributed server and the
+// experiments on the same dedicated stream, so enabling a scheduler never
+// perturbs the straggler or training rng streams.
+const StreamTag uint64 = 0x5C4ED
+
+// Candidate describes one client eligible for the round.
+type Candidate struct {
+	// ClientID is the client's federation index.
+	ClientID int
+	// DataSize is |D_i|, the client's local dataset size.
+	DataSize int
+	// ProjectedSeconds estimates the client's round time: the simulator
+	// projects it from the simtime cost model, the distributed server uses
+	// the client's last reported TrainSeconds (zero before first contact).
+	ProjectedSeconds float64
+	// Utility is the client's last reported utility — mean EDS entropy when
+	// the client runs entropy selection, otherwise its train loss.
+	Utility float64
+	// HasUtility reports whether Utility was ever observed; policies treat
+	// clients without feedback as exploration targets.
+	HasUtility bool
+	// Available marks the client reachable this round. Policies never
+	// schedule unavailable candidates.
+	Available bool
+}
+
+// Scheduler picks the per-round cohort.
+type Scheduler interface {
+	// Name returns the policy's CLI identifier ("uniform", "powerd", ...).
+	Name() string
+	// Schedule returns at most k client IDs drawn from the available
+	// candidates, ascending. Implementations must be deterministic given
+	// cands and rng; round lets stateful policies (churn models) evolve.
+	Schedule(round int, cands []Candidate, k int, rng *rand.Rand) []int
+}
+
+// clampK bounds the cohort size to [1, n] (k <= 0 means the whole pool).
+func clampK(k, n int) int {
+	if k <= 0 || k > n {
+		return n
+	}
+	return k
+}
+
+// availableSet returns the indices of the available candidates.
+func availableSet(cands []Candidate) []int {
+	out := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if c.Available {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selectTopK returns the indices 0..n-1 of the k best items under better —
+// a strict total order (better(a, b) reports item a strictly better than
+// item b; break ties explicitly so the order is total) — as an unordered
+// set. A bounded heap keeps this O(n log k) against the full sort's
+// O(n log n), which dominates fleet-scale scheduling (N=1e5, K=1e3).
+func selectTopK(n, k int, better func(a, b int) bool) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	h := make([]int, 0, k) // min-heap: h[0] is the worst kept item
+	worse := func(a, b int) bool { return better(b, a) }
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(h) < k {
+			h = append(h, i)
+			siftUp(len(h) - 1)
+		} else if better(i, h[0]) {
+			h[0] = i
+			siftDown()
+		}
+	}
+	return h
+}
+
+// finishCohort maps chosen candidate indices to sorted client IDs.
+func finishCohort(cands []Candidate, chosen []int) []int {
+	ids := make([]int, len(chosen))
+	for i, idx := range chosen {
+		ids[i] = cands[idx].ClientID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// UniformRandom samples the cohort uniformly without replacement — the
+// classical FedAvg client sampling and the baseline every other policy is
+// judged against.
+type UniformRandom struct{}
+
+var _ Scheduler = UniformRandom{}
+
+// Name implements Scheduler.
+func (UniformRandom) Name() string { return "uniform" }
+
+// Schedule implements Scheduler.
+func (UniformRandom) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []int {
+	avail := availableSet(cands)
+	k = clampK(k, len(avail))
+	perm := rng.Perm(len(avail))
+	chosen := make([]int, 0, k)
+	for _, p := range perm[:k] {
+		chosen = append(chosen, avail[p])
+	}
+	return finishCohort(cands, chosen)
+}
+
+// SizeWeighted samples the cohort without replacement with probability
+// proportional to |D_i| (FedAvg-style size-biased sampling), via the
+// Efraimidis–Spirakis exponential-key reservoir: each candidate draws
+// key = U^(1/w) and the k largest keys win.
+type SizeWeighted struct{}
+
+var _ Scheduler = SizeWeighted{}
+
+// Name implements Scheduler.
+func (SizeWeighted) Name() string { return "size" }
+
+// Schedule implements Scheduler.
+func (SizeWeighted) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []int {
+	avail := availableSet(cands)
+	k = clampK(k, len(avail))
+	keys := make([]float64, len(avail))
+	for i, idx := range avail {
+		w := float64(cands[idx].DataSize)
+		if w < 1 {
+			w = 1
+		}
+		keys[i] = math.Pow(rng.Float64(), 1/w)
+	}
+	top := selectTopK(len(avail), k, func(a, b int) bool {
+		if keys[a] != keys[b] {
+			return keys[a] > keys[b]
+		}
+		return a < b
+	})
+	chosen := make([]int, 0, k)
+	for _, i := range top {
+		chosen = append(chosen, avail[i])
+	}
+	return finishCohort(cands, chosen)
+}
+
+// EntropyUtility exploits the clients with the highest reported utility —
+// mean EDS entropy, or train loss where entropy is unavailable — with
+// ε-greedy exploration: round(ε·k) cohort slots (at least one when ε > 0
+// and k > 1) go to uniformly random non-exploited candidates, so clients
+// the server has never heard from (or whose utility decayed) keep a
+// positive selection probability every round and starved clients recover.
+type EntropyUtility struct {
+	// Epsilon is the exploration share of the cohort in [0, 1); 0 defaults
+	// to 0.1 and negative values disable exploration (pure exploit).
+	Epsilon float64
+}
+
+var _ Scheduler = EntropyUtility{}
+
+// DefaultEpsilon is the exploration share used when Epsilon is zero.
+const DefaultEpsilon = 0.1
+
+// Name implements Scheduler.
+func (EntropyUtility) Name() string { return "entropy" }
+
+// Schedule implements Scheduler.
+func (e EntropyUtility) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []int {
+	eps := e.Epsilon
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	avail := availableSet(cands)
+	k = clampK(k, len(avail))
+	nExplore := int(math.Round(eps * float64(k)))
+	if nExplore < 0 {
+		nExplore = 0
+	}
+	if eps > 0 && nExplore == 0 && k > 1 {
+		// Small cohorts must still explore: round(ε·k) = 0 would starve
+		// every client outside the exploited set forever.
+		nExplore = 1
+	}
+	if nExplore > k {
+		nExplore = k
+	}
+
+	// Exploit: the highest-utility scored candidates, ties broken by ID.
+	scored := make([]int, 0, len(avail))
+	for _, idx := range avail {
+		if cands[idx].HasUtility {
+			scored = append(scored, idx)
+		}
+	}
+	nExploit := k - nExplore
+	if nExploit > len(scored) {
+		nExploit = len(scored) // the rest of the pool is unexplored anyway
+	}
+	top := selectTopK(len(scored), nExploit, func(a, b int) bool {
+		ua, ub := cands[scored[a]].Utility, cands[scored[b]].Utility
+		if ua != ub {
+			return ua > ub
+		}
+		return cands[scored[a]].ClientID < cands[scored[b]].ClientID
+	})
+	chosen := make([]int, 0, k)
+	exploited := make(map[int]bool, len(top))
+	for _, i := range top {
+		chosen = append(chosen, scored[i])
+		exploited[scored[i]] = true
+	}
+
+	// Explore: uniform over everything not exploited, never-scored clients
+	// included. Unscored candidates are eligible here, which is what lets a
+	// cold-started or starved client re-enter the feedback loop. avail is
+	// ascending, so rest is too — the draw does not depend on the scored
+	// split.
+	rest := make([]int, 0, len(avail)-len(chosen))
+	for _, idx := range avail {
+		if !exploited[idx] {
+			rest = append(rest, idx)
+		}
+	}
+	perm := rng.Perm(len(rest))
+	for _, p := range perm {
+		if len(chosen) >= k {
+			break
+		}
+		chosen = append(chosen, rest[p])
+	}
+	return finishCohort(cands, chosen)
+}
+
+// PowerOfD is the fast-cohort "power of d choices" policy: sample d·k
+// candidates uniformly, keep the k with the smallest projected round time.
+// It trades a little sampling bias for a cohort whose straggler tail is cut
+// off, shrinking round wall-clock without pinning the federation to the same
+// fast clients forever (the d·k pre-sample keeps rotation).
+type PowerOfD struct {
+	// D is the oversampling factor; 0 defaults to 2.
+	D int
+}
+
+var _ Scheduler = PowerOfD{}
+
+// DefaultD is the oversampling factor used when D is zero.
+const DefaultD = 2
+
+// Name implements Scheduler.
+func (PowerOfD) Name() string { return "powerd" }
+
+// Schedule implements Scheduler.
+func (p PowerOfD) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []int {
+	d := p.D
+	if d <= 0 {
+		d = DefaultD
+	}
+	avail := availableSet(cands)
+	k = clampK(k, len(avail))
+	pool := d * k
+	if pool > len(avail) {
+		pool = len(avail)
+	}
+	perm := rng.Perm(len(avail))
+	sampled := make([]int, 0, pool)
+	for _, pi := range perm[:pool] {
+		sampled = append(sampled, avail[pi])
+	}
+	sort.SliceStable(sampled, func(a, b int) bool {
+		ta, tb := cands[sampled[a]].ProjectedSeconds, cands[sampled[b]].ProjectedSeconds
+		if ta != tb {
+			return ta < tb
+		}
+		return cands[sampled[a]].ClientID < cands[sampled[b]].ClientID
+	})
+	return finishCohort(cands, sampled[:k])
+}
+
+// Availability composes any inner policy with client churn: each client is
+// an on/off two-state Markov chain (per round, an up client goes down with
+// DownProb and a down client comes back with UpProb), or replays an
+// explicit trace. Unavailable clients are masked out of the candidate set
+// before the inner policy runs. When churn leaves no candidate up, the
+// lowest-ID candidate the caller marked available is forced up so rounds
+// cannot stall — the scheduling analogue of DeadlineStraggler always
+// keeping the fastest client. Candidates the caller itself marked
+// unavailable are never scheduled, fallback included.
+//
+// The Markov chain is stateful; construct one Availability per run and do
+// not share it across concurrent runs.
+type Availability struct {
+	// Inner is the policy applied to the surviving candidates; nil defaults
+	// to UniformRandom.
+	Inner Scheduler
+	// DownProb is P(up → down) per round; UpProb is P(down → up). Both
+	// default to 0 (no churn) and must lie in [0, 1].
+	DownProb, UpProb float64
+	// Trace, when non-nil, replays availability instead of the Markov chain:
+	// Trace(round, clientID) reports whether the client is up.
+	Trace func(round, clientID int) bool
+
+	up map[int]bool // Markov state; clients start up
+}
+
+var _ Scheduler = (*Availability)(nil)
+
+// Name implements Scheduler.
+func (a *Availability) Name() string { return "avail:" + a.inner().Name() }
+
+// inner returns the wrapped policy, defaulting to UniformRandom.
+func (a *Availability) inner() Scheduler {
+	if a.Inner == nil {
+		return UniformRandom{}
+	}
+	return a.Inner
+}
+
+// Schedule implements Scheduler. Churn transitions draw from rng before the
+// inner policy does, in ascending candidate order, so a run is reproducible
+// from its seed.
+func (a *Availability) Schedule(round int, cands []Candidate, k int, rng *rand.Rand) []int {
+	if a.up == nil {
+		a.up = make(map[int]bool, len(cands))
+	}
+	masked := make([]Candidate, len(cands))
+	copy(masked, cands)
+	anyUp := false
+	for i := range masked {
+		id := masked[i].ClientID
+		var up bool
+		if a.Trace != nil {
+			up = a.Trace(round, id)
+		} else {
+			up = true // clients start up
+			if wasUp, seen := a.up[id]; seen {
+				up = wasUp
+			}
+			if up {
+				up = rng.Float64() >= a.DownProb
+			} else {
+				up = rng.Float64() < a.UpProb
+			}
+			a.up[id] = up
+		}
+		masked[i].Available = masked[i].Available && up
+		if masked[i].Available {
+			anyUp = true
+		}
+	}
+	if !anyUp {
+		// Churn took the whole pool down: force the lowest-ID candidate back
+		// up — but only among those the *caller* considered available; a
+		// candidate the caller marked unreachable must never be scheduled.
+		lowest := -1
+		for i := range masked {
+			if cands[i].Available && (lowest < 0 || masked[i].ClientID < masked[lowest].ClientID) {
+				lowest = i
+			}
+		}
+		if lowest >= 0 {
+			masked[lowest].Available = true
+		}
+	}
+	return a.inner().Schedule(round, masked, k, rng)
+}
+
+// PolicyNames lists the identifiers Parse accepts, in display order.
+func PolicyNames() []string {
+	return []string{"uniform", "size", "entropy", "powerd", "avail:<inner>"}
+}
+
+// Parse maps a CLI policy name to a Scheduler. The names are shared by
+// `fedsim -sched` and `fedserver -sched`: "uniform", "size", "entropy",
+// "powerd", and "avail:<inner>" for the churn wrapper (e.g.
+// "avail:entropy"). Parameters keep their defaults (ε = 0.1, d = 2,
+// churn DownProb = UpProb = 0.2); construct policies directly for other
+// settings.
+func Parse(name string) (Scheduler, error) {
+	switch {
+	case name == "uniform":
+		return UniformRandom{}, nil
+	case name == "size":
+		return SizeWeighted{}, nil
+	case name == "entropy":
+		return EntropyUtility{}, nil
+	case name == "powerd":
+		return PowerOfD{}, nil
+	case strings.HasPrefix(name, "avail:"):
+		inner, err := Parse(strings.TrimPrefix(name, "avail:"))
+		if err != nil {
+			return nil, err
+		}
+		return &Availability{Inner: inner, DownProb: 0.2, UpProb: 0.2}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %q (want one of %s)",
+			ErrSched, name, strings.Join(PolicyNames(), ", "))
+	}
+}

@@ -40,6 +40,17 @@ type Selector interface {
 	ScoringPasses() int
 }
 
+// UtilityScorer is an optional Selector extension: selectors that already
+// run a scoring pass can report a client-level utility — the mean score over
+// the full local dataset — from the same pass, at no extra forward cost.
+// The server-side cohort scheduler (internal/sched) consumes it as the
+// client's exploitation signal.
+type UtilityScorer interface {
+	// SelectWithUtility behaves exactly like Select and additionally returns
+	// the mean per-sample score over the whole local dataset.
+	SelectWithUtility(m *models.Model, ds *data.Dataset, fraction float64, rng *rand.Rand) (idx []int, utility float64, err error)
+}
+
 // targetCount converts a fraction into a sample count.
 func targetCount(n int, fraction float64) (int, error) {
 	if fraction <= 0 || fraction > 1 {
@@ -119,18 +130,32 @@ func (Entropy) ScoringPasses() int { return 1 }
 
 // Select implements Selector.
 func (e Entropy) Select(m *models.Model, ds *data.Dataset, fraction float64, rng *rand.Rand) ([]int, error) {
+	idx, _, err := e.SelectWithUtility(m, ds, fraction, rng)
+	return idx, err
+}
+
+var _ UtilityScorer = Entropy{}
+
+// SelectWithUtility implements UtilityScorer: the utility is the mean
+// hardened-softmax entropy over the full local dataset, computed from the
+// selection scoring pass it shares with Select.
+func (e Entropy) SelectWithUtility(m *models.Model, ds *data.Dataset, fraction float64, _ *rand.Rand) ([]int, float64, error) {
 	if e.Temperature <= 0 {
-		return nil, fmt.Errorf("%w: temperature %v must be positive", ErrSelection, e.Temperature)
+		return nil, 0, fmt.Errorf("%w: temperature %v must be positive", ErrSelection, e.Temperature)
 	}
 	k, err := targetCount(ds.Len(), fraction)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	scores, err := SampleEntropies(m, ds, e.Temperature)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return topKByScore(scores, k), nil
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return topKByScore(scores, k), sum / float64(len(scores)), nil
 }
 
 // SampleEntropies runs the scoring forward pass and returns the hardened-
