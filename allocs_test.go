@@ -1,0 +1,116 @@
+// Allocation regression guards for the zero-allocation training hot path:
+// once the layer workspaces, loss scratch and optimizer buffers are warm, a
+// full train step (forward, loss+grad, backward, SGD step) must not allocate.
+package fedfteds_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/models"
+	"fedfteds/internal/nn"
+	"fedfteds/internal/opt"
+	"fedfteds/internal/tensor"
+)
+
+// trainStepAllocs builds a model from spec, warms its workspaces, and returns
+// the steady-state allocations of one train step.
+func trainStepAllocs(t *testing.T, spec models.Spec, batchShape []int) float64 {
+	t.Helper()
+	m, err := models.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	x := tensor.New(batchShape...)
+	x.FillNormal(rng, 0, 1)
+	labels := make([]int, batchShape[0])
+	for i := range labels {
+		labels[i] = i % spec.NumClasses
+	}
+	sgd, err := opt.NewSGD(opt.SGDConfig{LR: 0.05, Momentum: 0.5}, m.TrainableParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := nn.SoftmaxCrossEntropy{}
+	var ls nn.LossScratch
+	step := func() {
+		logits := m.Forward(x, true)
+		_, dl, err := loss.LossInto(&ls, logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Backward(dl)
+		sgd.Step()
+	}
+	// Warm the workspace caches before measuring (AllocsPerRun adds one more
+	// warmup run of its own).
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	return testing.AllocsPerRun(20, step)
+}
+
+func TestMLPTrainStepZeroAllocs(t *testing.T) {
+	spec := models.Spec{
+		Arch:       models.ArchMLP,
+		InputShape: []int{64},
+		NumClasses: 10,
+		Hidden:     64,
+		InitSeed:   1,
+	}
+	if allocs := trainStepAllocs(t, spec, []int{32, 64}); allocs > 0 {
+		t.Fatalf("MLP train step allocates %v times in steady state, want 0", allocs)
+	}
+}
+
+func TestWRNTrainStepZeroAllocs(t *testing.T) {
+	spec := models.Spec{
+		Arch:        models.ArchWRN,
+		InputShape:  []int{3, 16, 16},
+		NumClasses:  10,
+		Depth:       10,
+		WidthFactor: 1,
+		InitSeed:    1,
+	}
+	if allocs := trainStepAllocs(t, spec, []int{4, 3, 16, 16}); allocs > 0 {
+		t.Fatalf("WRN train step allocates %v times in steady state, want 0", allocs)
+	}
+}
+
+func TestBatchIterSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(100, 8)
+	x.FillNormal(rng, 0, 1)
+	y := make([]int, 100)
+	for i := range y {
+		y[i] = i % 4
+	}
+	ds, err := data.NewDataset(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := data.NewBatchIter(ds, []int{3, 7, 11, 12, 20, 33, 41, 59, 60, 61, 77, 90}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up one epoch.
+	it.Reset(rng)
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		it.Reset(rng)
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("BatchIter epoch allocates %v times in steady state, want 0", allocs)
+	}
+}

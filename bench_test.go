@@ -16,6 +16,7 @@ import (
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
+	"fedfteds/internal/opt"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/tensor"
 )
@@ -334,16 +335,25 @@ func BenchmarkKernelMLPTrainStep(b *testing.B) {
 	for i := range labels {
 		labels[i] = i % 10
 	}
+	sgd, err := opt.NewSGD(opt.SGDConfig{LR: 0.05, Momentum: 0.5}, m.TrainableParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The full per-batch hot path of a local round: forward, loss gradient,
+	// backward, optimizer step — allocation-free in steady state (guarded by
+	// allocs_test.go).
 	loss := nn.SoftmaxCrossEntropy{}
+	var ls nn.LossScratch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		logits := m.Forward(x, true)
-		_, dl, err := loss.Loss(logits, labels)
+		_, dl, err := loss.LossInto(&ls, logits, labels)
 		if err != nil {
 			b.Fatal(err)
 		}
 		m.Backward(dl)
-		m.ZeroGrads()
+		sgd.Step()
 	}
 }
 

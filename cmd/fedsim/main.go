@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,8 +45,34 @@ func run(args []string) error {
 	seedFlag := fs.Int64("seed", 1, "run seed")
 	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
 	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fedsim: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -64,6 +65,33 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "sched", "-scale", "smoke", "-cohort", "-2"}); err == nil {
 		t.Fatal("expected error for negative cohort")
+	}
+	// Unwritable profile paths fail fast too.
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-cpuprofile", "/nonexistent-dir/cpu.out"}); err == nil {
+		t.Fatal("expected error for unwritable cpuprofile path")
+	}
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-memprofile", "/nonexistent-dir/mem.out"}); err == nil {
+		t.Fatal("expected error for unwritable memprofile path")
+	}
+}
+
+// TestRunWritesProfiles exercises the -cpuprofile/-memprofile plumbing end to
+// end on a tiny experiment so future perf PRs can be diagnosed without code
+// edits.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

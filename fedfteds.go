@@ -63,6 +63,9 @@ type (
 	Universe = data.Universe
 	// DomainSuite bundles the standard experiment domains.
 	DomainSuite = data.StandardSuite
+	// BatchIter streams shuffled minibatches into reused buffers; the
+	// allocation-free counterpart of Dataset.Batches.
+	BatchIter = data.BatchIter
 )
 
 // NewDomainSuite builds the standard domain family (source, close targets,

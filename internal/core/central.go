@@ -71,6 +71,7 @@ func TrainCentralized(m *models.Model, train, test *data.Dataset, cfg CentralCon
 		return hist, err
 	}
 	loss := nn.SoftmaxCrossEntropy{}
+	var ls nn.LossScratch
 	rng := tensor.NewRand(uint64(cfg.Seed), 0xCE27)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		batches, err := train.Batches(cfg.BatchSize, rng)
@@ -80,7 +81,7 @@ func TrainCentralized(m *models.Model, train, test *data.Dataset, cfg CentralCon
 		var epochLoss float64
 		for _, b := range batches {
 			logits := m.Forward(b.X, true)
-			v, dl, err := loss.Loss(logits, b.Y)
+			v, dl, err := loss.LossInto(&ls, logits, b.Y)
 			if err != nil {
 				return hist, err
 			}

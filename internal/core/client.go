@@ -103,6 +103,7 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 	}
 
 	loss := nn.SoftmaxCrossEntropy{}
+	var ls nn.LossScratch
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
 		batches, err := selected.Batches(cfg.BatchSize, rng)
@@ -112,7 +113,7 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 		var epochLoss float64
 		for _, b := range batches {
 			logits := local.Forward(b.X, true)
-			v, dl, err := loss.Loss(logits, b.Y)
+			v, dl, err := loss.LossInto(&ls, logits, b.Y)
 			if err != nil {
 				return LocalOutcome{}, fmt.Errorf("core: client %d: loss: %w", cl.ID, err)
 			}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fedfteds/internal/data"
+	"fedfteds/internal/models"
+	"fedfteds/internal/nn"
+	"fedfteds/internal/opt"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/simtime"
+	"fedfteds/internal/tensor"
+)
+
+// useReplicaPath gates the Runner's pooled client-replica fast path. The
+// legacy clone-per-client path (LocalUpdate) is kept so the equivalence tests
+// can pin the fast path bit-identical to it; production runs never disable
+// this.
+var useReplicaPath = true
+
+// replica is one worker's reusable client-training context: a model replica
+// that is re-filled from the global model per client (instead of a full
+// Clone per client-round), a reusable SGD whose momentum buffers are zeroed
+// per round, a streaming batch iterator, and the loss scratch. Together with
+// the per-layer workspace caches this makes the steady-state training loop
+// allocation-free.
+//
+// A replica belongs to exactly one worker goroutine at a time. Rebinding is
+// bit-identical to cloning: the full model state (params and buffers) is
+// copied from the global model, dropout RNGs rewind to their build-time
+// streams, and the optimizer resets its velocity and proximal anchor.
+type replica struct {
+	model *models.Model
+	sgd   *opt.SGD
+	iter  *data.BatchIter
+	loss  nn.LossScratch
+}
+
+// newReplica builds a worker replica for the runner's global model.
+func newReplica(global *models.Model, cfg Config) (*replica, error) {
+	m, err := global.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("core: replica clone: %w", err)
+	}
+	if err := m.SetFinetunePart(cfg.FinetunePart); err != nil {
+		return nil, fmt.Errorf("core: replica: %w", err)
+	}
+	sgd, err := opt.NewSGD(opt.SGDConfig{
+		LR:          cfg.LR,
+		Momentum:    cfg.Momentum,
+		WeightDecay: cfg.WeightDecay,
+		ProxMu:      cfg.ProxMu,
+	}, m.TrainableParams())
+	if err != nil {
+		return nil, fmt.Errorf("core: replica: %w", err)
+	}
+	return &replica{model: m, sgd: sgd, iter: &data.BatchIter{}}, nil
+}
+
+// runReplicaRound executes one client's local round on a pooled replica,
+// mirroring LocalUpdate operation for operation (same RNG streams, same
+// batch composition, same update order) so the two paths produce bit-identical
+// histories. The trained state is copied into stateBuf's reused tensors,
+// which the caller owns per result slot.
+func runReplicaRound(cfg Config, global *models.Model, rep *replica, cl *Client, round int, stateBuf *[]*tensor.Tensor) (clientResult, error) {
+	if err := rep.model.CopyStateFrom(global); err != nil {
+		return clientResult{}, fmt.Errorf("core: client %d: rebind replica: %w", cl.ID, err)
+	}
+	rep.model.ResetTransientRNGs()
+	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))
+
+	var (
+		selIdx      []int
+		meanEntropy = math.NaN()
+		err         error
+	)
+	if us, ok := cfg.Selector.(selection.UtilityScorer); ok {
+		selIdx, meanEntropy, err = us.SelectWithUtility(rep.model, cl.Data, cfg.SelectFraction, rng)
+	} else {
+		selIdx, err = cfg.Selector.Select(rep.model, cl.Data, cfg.SelectFraction, rng)
+	}
+	if err != nil {
+		return clientResult{}, fmt.Errorf("core: client %d: selection: %w", cl.ID, err)
+	}
+	if err := rep.iter.Bind(cl.Data, selIdx, cfg.BatchSize); err != nil {
+		return clientResult{}, fmt.Errorf("core: client %d: batches: %w", cl.ID, err)
+	}
+
+	rep.sgd.Reset()
+	if cfg.ProxMu > 0 {
+		rep.sgd.SnapshotProxAnchor()
+	}
+
+	loss := nn.SoftmaxCrossEntropy{}
+	numSelected := rep.iter.Len()
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		rep.iter.Reset(rng)
+		var epochLoss float64
+		for {
+			b, ok := rep.iter.Next()
+			if !ok {
+				break
+			}
+			logits := rep.model.Forward(b.X, true)
+			v, dl, err := loss.LossInto(&rep.loss, logits, b.Y)
+			if err != nil {
+				return clientResult{}, fmt.Errorf("core: client %d: loss: %w", cl.ID, err)
+			}
+			rep.model.Backward(dl)
+			rep.sgd.Step()
+			epochLoss += v * float64(len(b.Y))
+		}
+		lastLoss = epochLoss / float64(numSelected)
+	}
+
+	cost, err := simtime.ClientRoundCost(rep.model, cl.Device,
+		cl.Data.Len(), numSelected, cfg.LocalEpochs, cfg.Selector.ScoringPasses())
+	if err != nil {
+		return clientResult{}, fmt.Errorf("core: client %d: cost: %w", cl.ID, err)
+	}
+
+	live, err := rep.model.GroupStateTensors(rep.model.TrainableGroupNames())
+	if err != nil {
+		return clientResult{}, fmt.Errorf("core: client %d: state: %w", cl.ID, err)
+	}
+	if len(*stateBuf) < len(live) {
+		*stateBuf = append(*stateBuf, make([]*tensor.Tensor, len(live)-len(*stateBuf))...)
+	}
+	state := (*stateBuf)[:len(live)]
+	for i, ts := range live {
+		state[i] = tensor.Ensure(state[i], ts.Shape()...)
+		if err := state[i].CopyFrom(ts); err != nil {
+			return clientResult{}, fmt.Errorf("core: client %d: state tensor %d: %w", cl.ID, i, err)
+		}
+	}
+	*stateBuf = state
+	return clientResult{
+		clientID:    cl.ID,
+		state:       state,
+		numSelected: numSelected,
+		localSize:   cl.Data.Len(),
+		cost:        cost,
+		trainLoss:   lastLoss,
+		meanEntropy: meanEntropy,
+	}, nil
+}

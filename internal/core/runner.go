@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"fedfteds/internal/data"
 	"fedfteds/internal/metrics"
@@ -76,6 +77,29 @@ type Runner struct {
 	// utility feeds client-level feedback (mean EDS entropy, or train loss
 	// as a fallback) from each round back into the cohort scheduler.
 	utility *sched.Tracker
+
+	// projCost caches each client's projected round cost. Model shape,
+	// device rate and dataset size never change during a run, so the costs
+	// are computed once (in Run, after the finetune part is applied) instead
+	// of once per client per round. timesScratch is the reused per-round
+	// copy handed to the straggler policy, which must not be able to mutate
+	// the cache.
+	projCost     []float64
+	timesScratch []float64
+	// allIDs is the cached identity cohort [0..N), built alongside projCost;
+	// idsScratch is its reused per-round copy (see timesScratch).
+	allIDs     []int
+	idsScratch []int
+	// replicas are the per-worker reusable client-training contexts of the
+	// fast path, created lazily on first use and kept across rounds.
+	replicas []*replica
+	// stateBufs holds per-result-slot reused state snapshot tensors, and
+	// results/errs are the per-round result buffers — reused across rounds
+	// so the orchestrator's per-round allocations shrink to a handful of
+	// small slices (cohort/participant lists).
+	stateBufs [][]*tensor.Tensor
+	results   []clientResult
+	errs      []error
 }
 
 // NewRunner validates the configuration and constructs a runner. The global
@@ -121,6 +145,9 @@ func (r *Runner) Run() (History, error) {
 	commGroups := r.global.TrainableGroupNames()
 	stateSize, err := r.stateBytes(commGroups)
 	if err != nil {
+		return hist, err
+	}
+	if err := r.cacheProjectedCosts(); err != nil {
 		return hist, err
 	}
 
@@ -176,23 +203,34 @@ func (r *Runner) Run() (History, error) {
 	return hist, nil
 }
 
+// cacheProjectedCosts fills projCost with each client's projected round
+// cost. Called once per Run, after SetFinetunePart (the cost depends on
+// which groups train).
+func (r *Runner) cacheProjectedCosts() error {
+	r.projCost = make([]float64, len(r.clients))
+	r.allIDs = make([]int, len(r.clients))
+	for i := range r.allIDs {
+		r.allIDs[i] = i
+	}
+	for i, cl := range r.clients {
+		cost, err := simtime.ClientRoundCost(r.global, cl.Device,
+			cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
+			r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
+		if err != nil {
+			return fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
+		}
+		r.projCost[i] = cost.Total()
+	}
+	return nil
+}
+
 // sampleParticipants picks the round's cohort with the configured scheduler
 // (the whole pool when none is set) and then applies the straggler policy
 // within it. It returns the participants, their pool positions (parallel),
 // and the cohort size the scheduler admitted.
 func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
-	ids := make([]int, len(r.clients))
-	times := make([]float64, len(r.clients))
-	for i, cl := range r.clients {
-		ids[i] = i
-		cost, err := simtime.ClientRoundCost(r.global, cl.Device,
-			cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
-			r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
-		}
-		times[i] = cost.Total()
-	}
+	ids := r.allIDs
+	times := r.projCost
 
 	cohort, cohortTimes := ids, times
 	if r.cfg.Scheduler != nil {
@@ -224,6 +262,21 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 		}
 	}
 
+	if r.cfg.Scheduler == nil {
+		// cohort and cohortTimes still alias the allIDs/projCost caches
+		// here; hand the straggler policy reused copies so an
+		// implementation that mutates its arguments cannot corrupt them.
+		if cap(r.timesScratch) < len(cohortTimes) {
+			r.timesScratch = make([]float64, len(cohortTimes))
+			r.idsScratch = make([]int, len(cohort))
+		}
+		r.timesScratch = r.timesScratch[:len(cohortTimes)]
+		copy(r.timesScratch, cohortTimes)
+		cohortTimes = r.timesScratch
+		r.idsScratch = r.idsScratch[:len(cohort)]
+		copy(r.idsScratch, cohort)
+		cohort = r.idsScratch
+	}
 	rng := tensor.NewRand(uint64(r.cfg.Seed), uint64(round), 0xFACADE)
 	chosen := r.cfg.Straggler.Complete(cohort, cohortTimes, rng)
 	if len(chosen) == 0 {
@@ -249,23 +302,75 @@ func projectedSelected(n int, fraction float64) int {
 }
 
 // trainParticipants runs the participants' local rounds on a bounded worker
-// pool. Results are ordered by participant position, so aggregation is
-// deterministic regardless of scheduling.
+// pool of reusable client replicas. Results are ordered by participant
+// position, so aggregation is deterministic regardless of scheduling; each
+// replica is rebound bit-identically per client, so which worker trains
+// which client does not matter either.
 func (r *Runner) trainParticipants(participants []*Client, round int) ([]clientResult, error) {
-	results := make([]clientResult, len(participants))
-	errs := make([]error, len(participants))
-	sem := make(chan struct{}, r.cfg.Parallelism)
+	n := len(participants)
+	if cap(r.results) < n {
+		r.results = make([]clientResult, n)
+		r.errs = make([]error, n)
+	}
+	results, errs := r.results[:n], r.errs[:n]
+	if cap(r.stateBufs) < n {
+		r.stateBufs = append(r.stateBufs[:len(r.stateBufs)], make([][]*tensor.Tensor, n-len(r.stateBufs))...)
+	}
+	stateBufs := r.stateBufs[:n]
+
+	if !useReplicaPath {
+		// Legacy path: a fresh model clone, optimizer and batch copies per
+		// client-round. Kept as the reference the fast path is pinned to.
+		sem := make(chan struct{}, r.cfg.Parallelism)
+		var wg sync.WaitGroup
+		for i, cl := range participants {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(slot int, cl *Client) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := runClientRound(r.cfg, r.global, cl, round)
+				results[slot] = res
+				errs[slot] = err
+			}(i, cl)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	workers := r.cfg.Parallelism
+	if workers > n {
+		workers = n
+	}
+	for len(r.replicas) < workers {
+		rep, err := newReplica(r.global, r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.replicas = append(r.replicas, rep)
+	}
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, cl := range participants {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(slot int, cl *Client) {
+		go func(rep *replica) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := runClientRound(r.cfg, r.global, cl, round)
-			results[slot] = res
-			errs[slot] = err
-		}(i, cl)
+			for {
+				slot := int(next.Add(1)) - 1
+				if slot >= n {
+					return
+				}
+				res, err := runReplicaRound(r.cfg, r.global, rep, participants[slot], round, &stateBufs[slot])
+				results[slot] = res
+				errs[slot] = err
+			}
+		}(r.replicas[w])
 	}
 	wg.Wait()
 	for _, err := range errs {

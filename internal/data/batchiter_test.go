@@ -1,0 +1,158 @@
+package data
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+func iterDataset(t *testing.T, n, feat, classes int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	x := tensor.New(n, feat)
+	x.FillNormal(rng, 0, 1)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	ds, err := NewDataset(x, y, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestBatchIterMatchesSubsetBatches pins the iterator to the exact batch
+// composition of the materializing path it replaces: Subset(indices) followed
+// by Batches(size, rng) with the same rng stream.
+func TestBatchIterMatchesSubsetBatches(t *testing.T) {
+	ds := iterDataset(t, 57, 6, 4)
+	indices := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53}
+	for _, size := range []int{1, 4, 7, 16, 32} {
+		sub, err := ds.Subset(indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sub.Batches(size, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := NewBatchIter(ds, indices, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.Reset(rand.New(rand.NewSource(99)))
+		for bi, wb := range want {
+			gb, ok := it.Next()
+			if !ok {
+				t.Fatalf("size %d: iterator exhausted at batch %d/%d", size, bi, len(want))
+			}
+			if !gb.X.Equal(wb.X) {
+				t.Fatalf("size %d batch %d: features differ", size, bi)
+			}
+			if len(gb.Y) != len(wb.Y) {
+				t.Fatalf("size %d batch %d: %d labels, want %d", size, bi, len(gb.Y), len(wb.Y))
+			}
+			for i := range gb.Y {
+				if gb.Y[i] != wb.Y[i] {
+					t.Fatalf("size %d batch %d label %d: %d vs %d", size, bi, i, gb.Y[i], wb.Y[i])
+				}
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("size %d: iterator has extra batches", size)
+		}
+	}
+}
+
+func TestBatchIterWholeDatasetSequential(t *testing.T) {
+	ds := iterDataset(t, 10, 3, 2)
+	it, err := NewBatchIter(ds, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", it.Len())
+	}
+	it.Reset(nil)
+	var seen int
+	for {
+		b, ok := it.Next()
+		if !ok {
+			break
+		}
+		for i := range b.Y {
+			if b.Y[i] != ds.Y[seen+i] {
+				t.Fatalf("sequential order broken at %d", seen+i)
+			}
+		}
+		seen += len(b.Y)
+	}
+	if seen != 10 {
+		t.Fatalf("covered %d samples, want 10", seen)
+	}
+}
+
+func TestBatchIterRejectsBadInput(t *testing.T) {
+	ds := iterDataset(t, 5, 2, 2)
+	if _, err := NewBatchIter(ds, nil, 0); !errors.Is(err, ErrData) {
+		t.Fatalf("size 0: got %v, want ErrData", err)
+	}
+	if _, err := NewBatchIter(ds, []int{0, 9}, 2); !errors.Is(err, ErrData) {
+		t.Fatalf("out-of-range index: got %v, want ErrData", err)
+	}
+}
+
+// TestBatchIterRebindReusesBuffers checks that Bind hops between datasets of
+// the same family without losing correctness.
+func TestBatchIterRebindReusesBuffers(t *testing.T) {
+	a := iterDataset(t, 20, 4, 3)
+	b := iterDataset(t, 12, 4, 3)
+	it, err := NewBatchIter(a, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Reset(nil)
+	if _, ok := it.Next(); !ok {
+		t.Fatal("first dataset yielded nothing")
+	}
+	if err := it.Bind(b, []int{0, 1, 2, 3, 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	it.Reset(nil)
+	var total int
+	for {
+		batch, ok := it.Next()
+		if !ok {
+			break
+		}
+		total += len(batch.Y)
+		for i := range batch.Y {
+			if batch.Y[i] != b.Y[total-len(batch.Y)+i] {
+				t.Fatal("rebind produced wrong labels")
+			}
+		}
+	}
+	if total != 5 {
+		t.Fatalf("rebind covered %d samples, want 5", total)
+	}
+}
+
+// TestBatchesNilRNGSharesStorage pins the view-batch optimization: with a nil
+// rng, batches alias the dataset instead of copying it.
+func TestBatchesNilRNGSharesStorage(t *testing.T) {
+	ds := iterDataset(t, 8, 2, 2)
+	batches, err := ds.Batches(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("%d batches, want 2", len(batches))
+	}
+	ds.X.Data()[0] = 42
+	if batches[0].X.Data()[0] != 42 {
+		t.Fatal("nil-rng batches no longer share storage (copy-free eval broken)")
+	}
+}

@@ -107,19 +107,31 @@ type Batch struct {
 }
 
 // Batches splits the dataset into minibatches of at most size samples, in
-// order. If rng is non-nil the sample order is shuffled first.
+// order. If rng is non-nil the sample order is shuffled first and each batch
+// holds copies; with a nil rng the batches are contiguous views sharing
+// storage with the dataset (callers must not mutate them), which makes the
+// scoring and evaluation passes copy-free.
 func (d *Dataset) Batches(size int, rng *rand.Rand) ([]Batch, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("%w: batch size %d", ErrData, size)
 	}
-	order := make([]int, d.Len())
+	n := d.Len()
+	batches := make([]Batch, 0, (n+size-1)/size)
+	if rng == nil {
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			batches = append(batches, Batch{X: d.X.Slice(lo, hi), Y: d.Y[lo:hi]})
+		}
+		return batches, nil
+	}
+	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	if rng != nil {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	}
-	var batches []Batch
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	for lo := 0; lo < len(order); lo += size {
 		hi := lo + size
 		if hi > len(order) {
@@ -132,6 +144,120 @@ func (d *Dataset) Batches(size int, rng *rand.Rand) ([]Batch, error) {
 		batches = append(batches, Batch{X: sub.X, Y: sub.Y})
 	}
 	return batches, nil
+}
+
+// BatchIter streams shuffled minibatches of a dataset (optionally restricted
+// to a subset of indices) while reusing two buffers — one features tensor and
+// one label slice — instead of materializing every epoch's batches as fresh
+// copies. The batch composition and order are exactly those of
+// Subset(indices) followed by Batches(size, rng).
+//
+// The Batch returned by Next aliases the iterator's buffers: it is valid
+// until the next Next or Reset call. An iterator is not safe for concurrent
+// use, and Reset must be called before the first Next.
+type BatchIter struct {
+	ds      *Dataset
+	indices []int // nil means the whole dataset
+	size    int
+	order   []int
+	pos     int
+	stride  int
+	x       *tensor.Tensor
+	y       []int
+	shape   []int
+}
+
+// NewBatchIter constructs an iterator over ds restricted to indices (nil for
+// the whole dataset) with the given batch size. The indices slice is
+// borrowed, not copied.
+func NewBatchIter(ds *Dataset, indices []int, size int) (*BatchIter, error) {
+	it := &BatchIter{}
+	if err := it.Bind(ds, indices, size); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Bind repoints the iterator at a new dataset/subset, reusing its buffers.
+// This is how a pooled client replica hops between clients without
+// reallocating.
+func (it *BatchIter) Bind(ds *Dataset, indices []int, size int) error {
+	if size <= 0 {
+		return fmt.Errorf("%w: batch size %d", ErrData, size)
+	}
+	n := ds.Len()
+	for _, idx := range indices {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("%w: index %d outside [0,%d)", ErrData, idx, n)
+		}
+	}
+	it.ds = ds
+	it.indices = indices
+	it.size = size
+	it.stride = 1
+	sample := ds.SampleShape()
+	for _, dim := range sample {
+		it.stride *= dim
+	}
+	it.shape = append(it.shape[:0], 0)
+	it.shape = append(it.shape, sample...)
+	m := n
+	if indices != nil {
+		m = len(indices)
+	}
+	if cap(it.order) < m {
+		it.order = make([]int, m)
+	}
+	it.order = it.order[:m]
+	it.pos = m // exhausted until Reset
+	return nil
+}
+
+// Len returns the number of samples the iterator covers per epoch.
+func (it *BatchIter) Len() int { return len(it.order) }
+
+// Reset rewinds the iterator for a new epoch. If rng is non-nil the sample
+// order is reshuffled exactly as Batches would (one rng.Shuffle call);
+// otherwise the order is sequential.
+func (it *BatchIter) Reset(rng *rand.Rand) {
+	for i := range it.order {
+		it.order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(it.order), func(i, j int) { it.order[i], it.order[j] = it.order[j], it.order[i] })
+	}
+	it.pos = 0
+}
+
+// Next gathers the next minibatch into the iterator's reused buffers. The
+// returned Batch is valid until the next Next or Reset call; ok is false when
+// the epoch is exhausted.
+func (it *BatchIter) Next() (b Batch, ok bool) {
+	if it.pos >= len(it.order) {
+		return Batch{}, false
+	}
+	hi := it.pos + it.size
+	if hi > len(it.order) {
+		hi = len(it.order)
+	}
+	bn := hi - it.pos
+	it.shape[0] = bn
+	it.x = tensor.Ensure(it.x, it.shape...)
+	if cap(it.y) < bn {
+		it.y = make([]int, it.size)
+	}
+	it.y = it.y[:bn]
+	xd, src := it.x.Data(), it.ds.X.Data()
+	for r := 0; r < bn; r++ {
+		idx := it.order[it.pos+r]
+		if it.indices != nil {
+			idx = it.indices[idx]
+		}
+		copy(xd[r*it.stride:(r+1)*it.stride], src[idx*it.stride:(idx+1)*it.stride])
+		it.y[r] = it.ds.Y[idx]
+	}
+	it.pos = hi
+	return Batch{X: it.x, Y: it.y}, true
 }
 
 // Concat concatenates datasets with identical sample shapes and class counts.

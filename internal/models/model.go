@@ -171,15 +171,31 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // ForwardCollectGroups runs a forward pass and returns the activation after
-// each group, flattened to (N, features). Used for CKA.
+// each group, flattened to (N, features). Used for CKA. The returned tensors
+// are snapshots (clones): layer outputs are reused workspaces, so references
+// into them would be overwritten by the next forward pass.
 func (m *Model) ForwardCollectGroups(x *tensor.Tensor, train bool) map[string]*tensor.Tensor {
 	outs := make(map[string]*tensor.Tensor, len(m.groups))
 	for i, g := range m.groups {
 		x = g.Forward(x, train)
 		n := x.Dim(0)
-		outs[groupOrder[i]] = x.MustReshape(n, x.Len()/max(n, 1))
+		outs[groupOrder[i]] = x.Clone().MustReshape(n, x.Len()/max(n, 1))
 	}
 	return outs
+}
+
+// ResetTransientRNGs rewinds every dropout layer's RNG to its build-time
+// seed, restoring the exact mask streams a freshly built model would draw.
+// The pooled client-replica engine calls this when rebinding a replica to a
+// client so that replica reuse stays bit-identical to cloning.
+func (m *Model) ResetTransientRNGs() {
+	for _, g := range m.groups {
+		g.VisitLayers(func(l nn.Layer) {
+			if d, ok := l.(*nn.Dropout); ok {
+				d.ResetRNG()
+			}
+		})
+	}
 }
 
 // Backward backpropagates dlogits through the network, honouring frozen

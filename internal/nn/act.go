@@ -10,6 +10,10 @@ import (
 type ReLU struct {
 	base
 	mask []bool // true where input > 0, cached for backward
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dx *tensor.Tensor
+	shape []int
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -21,28 +25,33 @@ func NewReLU(name string) *ReLU {
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	r.shape = captureShape(r.shape, x)
+	r.y = tensor.Ensure(r.y, r.shape...)
+	xd, yd := x.Data(), r.y.Data()
 	if train {
-		if cap(r.mask) < y.Len() {
-			r.mask = make([]bool, y.Len())
+		if cap(r.mask) < len(yd) {
+			r.mask = make([]bool, len(yd))
 		}
-		r.mask = r.mask[:y.Len()]
-		for i, v := range y.Data() {
+		r.mask = r.mask[:len(yd)]
+		for i, v := range xd {
 			if v > 0 {
 				r.mask[i] = true
+				yd[i] = v
 			} else {
 				r.mask[i] = false
-				y.Data()[i] = 0
+				yd[i] = 0
 			}
 		}
 	} else {
-		for i, v := range y.Data() {
+		for i, v := range xd {
 			if v < 0 {
-				y.Data()[i] = 0
+				yd[i] = 0
+			} else {
+				yd[i] = v
 			}
 		}
 	}
-	return y
+	return r.y
 }
 
 // Backward implements Layer.
@@ -53,13 +62,16 @@ func (r *ReLU) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	if len(r.mask) != dy.Len() {
 		panic("nn: relu " + r.name + ": Backward without train Forward")
 	}
-	dx := dy.Clone()
-	for i := range dx.Data() {
-		if !r.mask[i] {
-			dx.Data()[i] = 0
+	r.dx = tensor.Ensure(r.dx, r.shape...)
+	dyd, dxd := dy.Data(), r.dx.Data()
+	for i, v := range dyd {
+		if r.mask[i] {
+			dxd[i] = v
+		} else {
+			dxd[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // OutputShape implements Layer.

@@ -19,8 +19,12 @@ type Conv2D struct {
 	weight *Param // (outC, inC*kernel*kernel)
 	bias   *Param // (outC), nil when useBias is false
 
-	cols    *tensor.Tensor // cached im2col matrix (N*OH*OW, inC*K*K)
-	inShape []int          // cached input shape
+	cols      *tensor.Tensor // im2col workspace (N*OH*OW, inC*K*K)
+	colsValid bool           // cols holds the last training forward's unpacking
+	inShape   []int          // cached input shape (reused buffer)
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	out, y, dout, dw, db, dcols, dx *tensor.Tensor
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -92,23 +96,23 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(shapeErr("conv "+c.name, "positive output dims", x.Shape()))
 	}
 	ck := c.inC * c.kernel * c.kernel
-	cols := tensor.New(n*oh*ow, ck)
-	im2col(x.Data(), cols.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
+	c.cols = tensor.Ensure(c.cols, n*oh*ow, ck)
+	im2col(x.Data(), c.cols.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
 
 	// out (N*OH*OW, outC) = cols @ Wᵀ.
-	out := tensor.New(n*oh*ow, c.outC)
-	if err := tensor.MatMulTransB(out, cols, c.weight.W); err != nil {
+	c.out = tensor.Ensure(c.out, n*oh*ow, c.outC)
+	if err := tensor.MatMulTransB(c.out, c.cols, c.weight.W); err != nil {
 		panic(err)
 	}
 	if c.useBias {
-		if err := out.AddRowVector(c.bias.W); err != nil {
+		if err := c.out.AddRowVector(c.bias.W); err != nil {
 			panic(err)
 		}
 	}
 
 	// Reorder rows (n, oh, ow) × outC to (N, outC, OH, OW).
-	y := tensor.New(n, c.outC, oh, ow)
-	od, yd := out.Data(), y.Data()
+	c.y = tensor.Ensure(c.y, n, c.outC, oh, ow)
+	od, yd := c.out.Data(), c.y.Data()
 	sp := oh * ow
 	for i := 0; i < n; i++ {
 		for s := 0; s < sp; s++ {
@@ -119,14 +123,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 
-	if train && !c.frozen {
-		c.cols = cols
-		c.inShape = x.Shape()
-	} else {
-		c.cols = nil
-		c.inShape = x.Shape()
-	}
-	return y
+	c.colsValid = train && !c.frozen
+	c.inShape = captureShape(c.inShape, x)
+	return c.y
 }
 
 // Backward implements Layer.
@@ -139,8 +138,8 @@ func (c *Conv2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	ck := c.inC * c.kernel * c.kernel
 
 	// dOut (N*OH*OW, outC): reorder from (N, outC, OH, OW).
-	dout := tensor.New(n*sp, c.outC)
-	dd, dyd := dout.Data(), dy.Data()
+	c.dout = tensor.Ensure(c.dout, n*sp, c.outC)
+	dd, dyd := c.dout.Data(), dy.Data()
 	for i := 0; i < n; i++ {
 		for oc := 0; oc < c.outC; oc++ {
 			src := dyd[(i*c.outC+oc)*sp : (i*c.outC+oc+1)*sp]
@@ -151,23 +150,23 @@ func (c *Conv2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	}
 
 	if !c.frozen {
-		if c.cols == nil {
+		if !c.colsValid {
 			panic("nn: conv " + c.name + ": Backward without train Forward")
 		}
 		// dW += dOutᵀ @ cols ; db += column sums of dOut.
-		dw := tensor.New(c.outC, ck)
-		if err := tensor.MatMulTransA(dw, dout, c.cols); err != nil {
+		c.dw = tensor.Ensure(c.dw, c.outC, ck)
+		if err := tensor.MatMulTransA(c.dw, c.dout, c.cols); err != nil {
 			panic(err)
 		}
-		if err := c.weight.G.Add(dw); err != nil {
+		if err := c.weight.G.Add(c.dw); err != nil {
 			panic(err)
 		}
 		if c.useBias {
-			db := tensor.New(c.outC)
-			if err := dout.SumRows(db); err != nil {
+			c.db = tensor.Ensure(c.db, c.outC)
+			if err := c.dout.SumRows(c.db); err != nil {
 				panic(err)
 			}
-			if err := c.bias.G.Add(db); err != nil {
+			if err := c.bias.G.Add(c.db); err != nil {
 				panic(err)
 			}
 		}
@@ -176,14 +175,15 @@ func (c *Conv2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 		return nil
 	}
 	// dcols = dOut @ W, then scatter back with col2im.
-	dcols := tensor.New(n*sp, ck)
-	if err := tensor.MatMul(dcols, dout, c.weight.W); err != nil {
+	c.dcols = tensor.Ensure(c.dcols, n*sp, ck)
+	if err := tensor.MatMul(c.dcols, c.dout, c.weight.W); err != nil {
 		panic(err)
 	}
 	h, w := c.inShape[2], c.inShape[3]
-	dx := tensor.New(n, c.inC, h, w)
-	col2im(dcols.Data(), dx.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
-	return dx
+	c.dx = tensor.Ensure(c.dx, n, c.inC, h, w)
+	c.dx.Zero()
+	col2im(c.dcols.Data(), c.dx.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
+	return c.dx
 }
 
 // OutputShape implements Layer.

@@ -15,7 +15,10 @@ type Dense struct {
 	weight  *Param
 	bias    *Param
 
-	x *tensor.Tensor // cached input for backward
+	x *tensor.Tensor // cached input for backward (owned by the upstream layer)
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dw, db, dx *tensor.Tensor
 }
 
 var _ Layer = (*Dense)(nil)
@@ -53,11 +56,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(shapeErr("dense "+d.name, []int{-1, d.in}, x.Shape()))
 	}
 	n := x.Dim(0)
-	y := tensor.New(n, d.out)
-	if err := tensor.MatMulTransB(y, x, d.weight.W); err != nil {
+	d.y = tensor.Ensure(d.y, n, d.out)
+	if err := tensor.MatMulTransB(d.y, x, d.weight.W); err != nil {
 		panic(err)
 	}
-	if err := y.AddRowVector(d.bias.W); err != nil {
+	if err := d.y.AddRowVector(d.bias.W); err != nil {
 		panic(err)
 	}
 	if train && !d.frozen {
@@ -65,7 +68,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		d.x = nil
 	}
-	return y
+	return d.y
 }
 
 // Backward implements Layer.
@@ -78,29 +81,29 @@ func (d *Dense) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 			panic("nn: dense " + d.name + ": Backward without train Forward")
 		}
 		// dW += dyᵀ x ; db += column sums of dy.
-		dw := tensor.New(d.out, d.in)
-		if err := tensor.MatMulTransA(dw, dy, d.x); err != nil {
+		d.dw = tensor.Ensure(d.dw, d.out, d.in)
+		if err := tensor.MatMulTransA(d.dw, dy, d.x); err != nil {
 			panic(err)
 		}
-		if err := d.weight.G.Add(dw); err != nil {
+		if err := d.weight.G.Add(d.dw); err != nil {
 			panic(err)
 		}
-		db := tensor.New(d.out)
-		if err := dy.SumRows(db); err != nil {
+		d.db = tensor.Ensure(d.db, d.out)
+		if err := dy.SumRows(d.db); err != nil {
 			panic(err)
 		}
-		if err := d.bias.G.Add(db); err != nil {
+		if err := d.bias.G.Add(d.db); err != nil {
 			panic(err)
 		}
 	}
 	if !needDx {
 		return nil
 	}
-	dx := tensor.New(dy.Dim(0), d.in)
-	if err := tensor.MatMul(dx, dy, d.weight.W); err != nil {
+	d.dx = tensor.Ensure(d.dx, dy.Dim(0), d.in)
+	if err := tensor.MatMul(d.dx, dy, d.weight.W); err != nil {
 		panic(err)
 	}
-	return dx
+	return d.dx
 }
 
 // OutputShape implements Layer.

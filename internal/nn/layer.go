@@ -8,7 +8,14 @@
 //
 //   - Layers cache activations between Forward and Backward; a layer instance
 //     is NOT safe for concurrent use. In the federated simulator every client
-//     trains on its own clone of the model.
+//     trains on its own clone (or pooled replica) of the model.
+//   - Aliasing rule: tensors returned by Forward and Backward are workspaces
+//     owned by the layer, reused across calls. A returned tensor is valid
+//     until the layer's next Forward/Backward call; callers that need the
+//     values longer must Clone them. Layers never mutate their inputs, so an
+//     upstream layer's output may be cached by reference until that upstream
+//     layer runs again. This is what makes the steady-state training loop
+//     allocation-free.
 //   - Shape violations inside Forward/Backward are programmer errors and
 //     panic; constructors and container builders return errors.
 //   - Freezing a layer makes it behave as in evaluation mode (fixed batch-norm
@@ -90,4 +97,19 @@ func (b *base) Params() []*Param          { return nil }
 // shapeErr builds the panic message for an invalid runtime shape.
 func shapeErr(layer string, want, got interface{}) string {
 	return fmt.Sprintf("nn: %s: want %v, got %v", layer, want, got)
+}
+
+// captureShape copies t's dimensions into dst, reusing dst's storage. Unlike
+// Tensor.Shape it does not allocate in steady state, which keeps the layer
+// caches allocation-free.
+func captureShape(dst []int, t *tensor.Tensor) []int {
+	r := t.Rank()
+	if cap(dst) < r {
+		dst = make([]int, r)
+	}
+	dst = dst[:r]
+	for i := range dst {
+		dst[i] = t.Dim(i)
+	}
+	return dst
 }

@@ -15,11 +15,27 @@ type SoftmaxCrossEntropy struct {
 	Temperature float64
 }
 
+// LossScratch holds the reusable buffers of the cross-entropy computation so
+// the training hot loop allocates nothing per step. The zero value is ready
+// to use; a scratch belongs to one training loop (not safe for concurrent
+// use). The gradient tensor returned through a scratch is a workspace valid
+// until the scratch's next use.
+type LossScratch struct {
+	dlogits      *tensor.Tensor
+	scaled, logp []float32
+}
+
 // Loss returns the mean cross-entropy over the batch and the gradient of
-// that mean with respect to the logits.
+// that mean with respect to the logits. The returned gradient is freshly
+// allocated; hot loops use LossInto with a LossScratch instead.
 //
 // logits has shape (N, C) and labels has length N with values in [0, C).
 func (l SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor, error) {
+	return l.LossInto(&LossScratch{}, logits, labels)
+}
+
+// LossInto is Loss computing into ws's reused buffers.
+func (l SoftmaxCrossEntropy) LossInto(ws *LossScratch, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor, error) {
 	if logits.Rank() != 2 {
 		return 0, nil, fmt.Errorf("nn: cross-entropy: logits rank %d, want 2", logits.Rank())
 	}
@@ -34,10 +50,15 @@ func (l SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64,
 	if rho <= 0 {
 		return 0, nil, fmt.Errorf("nn: cross-entropy: temperature %v must be positive", rho)
 	}
-	dlogits := tensor.New(n, c)
+	ws.dlogits = tensor.Ensure(ws.dlogits, n, c)
+	dlogits := ws.dlogits
+	if cap(ws.scaled) < c {
+		ws.scaled = make([]float32, c)
+		ws.logp = make([]float32, c)
+	}
 	var total float64
-	scaled := make([]float32, c)
-	logp := make([]float32, c)
+	scaled := ws.scaled[:c]
+	logp := ws.logp[:c]
 	for i := 0; i < n; i++ {
 		y := labels[i]
 		if y < 0 || y >= c {

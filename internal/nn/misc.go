@@ -11,6 +11,9 @@ import (
 type Flatten struct {
 	base
 	inShape []int
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dx *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -28,9 +31,11 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	rest := x.Len() / max(n, 1)
 	if train {
-		f.inShape = x.Shape()
+		f.inShape = captureShape(f.inShape, x)
 	}
-	return x.Clone().MustReshape(n, rest)
+	f.y = tensor.Ensure(f.y, n, rest)
+	copy(f.y.Data(), x.Data())
+	return f.y
 }
 
 // Backward implements Layer.
@@ -41,7 +46,9 @@ func (f *Flatten) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	if f.inShape == nil {
 		panic("nn: flatten " + f.name + ": Backward without train Forward")
 	}
-	return dy.Clone().MustReshape(f.inShape...)
+	f.dx = tensor.Ensure(f.dx, f.inShape...)
+	copy(f.dx.Data(), dy.Data())
+	return f.dx
 }
 
 // OutputShape implements Layer.
@@ -58,8 +65,13 @@ func (f *Flatten) FLOPsPerSample(in []int) int64 { return 0 }
 type Dropout struct {
 	base
 	rate float64
+	seed int64
 	rng  *rand.Rand
 	mask []float32
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dx *tensor.Tensor
+	shape []int
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -73,36 +85,48 @@ func NewDropout(name string, rate float64, seed int64) (*Dropout, error) {
 	return &Dropout{
 		base: base{name: name},
 		rate: rate,
+		seed: seed,
 		rng:  rand.New(rand.NewSource(seed)),
 	}, nil
 }
 
 // Reseed replaces the dropout RNG; used when cloning models so clones draw
 // independent masks.
-func (d *Dropout) Reseed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+func (d *Dropout) Reseed(seed int64) {
+	d.seed = seed
+	d.rng = rand.New(rand.NewSource(seed))
+}
+
+// ResetRNG rewinds the dropout RNG to its seed, restoring the mask stream a
+// freshly built layer would draw. Pooled model replicas call this between
+// clients so reuse stays bit-identical to cloning.
+func (d *Dropout) ResetRNG() { d.rng = rand.New(rand.NewSource(d.seed)) }
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.shape = captureShape(d.shape, x)
+	d.y = tensor.Ensure(d.y, d.shape...)
+	xd, yd := x.Data(), d.y.Data()
 	if !train || d.frozen || d.rate == 0 {
 		d.mask = nil
-		return x.Clone()
+		copy(yd, xd)
+		return d.y
 	}
-	y := x.Clone()
-	if cap(d.mask) < y.Len() {
-		d.mask = make([]float32, y.Len())
+	if cap(d.mask) < len(yd) {
+		d.mask = make([]float32, len(yd))
 	}
-	d.mask = d.mask[:y.Len()]
+	d.mask = d.mask[:len(yd)]
 	keep := float32(1.0 / (1.0 - d.rate))
-	for i := range y.Data() {
+	for i, v := range xd {
 		if d.rng.Float64() < d.rate {
 			d.mask[i] = 0
-			y.Data()[i] = 0
+			yd[i] = 0
 		} else {
 			d.mask[i] = keep
-			y.Data()[i] *= keep
+			yd[i] = v * keep
 		}
 	}
-	return y
+	return d.y
 }
 
 // Backward implements Layer.
@@ -110,14 +134,16 @@ func (d *Dropout) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	if !needDx {
 		return nil
 	}
+	d.dx = tensor.Ensure(d.dx, d.shape...)
+	dyd, dxd := dy.Data(), d.dx.Data()
 	if d.mask == nil {
-		return dy.Clone()
+		copy(dxd, dyd)
+		return d.dx
 	}
-	dx := dy.Clone()
-	for i := range dx.Data() {
-		dx.Data()[i] *= d.mask[i]
+	for i, v := range dyd {
+		dxd[i] = v * d.mask[i]
 	}
-	return dx
+	return d.dx
 }
 
 // OutputShape implements Layer.

@@ -35,6 +35,11 @@ type BatchNorm struct {
 	// running statistics (degenerate batch of one): Backward then uses the
 	// decoupled gradient dx = dy·γ·invStd instead of the batch-stat formula.
 	evalBackward bool
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dx          *tensor.Tensor
+	mean, variance []float64
+	dgamma, dbeta  []float64
 }
 
 var _ Layer = (*BatchNorm)(nil)
@@ -70,115 +75,165 @@ func (bn *BatchNorm) Buffers() []*tensor.Tensor {
 	return []*tensor.Tensor{bn.runMean, bn.runVar}
 }
 
-// channelGeometry returns (groupSize, spatial) where input has N groups of
-// channels×spatial values; spatial is 1 for rank-2 inputs.
-func (bn *BatchNorm) channelGeometry(shape []int) (n, spatial int) {
-	switch len(shape) {
+// geometry returns (n, spatial): the input has n samples of channels×spatial
+// values; spatial is 1 for rank-2 inputs.
+func (bn *BatchNorm) geometry(x *tensor.Tensor) (n, spatial int) {
+	switch x.Rank() {
 	case 2:
-		if shape[1] != bn.channels {
-			panic(shapeErr("batchnorm "+bn.name, bn.channels, shape))
+		if x.Dim(1) != bn.channels {
+			panic(shapeErr("batchnorm "+bn.name, bn.channels, x.Shape()))
 		}
-		return shape[0], 1
+		return x.Dim(0), 1
 	case 4:
-		if shape[1] != bn.channels {
-			panic(shapeErr("batchnorm "+bn.name, bn.channels, shape))
+		if x.Dim(1) != bn.channels {
+			panic(shapeErr("batchnorm "+bn.name, bn.channels, x.Shape()))
 		}
-		return shape[0], shape[2] * shape[3]
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
 	default:
-		panic(shapeErr("batchnorm "+bn.name, "rank 2 or 4", shape))
+		panic(shapeErr("batchnorm "+bn.name, "rank 2 or 4", x.Shape()))
+	}
+}
+
+// ensureChannelBufs sizes the per-channel float64 scratch slices once.
+func (bn *BatchNorm) ensureChannelBufs() {
+	if bn.mean == nil {
+		bn.mean = make([]float64, bn.channels)
+		bn.variance = make([]float64, bn.channels)
+		bn.invStd = make([]float64, bn.channels)
+		bn.dgamma = make([]float64, bn.channels)
+		bn.dbeta = make([]float64, bn.channels)
 	}
 }
 
 // Forward implements Layer.
 func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	shape := x.Shape()
-	n, spatial := bn.channelGeometry(shape)
-	y := tensor.New(shape...)
+	n, spatial := bn.geometry(x)
+	cc := bn.channels
+	bn.ensureChannelBufs()
+	bn.inShape = captureShape(bn.inShape, x)
+	bn.y = tensor.Ensure(bn.y, bn.inShape...)
+	xd, yd := x.Data(), bn.y.Data()
+	gd, bd := bn.gamma.W.Data(), bn.beta.W.Data()
 	useBatchStats := train && !bn.frozen && n*spatial > 1
 
 	if useBatchStats {
-		mean := make([]float64, bn.channels)
-		variance := make([]float64, bn.channels)
-		bn.forEachChannel(x, shape, func(c int, vals []float32) {
-			var s float64
-			for _, v := range vals {
-				s += float64(v)
+		mean, variance := bn.mean, bn.variance
+		for c := range mean {
+			mean[c] = 0
+			variance[c] = 0
+		}
+		// Two-pass statistics, accumulated per (sample, channel) run in
+		// float64, matching the original closure-based implementation term
+		// for term.
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < cc; ch++ {
+				off := (i*cc + ch) * spatial
+				var s float64
+				for _, v := range xd[off : off+spatial] {
+					s += float64(v)
+				}
+				mean[ch] += s
 			}
-			mean[c] += s
-		})
+		}
 		m := float64(n * spatial)
 		for c := range mean {
 			mean[c] /= m
 		}
-		bn.forEachChannel(x, shape, func(c int, vals []float32) {
-			var s float64
-			for _, v := range vals {
-				d := float64(v) - mean[c]
-				s += d * d
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < cc; ch++ {
+				off := (i*cc + ch) * spatial
+				var s float64
+				for _, v := range xd[off : off+spatial] {
+					d := float64(v) - mean[ch]
+					s += d * d
+				}
+				variance[ch] += s
 			}
-			variance[c] += s
-		})
+		}
 		for c := range variance {
 			variance[c] /= m
 		}
 		// Update running statistics.
-		for c := 0; c < bn.channels; c++ {
-			rm := float64(bn.runMean.Data()[c])
-			rv := float64(bn.runVar.Data()[c])
-			bn.runMean.Data()[c] = float32((1-bn.momentum)*rm + bn.momentum*mean[c])
-			bn.runVar.Data()[c] = float32((1-bn.momentum)*rv + bn.momentum*variance[c])
+		rm, rv := bn.runMean.Data(), bn.runVar.Data()
+		for c := 0; c < cc; c++ {
+			rm[c] = float32((1-bn.momentum)*float64(rm[c]) + bn.momentum*mean[c])
+			rv[c] = float32((1-bn.momentum)*float64(rv[c]) + bn.momentum*variance[c])
 		}
-		invStd := make([]float64, bn.channels)
+		invStd := bn.invStd
 		for c := range invStd {
 			invStd[c] = 1.0 / math.Sqrt(variance[c]+bn.eps)
 		}
-		xhat := tensor.New(shape...)
-		bn.mapChannels(x, xhat, shape, func(c int, v float32) float32 {
-			return float32((float64(v) - mean[c]) * invStd[c])
-		})
-		bn.mapChannels(xhat, y, shape, func(c int, v float32) float32 {
-			return bn.gamma.W.Data()[c]*v + bn.beta.W.Data()[c]
-		})
-		bn.xhat = xhat
-		bn.invStd = invStd
-		bn.inShape = shape
+		bn.xhat = tensor.Ensure(bn.xhat, bn.inShape...)
+		xh := bn.xhat.Data()
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < cc; ch++ {
+				off := (i*cc + ch) * spatial
+				mu, is := mean[ch], invStd[ch]
+				for s := off; s < off+spatial; s++ {
+					xh[s] = float32((float64(xd[s]) - mu) * is)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < cc; ch++ {
+				off := (i*cc + ch) * spatial
+				g, b := gd[ch], bd[ch]
+				for s := off; s < off+spatial; s++ {
+					yd[s] = g*xh[s] + b
+				}
+			}
+		}
 		bn.evalBackward = false
-		return y
+		return bn.y
 	}
 
 	// Evaluation / frozen path: use running statistics. A training-mode call
 	// lands here only for a degenerate batch (one value per channel), where
 	// batch statistics are undefined; it keeps a cache so Backward works.
-	invStd := make([]float64, bn.channels)
+	invStd := bn.invStd
+	rv := bn.runVar.Data()
 	for c := range invStd {
-		invStd[c] = 1.0 / math.Sqrt(float64(bn.runVar.Data()[c])+bn.eps)
+		invStd[c] = 1.0 / math.Sqrt(float64(rv[c])+bn.eps)
 	}
 	trainDegenerate := train && !bn.frozen
-	var xhat *tensor.Tensor
-	if trainDegenerate {
-		xhat = tensor.New(shape...)
+	rm := bn.runMean.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < cc; ch++ {
+			off := (i*cc + ch) * spatial
+			mu, is := float64(rm[ch]), invStd[ch]
+			g, b := float64(gd[ch]), float64(bd[ch])
+			for s := off; s < off+spatial; s++ {
+				xh := (float64(xd[s]) - mu) * is
+				yd[s] = float32(g*xh + b)
+			}
+		}
 	}
-	bn.mapChannels(x, y, shape, func(c int, v float32) float32 {
-		xh := (float64(v) - float64(bn.runMean.Data()[c])) * invStd[c]
-		return float32(float64(bn.gamma.W.Data()[c])*xh + float64(bn.beta.W.Data()[c]))
-	})
 	if trainDegenerate {
-		bn.mapChannels(x, xhat, shape, func(c int, v float32) float32 {
-			return float32((float64(v) - float64(bn.runMean.Data()[c])) * invStd[c])
-		})
+		bn.xhat = tensor.Ensure(bn.xhat, bn.inShape...)
+		xh := bn.xhat.Data()
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < cc; ch++ {
+				off := (i*cc + ch) * spatial
+				mu, is := float64(rm[ch]), invStd[ch]
+				for s := off; s < off+spatial; s++ {
+					xh[s] = float32((float64(xd[s]) - mu) * is)
+				}
+			}
+		}
+	} else {
+		bn.xhat = nil
 	}
-	bn.xhat = xhat
-	bn.invStd = invStd
-	bn.inShape = shape
 	bn.evalBackward = true
-	return y
+	return bn.y
 }
 
 // Backward implements Layer.
 func (bn *BatchNorm) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
-	shape := dy.Shape()
-	n, spatial := bn.channelGeometry(shape)
+	n, spatial := bn.geometry(dy)
+	cc := bn.channels
 	m := float64(n * spatial)
+	dyd := dy.Data()
+	gd := bn.gamma.W.Data()
 
 	if bn.xhat == nil || bn.evalBackward {
 		if bn.invStd == nil {
@@ -188,143 +243,85 @@ func (bn *BatchNorm) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 		// the batch, so dx decouples to dy·γ·invStd; dγ/dβ accumulate from
 		// the cached xhat when the layer is trainable.
 		if !bn.frozen && bn.xhat != nil {
-			dgamma := make([]float64, bn.channels)
-			dbeta := make([]float64, bn.channels)
-			bn.forEachChannelPair(dy, bn.xhat, shape, func(c int, dv, xh float32) {
-				dgamma[c] += float64(dv) * float64(xh)
-				dbeta[c] += float64(dv)
-			})
-			for c := 0; c < bn.channels; c++ {
-				bn.gamma.G.Data()[c] += float32(dgamma[c])
-				bn.beta.G.Data()[c] += float32(dbeta[c])
+			dgamma, dbeta := bn.dgamma, bn.dbeta
+			for c := range dgamma {
+				dgamma[c] = 0
+				dbeta[c] = 0
+			}
+			xh := bn.xhat.Data()
+			for i := 0; i < n; i++ {
+				for ch := 0; ch < cc; ch++ {
+					off := (i*cc + ch) * spatial
+					for s := off; s < off+spatial; s++ {
+						dgamma[ch] += float64(dyd[s]) * float64(xh[s])
+						dbeta[ch] += float64(dyd[s])
+					}
+				}
+			}
+			gg, bg := bn.gamma.G.Data(), bn.beta.G.Data()
+			for c := 0; c < cc; c++ {
+				gg[c] += float32(dgamma[c])
+				bg[c] += float32(dbeta[c])
 			}
 		}
 		if !needDx {
 			return nil
 		}
-		dx := tensor.New(shape...)
-		bn.mapChannels(dy, dx, shape, func(c int, v float32) float32 {
-			return float32(float64(v) * float64(bn.gamma.W.Data()[c]) * bn.invStd[c])
-		})
-		return dx
+		bn.dx = tensor.Ensure(bn.dx, bn.inShape...)
+		dxd := bn.dx.Data()
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < cc; ch++ {
+				off := (i*cc + ch) * spatial
+				g, is := float64(gd[ch]), bn.invStd[ch]
+				for s := off; s < off+spatial; s++ {
+					// Left-to-right as in the original formula dy·γ·invStd.
+					dxd[s] = float32(float64(dyd[s]) * g * is)
+				}
+			}
+		}
+		return bn.dx
 	}
 
 	// dgamma_c = Σ dy*xhat ; dbeta_c = Σ dy (over batch+spatial).
-	dgamma := make([]float64, bn.channels)
-	dbeta := make([]float64, bn.channels)
-	bn.forEachChannelPair(dy, bn.xhat, shape, func(c int, dv, xh float32) {
-		dgamma[c] += float64(dv) * float64(xh)
-		dbeta[c] += float64(dv)
-	})
+	dgamma, dbeta := bn.dgamma, bn.dbeta
+	for c := range dgamma {
+		dgamma[c] = 0
+		dbeta[c] = 0
+	}
+	xh := bn.xhat.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < cc; ch++ {
+			off := (i*cc + ch) * spatial
+			for s := off; s < off+spatial; s++ {
+				dgamma[ch] += float64(dyd[s]) * float64(xh[s])
+				dbeta[ch] += float64(dyd[s])
+			}
+		}
+	}
 	if !bn.frozen {
-		for c := 0; c < bn.channels; c++ {
-			bn.gamma.G.Data()[c] += float32(dgamma[c])
-			bn.beta.G.Data()[c] += float32(dbeta[c])
+		gg, bg := bn.gamma.G.Data(), bn.beta.G.Data()
+		for c := 0; c < cc; c++ {
+			gg[c] += float32(dgamma[c])
+			bg[c] += float32(dbeta[c])
 		}
 	}
 	if !needDx {
 		return nil
 	}
 	// dx = gamma*invStd/m * (m*dy - dbeta - xhat*dgamma)
-	dx := tensor.New(shape...)
-	bn.mapChannelsPair(dy, bn.xhat, dx, shape, func(c int, dv, xh float32) float32 {
-		g := float64(bn.gamma.W.Data()[c]) * bn.invStd[c] / m
-		return float32(g * (m*float64(dv) - dbeta[c] - float64(xh)*dgamma[c]))
-	})
-	return dx
-}
-
-// forEachChannel calls f once per (sample, channel) with the contiguous
-// spatial values of that channel.
-func (bn *BatchNorm) forEachChannel(x *tensor.Tensor, shape []int, f func(c int, vals []float32)) {
-	if len(shape) == 2 {
-		n, c := shape[0], shape[1]
-		d := x.Data()
-		for i := 0; i < n; i++ {
-			row := d[i*c : (i+1)*c]
-			for ch := 0; ch < c; ch++ {
-				f(ch, row[ch:ch+1])
-			}
-		}
-		return
-	}
-	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
-	d := x.Data()
+	bn.dx = tensor.Ensure(bn.dx, bn.inShape...)
+	dxd := bn.dx.Data()
 	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
-			off := (i*c + ch) * sp
-			f(ch, d[off:off+sp])
-		}
-	}
-}
-
-func (bn *BatchNorm) forEachChannelPair(a, b *tensor.Tensor, shape []int, f func(c int, av, bv float32)) {
-	ad, bd := a.Data(), b.Data()
-	if len(shape) == 2 {
-		n, c := shape[0], shape[1]
-		for i := 0; i < n; i++ {
-			for ch := 0; ch < c; ch++ {
-				off := i*c + ch
-				f(ch, ad[off], bd[off])
-			}
-		}
-		return
-	}
-	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
-			off := (i*c + ch) * sp
-			for s := 0; s < sp; s++ {
-				f(ch, ad[off+s], bd[off+s])
+		for ch := 0; ch < cc; ch++ {
+			off := (i*cc + ch) * spatial
+			g := float64(gd[ch]) * bn.invStd[ch] / m
+			dg, db := dgamma[ch], dbeta[ch]
+			for s := off; s < off+spatial; s++ {
+				dxd[s] = float32(g * (m*float64(dyd[s]) - db - float64(xh[s])*dg))
 			}
 		}
 	}
-}
-
-func (bn *BatchNorm) mapChannels(src, dst *tensor.Tensor, shape []int, f func(c int, v float32) float32) {
-	sd, dd := src.Data(), dst.Data()
-	if len(shape) == 2 {
-		n, c := shape[0], shape[1]
-		for i := 0; i < n; i++ {
-			for ch := 0; ch < c; ch++ {
-				off := i*c + ch
-				dd[off] = f(ch, sd[off])
-			}
-		}
-		return
-	}
-	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
-			off := (i*c + ch) * sp
-			for s := 0; s < sp; s++ {
-				dd[off+s] = f(ch, sd[off+s])
-			}
-		}
-	}
-}
-
-func (bn *BatchNorm) mapChannelsPair(a, b, dst *tensor.Tensor, shape []int, f func(c int, av, bv float32) float32) {
-	ad, bd, dd := a.Data(), b.Data(), dst.Data()
-	if len(shape) == 2 {
-		n, c := shape[0], shape[1]
-		for i := 0; i < n; i++ {
-			for ch := 0; ch < c; ch++ {
-				off := i*c + ch
-				dd[off] = f(ch, ad[off], bd[off])
-			}
-		}
-		return
-	}
-	n, c, sp := shape[0], shape[1], shape[2]*shape[3]
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c; ch++ {
-			off := (i*c + ch) * sp
-			for s := 0; s < sp; s++ {
-				dd[off+s] = f(ch, ad[off+s], bd[off+s])
-			}
-		}
-	}
+	return bn.dx
 }
 
 // OutputShape implements Layer.

@@ -11,8 +11,12 @@ type MaxPool2D struct {
 	base
 	window int
 
-	argmax  []int // flat input index of each output element
-	inShape []int
+	argmax   []int // flat input index of each output element
+	argValid bool  // argmax holds the last training forward's indices
+	inShape  []int
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dx *tensor.Tensor
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -35,8 +39,13 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if oh == 0 || ow == 0 {
 		panic(shapeErr("maxpool "+p.name, "input >= window", x.Shape()))
 	}
-	y := tensor.New(n, c, oh, ow)
-	arg := make([]int, n*c*oh*ow)
+	p.y = tensor.Ensure(p.y, n, c, oh, ow)
+	y := p.y
+	if cap(p.argmax) < n*c*oh*ow {
+		p.argmax = make([]int, n*c*oh*ow)
+	}
+	p.argmax = p.argmax[:n*c*oh*ow]
+	arg := p.argmax
 	xd, yd := x.Data(), y.Data()
 	for i := 0; i < n*c; i++ {
 		in := xd[i*h*w : (i+1)*h*w]
@@ -60,9 +69,9 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	if train {
-		p.argmax = arg
-		p.inShape = x.Shape()
+		p.inShape = captureShape(p.inShape, x)
 	}
+	p.argValid = train
 	return y
 }
 
@@ -71,15 +80,16 @@ func (p *MaxPool2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	if !needDx {
 		return nil
 	}
-	if p.argmax == nil {
+	if !p.argValid {
 		panic("nn: maxpool " + p.name + ": Backward without train Forward")
 	}
-	dx := tensor.New(p.inShape...)
-	dxd := dx.Data()
+	p.dx = tensor.Ensure(p.dx, p.inShape...)
+	p.dx.Zero()
+	dxd := p.dx.Data()
 	for bi, src := range p.argmax {
 		dxd[src] += dy.Data()[bi]
 	}
-	return dx
+	return p.dx
 }
 
 // OutputShape implements Layer.
@@ -102,6 +112,9 @@ func (p *MaxPool2D) FLOPsPerSample(in []int) int64 { return int64(tensor.Volume(
 type GlobalAvgPool struct {
 	base
 	inShape []int
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	y, dx *tensor.Tensor
 }
 
 var _ Layer = (*GlobalAvgPool)(nil)
@@ -118,8 +131,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	sp := h * w
-	y := tensor.New(n, c)
-	xd, yd := x.Data(), y.Data()
+	g.y = tensor.Ensure(g.y, n, c)
+	xd, yd := x.Data(), g.y.Data()
 	inv := 1.0 / float64(sp)
 	for i := 0; i < n*c; i++ {
 		var s float64
@@ -128,10 +141,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		yd[i] = float32(s * inv)
 	}
-	if train {
-		g.inShape = x.Shape()
-	}
-	return y
+	g.inShape = captureShape(g.inShape, x)
+	return g.y
 }
 
 // Backward implements Layer.
@@ -144,8 +155,8 @@ func (g *GlobalAvgPool) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor 
 	}
 	h, w := g.inShape[2], g.inShape[3]
 	sp := h * w
-	dx := tensor.New(g.inShape...)
-	dxd := dx.Data()
+	g.dx = tensor.Ensure(g.dx, g.inShape...)
+	dxd := g.dx.Data()
 	inv := float32(1.0 / float64(sp))
 	for i, dv := range dy.Data() {
 		grad := dv * inv
@@ -154,7 +165,7 @@ func (g *GlobalAvgPool) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor 
 			row[j] = grad
 		}
 	}
-	return dx
+	return g.dx
 }
 
 // OutputShape implements Layer.

@@ -38,14 +38,38 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // ForwardCollect runs a forward pass returning the output of every direct
-// child layer; used to extract intermediate representations for CKA.
+// child layer; used to extract intermediate representations for CKA. The
+// returned tensors are snapshots (clones), so they stay valid across further
+// forward passes despite the layer workspace reuse.
 func (s *Sequential) ForwardCollect(x *tensor.Tensor, train bool) []*tensor.Tensor {
 	outs := make([]*tensor.Tensor, 0, len(s.layers))
 	for _, l := range s.layers {
 		x = l.Forward(x, train)
-		outs = append(outs, x)
+		outs = append(outs, x.Clone())
 	}
 	return outs
+}
+
+// VisitLayers calls f for every leaf layer under s in depth-first order,
+// descending into nested Sequential and Residual containers.
+func (s *Sequential) VisitLayers(f func(Layer)) {
+	for _, l := range s.layers {
+		visitLayer(l, f)
+	}
+}
+
+func visitLayer(l Layer, f func(Layer)) {
+	switch v := l.(type) {
+	case *Sequential:
+		v.VisitLayers(f)
+	case *Residual:
+		v.body.VisitLayers(f)
+		if v.shortcut != nil {
+			v.shortcut.VisitLayers(f)
+		}
+	default:
+		f(l)
+	}
 }
 
 // Backward implements Layer. Backpropagation stops below the lowest
@@ -176,6 +200,11 @@ type Residual struct {
 	name     string
 	body     *Sequential
 	shortcut *Sequential // nil means identity
+
+	// Cached workspaces, reused across steps (see the package aliasing rule).
+	out, dx *tensor.Tensor
+	inShape []int // x's shape, the shape of the dx workspace
+	shape   []int // y's shape, the shape of the out workspace
 }
 
 var _ Layer = (*Residual)(nil)
@@ -197,11 +226,16 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		sc = x
 	}
-	out := y.Clone()
-	if err := out.Add(sc); err != nil {
+	r.inShape = captureShape(r.inShape, x)
+	r.shape = captureShape(r.shape, y)
+	r.out = tensor.Ensure(r.out, r.shape...)
+	if err := r.out.CopyFrom(y); err != nil {
+		panic(err)
+	}
+	if err := r.out.Add(sc); err != nil {
 		panic(fmt.Sprintf("nn: residual %q: body %v vs shortcut %v", r.name, y.Shape(), sc.Shape()))
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
@@ -213,26 +247,31 @@ func (r *Residual) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 		if !needDx {
 			return nil
 		}
-		dx := dxBody.Clone()
-		if err := dx.Add(dxSc); err != nil {
+		r.dx = tensor.Ensure(r.dx, r.inShape...)
+		if err := r.dx.CopyFrom(dxBody); err != nil {
 			panic(err)
 		}
-		return dx
+		if err := r.dx.Add(dxSc); err != nil {
+			panic(err)
+		}
+		return r.dx
 	}
 	if !needDx {
 		return nil
 	}
 	// Identity shortcut: dx = body dx + dy.
-	var dx *tensor.Tensor
+	r.dx = tensor.Ensure(r.dx, r.inShape...)
 	if dxBody != nil {
-		dx = dxBody.Clone()
+		if err := r.dx.CopyFrom(dxBody); err != nil {
+			panic(err)
+		}
 	} else {
-		dx = tensor.New(dy.Shape()...)
+		r.dx.Zero()
 	}
-	if err := dx.Add(dy); err != nil {
+	if err := r.dx.Add(dy); err != nil {
 		panic(err)
 	}
-	return dx
+	return r.dx
 }
 
 // Params implements Layer.

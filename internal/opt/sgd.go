@@ -38,6 +38,8 @@ type SGD struct {
 	params   []*nn.Param
 	velocity []*tensor.Tensor
 	anchor   []*tensor.Tensor // FedProx global-model anchor, parallel to params
+	// anchorBuf holds SnapshotProxAnchor's reusable storage across Resets.
+	anchorBuf []*tensor.Tensor
 }
 
 // NewSGD constructs an optimizer over params.
@@ -76,6 +78,34 @@ func (s *SGD) SetProxAnchor(anchor []*tensor.Tensor) error {
 		s.anchor[i] = a.Clone()
 	}
 	return nil
+}
+
+// SnapshotProxAnchor records the optimizer's current parameter values as the
+// proximal anchor, reusing previously allocated anchor storage. It is the
+// allocation-free equivalent of SetProxAnchor(clones of current weights) used
+// by the pooled client-replica engine.
+func (s *SGD) SnapshotProxAnchor() {
+	if s.anchorBuf == nil {
+		s.anchorBuf = make([]*tensor.Tensor, len(s.params))
+	}
+	for i, p := range s.params {
+		s.anchorBuf[i] = tensor.Ensure(s.anchorBuf[i], p.W.Shape()...)
+		if err := s.anchorBuf[i].CopyFrom(p.W); err != nil {
+			panic(err) // shapes come from the params themselves
+		}
+	}
+	s.anchor = s.anchorBuf
+}
+
+// Reset zeroes the momentum buffers and drops any proximal anchor, returning
+// the optimizer to its just-constructed state. A pooled client replica calls
+// this between local rounds so optimizer reuse stays bit-identical to
+// constructing a fresh SGD.
+func (s *SGD) Reset() {
+	for _, v := range s.velocity {
+		v.Zero()
+	}
+	s.anchor = nil
 }
 
 // Step applies one update to every parameter from its accumulated gradient,

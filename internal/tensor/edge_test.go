@@ -83,8 +83,8 @@ func TestMatMulTransShapeErrors(t *testing.T) {
 }
 
 func TestMatMulZeroSkipConsistency(t *testing.T) {
-	// The inner kernel skips zero multipliers; a sparse matrix must still
-	// multiply exactly like a dense one.
+	// A sparse matrix must multiply exactly like a dense one regardless of
+	// kernel shortcuts.
 	rng := rand.New(rand.NewSource(9))
 	a := New(10, 10)
 	b := New(10, 10)

@@ -3,18 +3,27 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
-// matmulParallelThreshold is the minimum number of result elements before
-// MatMul fans work out to multiple goroutines. Below this, goroutine overhead
-// dominates.
+// matmulParallelThreshold is the minimum number of result elements before the
+// matmul kernels fan work out to the worker pool. Below this, dispatch
+// overhead dominates.
 const matmulParallelThreshold = 64 * 64
+
+// All three multiplies reduce to one row kernel: dst[i, 0:n] = Σ_p A'[i,p] ·
+// B'[p, 0:n], where A' (M, K) is row-major with contiguous reduction axis and
+// B' (K, N) is row-major with contiguous output axis. Operands that do not
+// already have the required layout are transposed into pooled scratch first
+// (pure data movement). The kernel vectorizes across output lanes j, never
+// across the reduction: every output element accumulates its K terms strictly
+// in ascending-p order with one rounding per multiply-add, so results are
+// bit-identical to the straightforward triple loop, to the pre-SIMD kernels,
+// and to any level of row-partitioned parallelism.
 
 // MatMul computes dst = a @ b for rank-2 tensors a (M, K) and b (K, N),
 // writing into dst (M, N). dst must not alias a or b. Large products are
-// split across GOMAXPROCS goroutines by row blocks; the result is identical
-// regardless of parallelism.
+// split across the persistent worker pool by row blocks; the result is
+// identical regardless of parallelism.
 func MatMul(dst, a, b *Tensor) error {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		return fmt.Errorf("%w: matmul wants rank-2, got %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
@@ -24,11 +33,7 @@ func MatMul(dst, a, b *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("%w: matmul %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	if m*n >= matmulParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
-		matmulParallel(dst, a, b, m, k, n)
-		return nil
-	}
-	matmulRows(dst, a, b, 0, m, k, n)
+	runGemm(dst.data, a.data, b.data, m, n, k)
 	return nil
 }
 
@@ -44,53 +49,9 @@ func MatMulNew(a, b *Tensor) (*Tensor, error) {
 	return dst, nil
 }
 
-func matmulParallel(dst, a, b *Tensor, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(dst, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// matmulRows computes rows [lo,hi) of dst = a @ b using an ikj loop order so
-// the inner loop streams through contiguous rows of b and dst.
-func matmulRows(dst, a, b *Tensor, lo, hi, k, n int) {
-	ad, bd, dd := a.data, b.data, dst.data
-	for i := lo; i < hi; i++ {
-		drow := dd[i*n : (i+1)*n]
-		clear(drow)
-		arow := ad[i*k : (i+1)*k]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
 // MatMulTransA computes dst = aᵀ @ b for a (K, M) and b (K, N) into dst (M, N).
-// Used by backward passes to avoid materializing transposes.
+// Used by backward passes to avoid materializing transposes. a's columns are
+// packed into pooled scratch so the kernel reduces over contiguous memory.
 func MatMulTransA(dst, a, b *Tensor) error {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		return fmt.Errorf("%w: matmulTA wants rank-2, got %v,%v,%v", ErrShape, a.shape, b.shape, dst.shape)
@@ -100,26 +61,15 @@ func MatMulTransA(dst, a, b *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("%w: matmulTA %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	dst.Zero()
-	ad, bd, dd := a.data, b.data, dst.data
-	// Accumulate rank-1 updates: for each shared row p, dst += a[p,:]ᵀ ⊗ b[p,:].
-	for p := 0; p < k; p++ {
-		arow := ad[p*m : (p+1)*m]
-		brow := bd[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dd[i*n : (i+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	at := getScratch(k * m)
+	packTranspose(*at, a.data, k, m)
+	runGemm(dst.data, *at, b.data, m, n, k)
+	putScratch(at)
 	return nil
 }
 
 // MatMulTransB computes dst = a @ bᵀ for a (M, K) and b (N, K) into dst (M, N).
+// b is transposed into pooled scratch so the kernel streams contiguous rows.
 func MatMulTransB(dst, a, b *Tensor) error {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		return fmt.Errorf("%w: matmulTB wants rank-2, got %v,%v,%v", ErrShape, a.shape, b.shape, dst.shape)
@@ -129,20 +79,61 @@ func MatMulTransB(dst, a, b *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("%w: matmulTB %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	ad, bd, dd := a.data, b.data, dst.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		drow := dd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			drow[j] = s
+	bt := getScratch(k * n)
+	packTranspose(*bt, b.data, n, k)
+	runGemm(dst.data, a.data, *bt, m, n, k)
+	putScratch(bt)
+	return nil
+}
+
+// runGemm picks serial or pooled-parallel execution of gemmRows.
+func runGemm(dd, ad, bd []float32, m, n, k int) {
+	if m*n >= matmulParallelThreshold && m > 1 && runtime.GOMAXPROCS(0) > 1 {
+		parallelGemm(dd, ad, bd, m, n, k)
+		return
+	}
+	gemmRows(dd, ad, bd, 0, m, n, k)
+}
+
+// gemmRows computes rows [lo, hi) of dst (M, N) = a (M, K) @ b (K, N), all
+// row-major and contiguous. Each row is cleared and then accumulated by the
+// architecture's row kernel.
+func gemmRows(dd, ad, bd []float32, lo, hi, n, k int) {
+	if n == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		drow := dd[i*n : i*n+n]
+		clear(drow)
+		if k == 0 {
+			continue
+		}
+		gemmRowKernel(drow, ad[i*k:i*k+k], bd, k, n)
+	}
+}
+
+// gemmRowGo is the portable row kernel: dst[j] += Σ_p a[p]·b[p*n+j], the
+// reference the assembly kernels must match bit for bit. Every term is
+// accumulated — no zero-multiplier shortcut — so amd64 and non-amd64 produce
+// identical bits even on non-finite data (0·Inf must yield NaN on both).
+func gemmRowGo(dst, a, b []float32, k, n int) {
+	for p := 0; p < k; p++ {
+		av := a[p]
+		brow := b[p*n : p*n+n]
+		for j, bv := range brow {
+			dst[j] += av * bv
 		}
 	}
-	return nil
+}
+
+// packTranspose writes the transpose of src (rows, cols) into dst (cols, rows).
+func packTranspose(dst, src []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		row := src[r*cols : r*cols+cols]
+		for c, v := range row {
+			dst[c*rows+r] = v
+		}
+	}
 }
 
 // Transpose returns a new tensor that is the transpose of a rank-2 tensor.
@@ -152,10 +143,6 @@ func (t *Tensor) Transpose() (*Tensor, error) {
 	}
 	m, n := t.shape[0], t.shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = t.data[i*n+j]
-		}
-	}
+	packTranspose(out.data, t.data, m, n)
 	return out, nil
 }

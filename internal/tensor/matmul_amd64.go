@@ -1,0 +1,19 @@
+//go:build amd64
+
+package tensor
+
+// gemmRowKernel accumulates one output row via the SSE kernel. Callers
+// guarantee k >= 1, n >= 1, len(dst) == n, len(a) == k, len(b) == k*n.
+//
+// SIMD here is safe for bit-identity: the vector lanes are independent output
+// elements j, so each element still accumulates its K terms sequentially in
+// ascending-p order with exactly one rounding per multiply and per add —
+// the same float32 operation sequence as the portable kernel.
+func gemmRowKernel(dst, a, b []float32, k, n int) {
+	gemmRowSSE(&dst[0], &a[0], &b[0], k, n)
+}
+
+// gemmRowSSE is implemented in matmul_amd64.s.
+//
+//go:noescape
+func gemmRowSSE(dst, a, b *float32, k, n int)

@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Reference kernels: the straightforward triple loops the optimized kernels
+// must match bit for bit (same per-element accumulation order).
+
+func refMatMul(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.data[i*k+p] * b.data[p*n+j]
+			}
+			dst.data[i*n+j] = s
+		}
+	}
+}
+
+func refMatMulTransA(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.data[p*m+i] * b.data[p*n+j]
+			}
+			dst.data[i*n+j] = s
+		}
+	}
+}
+
+func refMatMulTransB(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.data[i*k+p] * b.data[j*k+p]
+			}
+			dst.data[i*n+j] = s
+		}
+	}
+}
+
+func randT(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	t.FillNormal(rng, 0, 1)
+	return t
+}
+
+// dims covers tile boundaries (multiples of 4), every tail combination, and
+// degenerate single-row/column cases, plus sizes past the parallel threshold.
+var equivDims = [][3]int{
+	{1, 1, 1}, {1, 5, 3}, {4, 4, 4}, {5, 7, 9}, {8, 16, 12},
+	{3, 2, 31}, {17, 13, 6}, {32, 64, 1}, {1, 1, 128},
+	{64, 64, 10}, {70, 65, 33}, {128, 96, 17},
+}
+
+func TestMatMulBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range equivDims {
+		m, k, n := d[0], d[1], d[2]
+		a, b := randT(rng, m, k), randT(rng, k, n)
+		got, want := New(m, n), New(m, n)
+		if err := MatMul(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		refMatMul(want, a, b)
+		if !got.Equal(want) {
+			t.Fatalf("MatMul %dx%dx%d differs from reference", m, k, n)
+		}
+	}
+}
+
+func TestMatMulTransABitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, d := range equivDims {
+		m, k, n := d[0], d[1], d[2]
+		a, b := randT(rng, k, m), randT(rng, k, n)
+		got, want := New(m, n), New(m, n)
+		if err := MatMulTransA(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		refMatMulTransA(want, a, b)
+		if !got.Equal(want) {
+			t.Fatalf("MatMulTransA %dx%dx%d differs from reference", m, k, n)
+		}
+	}
+}
+
+func TestMatMulTransBBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range equivDims {
+		m, k, n := d[0], d[1], d[2]
+		a, b := randT(rng, m, k), randT(rng, n, k)
+		got, want := New(m, n), New(m, n)
+		if err := MatMulTransB(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		refMatMulTransB(want, a, b)
+		if !got.Equal(want) {
+			t.Fatalf("MatMulTransB %dx%dx%d differs from reference", m, k, n)
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Well past matmulParallelThreshold so the worker pool engages.
+	rng := rand.New(rand.NewSource(14))
+	a, b := randT(rng, 200, 150), randT(rng, 150, 180)
+	par, ser := New(200, 180), New(200, 180)
+	if err := MatMul(par, a, b); err != nil {
+		t.Fatal(err)
+	}
+	refMatMul(ser, a, b)
+	if !par.Equal(ser) {
+		t.Fatal("parallel MatMul differs from serial reference")
+	}
+}
+
+func TestEnsureReusesStorage(t *testing.T) {
+	t1 := New(8, 4)
+	t1.Fill(3)
+	t2 := Ensure(t1, 4, 4)
+	if t2 != t1 {
+		t.Fatal("Ensure did not reuse sufficient storage")
+	}
+	if t2.Dim(0) != 4 || t2.Dim(1) != 4 || t2.Len() != 16 {
+		t.Fatalf("Ensure shape %v len %d", t2.Shape(), t2.Len())
+	}
+	// Growing past capacity allocates fresh storage.
+	t3 := Ensure(t2, 16, 16)
+	if t3 == t2 {
+		t.Fatal("Ensure reused insufficient storage")
+	}
+	if got := Ensure(nil, 2, 3); got.Len() != 6 {
+		t.Fatalf("Ensure(nil) len %d", got.Len())
+	}
+	// Rank changes rewrite the shape correctly.
+	t4 := Ensure(New(2, 3, 4), 6, 4)
+	if t4.Rank() != 2 || t4.Dim(0) != 6 || t4.Dim(1) != 4 {
+		t.Fatalf("Ensure rank change shape %v", t4.Shape())
+	}
+}
+
+func TestGemmRowKernelMatchesPortable(t *testing.T) {
+	// The architecture row kernel (SSE on amd64) must agree bit for bit with
+	// the portable Go kernel on every chunk-width combination.
+	rng := rand.New(rand.NewSource(15))
+	for _, k := range []int{1, 2, 3, 7, 32} {
+		for n := 1; n <= 40; n++ {
+			a := randT(rng, k)
+			b := randT(rng, k, n)
+			got := randT(rng, n) // nonzero start: kernel accumulates
+			want := got.Clone()
+			gemmRowKernel(got.data, a.data, b.data, k, n)
+			gemmRowGo(want.data, a.data, b.data, k, n)
+			if !got.Equal(want) {
+				t.Fatalf("row kernel k=%d n=%d differs from portable kernel", k, n)
+			}
+		}
+	}
+}
+
+func BenchmarkGemmRows128(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	a, bb := randT(rng, 128, 128), randT(rng, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemmRows(dst.data, a.data, bb.data, 0, 128, 128, 128)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// gemmRowKernel falls back to the portable row kernel on architectures
+// without an assembly implementation.
+func gemmRowKernel(dst, a, b []float32, k, n int) {
+	gemmRowGo(dst, a, b, k, n)
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The kernel worker pool: a fixed set of long-lived goroutines that execute
+// row-range slices of the matmul kernels. Spawning goroutines per call (the
+// previous design) costs a closure allocation and scheduler churn on every
+// multiply; the pool makes parallel dispatch allocation-free in steady state
+// and naturally shares cores between concurrently-training clients instead of
+// oversubscribing them.
+//
+// Tasks are plain values sent over a buffered channel, so enqueueing does not
+// allocate. Completion is tracked by a sync.WaitGroup drawn from a pool. The
+// caller always executes the first chunk inline, so the pool can never
+// deadlock even when every worker is busy with other callers' tasks.
+
+// gemmTask is one row-range slice of dst = a @ b (see gemmRows).
+type gemmTask struct {
+	dd, ad, bd []float32
+	lo, hi     int
+	n, k       int
+	wg         *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	taskCh   chan gemmTask
+	poolSize int
+)
+
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// scratchPool recycles the packing buffers used by MatMul/MatMulTransA.
+var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getScratch(n int) *[]float32 {
+	sp := scratchPool.Get().(*[]float32)
+	if cap(*sp) < n {
+		*sp = make([]float32, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+func putScratch(sp *[]float32) { scratchPool.Put(sp) }
+
+func startPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	taskCh = make(chan gemmTask, 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for t := range taskCh {
+				gemmRows(t.dd, t.ad, t.bd, t.lo, t.hi, t.n, t.k)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelGemm computes dst rows [0, m) of dst = a @ b, splitting rows
+// across the worker pool. Row partitioning never changes the per-element
+// accumulation order, so results are bit-identical to the serial kernel
+// regardless of worker count.
+func parallelGemm(dd, ad, bd []float32, m, n, k int) {
+	poolOnce.Do(startPool)
+	workers := poolSize
+	if w := runtime.GOMAXPROCS(0); w < workers {
+		workers = w
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		gemmRows(dd, ad, bd, 0, m, n, k)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for w := 1; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		taskCh <- gemmTask{dd: dd, ad: ad, bd: bd, lo: lo, hi: hi, n: n, k: k, wg: wg}
+	}
+	hi0 := chunk
+	if hi0 > m {
+		hi0 = m
+	}
+	gemmRows(dd, ad, bd, 0, hi0, n, k)
+	wg.Wait()
+	wgPool.Put(wg)
+}

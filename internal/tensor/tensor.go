@@ -34,13 +34,53 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panicNegativeDim(shape)
 		}
 		n *= d
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
 	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// panicNegativeDim reports an invalid shape. It copies the shape before
+// boxing it for the panic message so that New's and Ensure's shape parameter
+// does not leak — otherwise every variadic call site would heap-allocate its
+// shape slice, breaking the zero-allocation hot path.
+//
+//go:noinline
+func panicNegativeDim(shape []int) {
+	panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
+}
+
+// Ensure returns a tensor with exactly the given shape, reusing t's storage
+// when its capacity suffices and allocating a fresh tensor otherwise. The
+// returned tensor's contents are unspecified; callers that need zeros must
+// call Zero. Ensure is the workhorse of the layer workspace caches: in steady
+// state (shapes stable across training steps) it never allocates.
+//
+// t may be nil. When storage is reused the returned tensor is t itself with
+// its shape rewritten, so any views previously derived from t are invalidated.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panicNegativeDim(shape)
+		}
+		n *= d
+	}
+	if t == nil || cap(t.data) < n {
+		return New(shape...)
+	}
+	t.data = t.data[:n]
+	if len(t.shape) == len(shape) {
+		copy(t.shape, shape)
+	} else {
+		s := make([]int, len(shape))
+		copy(s, shape)
+		t.shape = s
+	}
+	return t
 }
 
 // FromSlice returns a tensor with the given shape whose storage is a copy of

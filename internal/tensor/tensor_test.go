@@ -278,26 +278,6 @@ func TestMatMulTransposedVariantsAgree(t *testing.T) {
 	}
 }
 
-func TestMatMulParallelMatchesSerial(t *testing.T) {
-	// Above the parallel threshold: verify the goroutine split is identical
-	// to the serial path.
-	rng := rand.New(rand.NewSource(11))
-	m, k, n := 97, 33, 101
-	a := New(m, k)
-	b := New(k, n)
-	a.FillNormal(rng, 0, 1)
-	b.FillNormal(rng, 0, 1)
-	par := New(m, n)
-	if err := MatMul(par, a, b); err != nil {
-		t.Fatal(err)
-	}
-	ser := New(m, n)
-	matmulRows(ser, a, b, 0, m, k, n)
-	if !ser.Equal(par) {
-		t.Fatal("parallel matmul differs from serial")
-	}
-}
-
 func TestTransposeInvolution(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	a := New(3, 7)
