@@ -30,6 +30,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +38,7 @@ import (
 	"sort"
 	"time"
 
+	"fedfteds/internal/ckpt"
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
@@ -44,6 +46,7 @@ import (
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
+	"fedfteds/internal/simtime"
 	"fedfteds/internal/tensor"
 )
 
@@ -67,6 +70,7 @@ type serverConfig struct {
 	cohort        int
 	scheduler     sched.Scheduler // nil when -cohort is 0 (full pool)
 	schedName     string
+	ckptDir       string
 }
 
 // parseFlags parses and fail-fast validates the command line: bad -quorum,
@@ -85,8 +89,17 @@ func parseFlags(args []string) (serverConfig, error) {
 	fs.Float64Var(&cfg.quorum, "quorum", 1, "fraction of the round's clients whose updates it needs to succeed, in (0, 1]")
 	fs.IntVar(&cfg.cohort, "cohort", 0, "clients scheduled per round, 0 = the whole federation")
 	fs.StringVar(&cfg.schedName, "sched", "uniform", "cohort scheduling policy: uniform, size, entropy, powerd, avail:<inner>")
+	fs.StringVar(&cfg.ckptDir, "ckpt-dir", "", "snapshot the federation after every round and warm-start from this directory's latest checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return serverConfig{}, err
+	}
+	if cfg.ckptDir != "" {
+		// Fail fast on an unusable checkpoint directory: a server that can
+		// train but not checkpoint would lose the federation it promised to
+		// preserve.
+		if err := os.MkdirAll(cfg.ckptDir, 0o755); err != nil {
+			return serverConfig{}, fmt.Errorf("-ckpt-dir: %w", err)
+		}
 	}
 	if cfg.quorum <= 0 || cfg.quorum > 1 {
 		return serverConfig{}, fmt.Errorf("-quorum %v outside (0, 1]", cfg.quorum)
@@ -129,6 +142,81 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	l, err := comm.ListenTCP(cfg.addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	return serve(cfg, l)
+}
+
+// configTag fingerprints the server flags that shape the federation's
+// training trajectory, so a checkpoint written under one configuration is
+// never silently continued under another (the same refusal Runner applies).
+// Quorum and deadline are included: they decide which client updates enter
+// each aggregate. Only -addr and -ckpt-dir stay out — where the federation
+// listens and stores cannot change what it computes.
+func (c serverConfig) configTag() uint64 {
+	return core.TagConfig(c.numClients, c.fraction, c.epochs, c.cohort, c.schedName,
+		c.quorum, c.roundDeadline)
+}
+
+// restoreFederation warm-starts the server from the newest checkpoint in
+// cfg.ckptDir, installing the saved global model, history, accounting and
+// scheduler feedback. It returns the last completed round, or 0 (and no
+// changes) when the directory holds no checkpoint yet. Validation is the
+// shared core.RunState rule set, so the server refuses exactly what the
+// simulator refuses: wrong seed, different configuration, a round beyond
+// -rounds, an inconsistent history, or a mismatched scheduler.
+func restoreFederation(cfg serverConfig, global *models.Model, hist *core.History,
+	cumTrainSeconds *float64, tracker *sched.Tracker) (int, error) {
+	snap, err := core.LoadLatestRunState(cfg.ckptDir)
+	if errors.Is(err, ckpt.ErrNoCheckpoint) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler); err != nil {
+		return 0, err
+	}
+	if err := snap.RestoreScheduler(cfg.scheduler); err != nil {
+		return 0, err
+	}
+	if err := core.RestoreModelState(global, snap.Model); err != nil {
+		return 0, err
+	}
+	*hist = snap.Hist
+	*cumTrainSeconds = snap.Acct.TrainSeconds
+	tracker.Restore(snap.TrackerUtil, snap.TrackerSeconds)
+	return snap.Round, nil
+}
+
+// snapshotFederation writes the post-aggregation state of one round into
+// cfg.ckptDir, so a crashed server warm-starts from here instead of
+// discarding the federation's progress.
+func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist core.History,
+	cumTrainSeconds float64, tracker *sched.Tracker) error {
+	snap := &core.RunState{
+		Seed:      cfg.seed,
+		ConfigTag: cfg.configTag(),
+		Round:     round,
+		Model:     core.SnapshotModelState(global),
+		Hist:      hist,
+		Acct:      simtime.AccountantState{TrainSeconds: cumTrainSeconds},
+	}
+	snap.TrackerUtil, snap.TrackerSeconds = tracker.Export()
+	if err := snap.CaptureScheduler(cfg.scheduler); err != nil {
+		return err
+	}
+	return core.SaveRunState(ckpt.Path(cfg.ckptDir, round), snap)
+}
+
+// serve drives one federation on an established listener. With -ckpt-dir it
+// snapshots after every aggregated round and warm-starts from the latest
+// checkpoint, so a crashed-and-restarted server resumes the federation where
+// it stopped (clients reconnect and follow the server's round numbering).
+func serve(cfg serverConfig, l comm.Listener) error {
 	engineCfg := comm.EngineConfig{RoundDeadline: cfg.roundDeadline, Quorum: cfg.quorum}
 	if err := engineCfg.Validate(); err != nil {
 		return err
@@ -142,13 +230,23 @@ func run(args []string) error {
 	global := world.Global
 	commGroups := global.TrainableGroupNames()
 
-	l, err := comm.ListenTCP(cfg.addr)
-	if err != nil {
-		return err
+	// Report rounds through the same History the in-process simulator
+	// produces, so distributed and simulated runs are directly comparable.
+	var hist core.History
+	var cumTrainSeconds float64
+	tracker := sched.NewTracker()
+	startRound := 0
+	if cfg.ckptDir != "" {
+		startRound, err = restoreFederation(cfg, global, &hist, &cumTrainSeconds, tracker)
+		if err != nil {
+			return fmt.Errorf("warm-start from %s: %w", cfg.ckptDir, err)
+		}
+		if startRound > 0 {
+			log.Printf("warm-start: resuming after round %d from %s", startRound, cfg.ckptDir)
+		}
 	}
-	defer l.Close()
-	log.Printf("listening on %s, waiting for %d clients", l.Addr(), cfg.numClients)
 
+	log.Printf("listening on %s, waiting for %d clients", l.Addr(), cfg.numClients)
 	sess, err := comm.AcceptClients(l, cfg.numClients, cfg.rounds)
 	if err != nil {
 		return err
@@ -165,12 +263,7 @@ func run(args []string) error {
 		return err
 	}
 
-	// Report rounds through the same History the in-process simulator
-	// produces, so distributed and simulated runs are directly comparable.
-	var hist core.History
-	var cumTrainSeconds float64
-	tracker := sched.NewTracker()
-	for round := 1; round <= cfg.rounds; round++ {
+	for round := startRound + 1; round <= cfg.rounds; round++ {
 		stateTs, err := global.GroupStateTensors(commGroups)
 		if err != nil {
 			return err
@@ -250,6 +343,12 @@ func run(args []string) error {
 		log.Printf("round %d/%d: cohort %d/%d, %d reported (%d timed out, %d dropped, %d late), test accuracy %.2f%%",
 			round, cfg.rounds, len(cohort), len(live),
 			len(out.Reported), len(out.TimedOut), len(out.Dropped), out.LateDiscarded, 100*acc)
+
+		if cfg.ckptDir != "" {
+			if err := snapshotFederation(cfg, round, global, hist, cumTrainSeconds, tracker); err != nil {
+				return fmt.Errorf("checkpoint round %d: %w", round, err)
+			}
+		}
 	}
 	hist.TotalTrainSeconds = cumTrainSeconds
 	if eff, err := hist.LearningEfficiency(); err == nil {

@@ -1,9 +1,17 @@
 package main
 
 import (
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"fedfteds/internal/comm"
+	"fedfteds/internal/core"
+	"fedfteds/internal/experiments"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -78,5 +86,200 @@ func TestParseFlagsSchedNamesMatchFedsim(t *testing.T) {
 		if _, err := parseFlags([]string{"-clients", "4", "-cohort", "2", "-sched", name}); err != nil {
 			t.Fatalf("policy %q rejected: %v", name, err)
 		}
+	}
+}
+
+// TestParseFlagsCheckpointDir covers the new -ckpt-dir flag: accepted and
+// created when usable, rejected fail-fast when not.
+func TestParseFlagsCheckpointDir(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	cfg, err := parseFlags([]string{"-ckpt-dir", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ckptDir != dir {
+		t.Fatalf("ckptDir %q", cfg.ckptDir)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Fatalf("checkpoint dir not created: %v", err)
+	}
+
+	// A path below an existing file cannot be created: fail before serving.
+	occupied := t.TempDir() + "/occupied"
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFlags([]string{"-ckpt-dir", occupied + "/sub"}); err == nil {
+		t.Fatal("expected error for uncreatable -ckpt-dir")
+	}
+}
+
+// testClient mirrors fedclient's loop for in-process integration tests: it
+// joins the server, answers rounds with real FedFT-EDS local updates, and —
+// when dieAfter > 0 — severs its connection after completing that round,
+// simulating a client-side crash.
+func testClient(t *testing.T, env *experiments.Env, addr string, id, numClients int, seed int64, dieAfter int) error {
+	t.Helper()
+	fed, err := env.BuildFederation(env.Suite.Target10, numClients, 0.1, 31337)
+	if err != nil {
+		return err
+	}
+	me := fed.Clients[id]
+	global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+	if err != nil {
+		return err
+	}
+	if err := global.SetFinetunePart(models.FinetuneModerate); err != nil {
+		return err
+	}
+	conn, err := comm.DialTCP(addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	sess, welcome, err := comm.Join(conn, id, me.Data.Len())
+	if err != nil {
+		return err
+	}
+	for {
+		rs, ok, err := sess.NextRound()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return sess.Close()
+		}
+		stateTs, err := comm.DecodeTensors(rs.State)
+		if err != nil {
+			return err
+		}
+		dst, err := global.GroupStateTensors(rs.Groups)
+		if err != nil {
+			return err
+		}
+		for i := range dst {
+			if err := dst[i].CopyFrom(stateTs[i]); err != nil {
+				return err
+			}
+		}
+		localCfg, err := core.NewLocalConfig(core.Config{
+			Rounds:         welcome.Rounds,
+			LocalEpochs:    rs.LocalEpochs,
+			LR:             0.05,
+			Momentum:       0.5,
+			FinetunePart:   models.FinetuneModerate,
+			Selector:       selection.Entropy{Temperature: 0.1},
+			SelectFraction: rs.SelectFraction,
+			Seed:           seed,
+		})
+		if err != nil {
+			return err
+		}
+		out, err := core.LocalUpdate(localCfg, global, me, rs.Round)
+		if err != nil {
+			return err
+		}
+		blob, err := comm.EncodeTensors(out.State)
+		if err != nil {
+			return err
+		}
+		if err := sess.SendUpdate(comm.ClientUpdate{
+			ClientID:     id,
+			Round:        rs.Round,
+			State:        blob,
+			NumSelected:  out.NumSelected,
+			TrainSeconds: out.Cost.Total(),
+			TrainLoss:    out.TrainLoss,
+			MeanEntropy:  out.MeanEntropy,
+		}); err != nil {
+			return err
+		}
+		if dieAfter > 0 && rs.Round >= dieAfter {
+			return sess.Close() // crash: vanish without a goodbye
+		}
+	}
+}
+
+// TestServerCrashResume is the acceptance demo as a test: a fedserver killed
+// mid-federation (here: it errors out when every client vanishes after round
+// 2) and restarted with the same -ckpt-dir completes the remaining rounds on
+// top of the checkpointed progress instead of starting over.
+func TestServerCrashResume(t *testing.T) {
+	const (
+		numClients = 2
+		rounds     = 4
+		dieAfter   = 2
+		seed       = int64(1)
+	)
+	ckptDir := t.TempDir()
+	env, err := experiments.NewEnv(experiments.ScaleFast, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phase := func(dieAfterRound int) error {
+		l, err := comm.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		cfg, err := parseFlags([]string{
+			"-clients", "2", "-rounds", "4", "-epochs", "1", "-seed", "1",
+			"-ckpt-dir", ckptDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- serve(cfg, l) }()
+		clientErr := make(chan error, numClients)
+		for id := 0; id < numClients; id++ {
+			go func(id int) {
+				clientErr <- testClient(t, env, l.Addr(), id, numClients, seed, dieAfterRound)
+			}(id)
+		}
+		for i := 0; i < numClients; i++ {
+			if err := <-clientErr; err != nil && dieAfterRound == 0 {
+				t.Fatalf("client: %v", err)
+			}
+		}
+		return <-serveErr
+	}
+
+	// Phase 1: every client vanishes after round 2; the federation dies
+	// mid-flight with rounds 1–2 checkpointed.
+	if err := phase(dieAfter); err == nil {
+		t.Fatal("server survived losing every client; expected a mid-federation failure")
+	}
+	crashed, err := core.LoadLatestRunState(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Round != dieAfter {
+		t.Fatalf("crash left checkpoint at round %d, want %d", crashed.Round, dieAfter)
+	}
+
+	// Phase 2: a restarted server with the same -ckpt-dir and fresh clients
+	// finishes the remaining rounds.
+	if err := phase(0); err != nil {
+		t.Fatalf("restarted server failed: %v", err)
+	}
+	final, err := core.LoadLatestRunState(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Round != rounds {
+		t.Fatalf("final checkpoint at round %d, want %d", final.Round, rounds)
+	}
+	if len(final.Hist.Records) != rounds {
+		t.Fatalf("final history has %d records, want %d", len(final.Hist.Records), rounds)
+	}
+	// The restart continued the crashed run: the first rounds' records are
+	// the checkpointed ones, and the post-restart rounds follow them.
+	if !reflect.DeepEqual(final.Hist.Records[:dieAfter], crashed.Hist.Records) {
+		t.Fatalf("restart rewrote pre-crash history:\ncrashed: %+v\nfinal:   %+v",
+			crashed.Hist.Records, final.Hist.Records[:dieAfter])
+	}
+	if final.Hist.Records[dieAfter].Round != dieAfter+1 {
+		t.Fatalf("restart did not resume at round %d: %+v", dieAfter+1, final.Hist.Records[dieAfter])
 	}
 }

@@ -6,6 +6,12 @@
 //	fedsim -exp table2 -scale fast -seed 1
 //	fedsim -exp all -scale full
 //	fedsim -exp sched -scale fast -cohort 6 -sched entropy
+//	fedsim -exp all -scale full -ckpt-dir runs/ -resume
+//
+// With -ckpt-dir every federated run checkpoints into its own subdirectory
+// (every -ckpt-every rounds, default 1); -resume makes an interrupted sweep
+// pick up where it stopped — finished runs reload instantly and partial
+// runs continue mid-run, bit-identical to an uninterrupted sweep.
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 fig10a fig10b fig10c ablations sched all. See DESIGN.md
@@ -47,8 +53,27 @@ func run(args []string) error {
 	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint artifact store: every federated run checkpoints into its own subdirectory")
+	ckptEvery := fs.Int("ckpt-every", 0, "rounds between checkpoints (default 1; needs -ckpt-dir)")
+	resume := fs.Bool("resume", false, "resume each run from its latest stored checkpoint (needs -ckpt-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Checkpoint flags fail fast, before any experiment trains: a bad
+	// directory or an inconsistent combination must not surface an hour in.
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-ckpt-every %d is negative", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		return fmt.Errorf("-ckpt-every %d without -ckpt-dir", *ckptEvery)
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume without -ckpt-dir")
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("-ckpt-dir: %w", err)
+		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -91,6 +116,11 @@ func run(args []string) error {
 	}
 	env, err := experiments.NewEnv(scale, *seedFlag)
 	if err != nil {
+		return err
+	}
+	if err := env.SetCheckpointPolicy(experiments.CheckpointPolicy{
+		Dir: *ckptDir, Every: *ckptEvery, Resume: *resume,
+	}); err != nil {
 		return err
 	}
 

@@ -102,3 +102,47 @@ func TestRunSchedSinglePolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunRejectsBadCheckpointFlags pins the fail-fast validation of the
+// -ckpt-*/-resume flags: inconsistent combinations and unusable directories
+// must fail before any experiment trains.
+func TestRunRejectsBadCheckpointFlags(t *testing.T) {
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-ckpt-every", "-1"}); err == nil {
+		t.Fatal("expected error for negative -ckpt-every")
+	}
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-ckpt-every", "2"}); err == nil {
+		t.Fatal("expected error for -ckpt-every without -ckpt-dir")
+	}
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-resume"}); err == nil {
+		t.Fatal("expected error for -resume without -ckpt-dir")
+	}
+	// A directory path below an existing file cannot be created.
+	bad := t.TempDir() + "/occupied"
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-ckpt-dir", bad + "/sub"}); err == nil {
+		t.Fatal("expected error for uncreatable -ckpt-dir")
+	}
+}
+
+// TestRunWithCheckpointResume drives the full CLI path twice on a tiny
+// experiment sharing one artifact store: the second invocation resumes the
+// first's stored runs and must succeed.
+func TestRunWithCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "sched", "-scale", "smoke", "-sched", "uniform", "-cohort", "2", "-ckpt-dir", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no artifacts stored")
+	}
+	if err := run(append(args, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+}

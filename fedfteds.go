@@ -15,6 +15,7 @@
 package fedfteds
 
 import (
+	"fedfteds/internal/ckpt"
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
@@ -122,6 +123,41 @@ const (
 func NewRunner(cfg Config, global *Model, clients []*Client, test *Dataset) (*Runner, error) {
 	return core.NewRunner(cfg, global, clients, test)
 }
+
+// Checkpoint/resume (internal/ckpt + core run state). A run with
+// Config.CheckpointDir set writes a versioned, checksummed checkpoint every
+// Config.CheckpointEvery rounds; a fresh Runner restored from it continues
+// the run bit-identically (see DESIGN.md "Checkpointing").
+type (
+	// RunState is the complete resumable state of a federated run at a
+	// round boundary.
+	RunState = core.RunState
+	// CheckpointSection is one named payload inside a checkpoint file.
+	CheckpointSection = ckpt.Section
+	// StatefulScheduler is implemented by schedulers whose state must ride
+	// along in checkpoints (e.g. Availability's churn chain).
+	StatefulScheduler = sched.Stateful
+)
+
+// Checkpoint error sentinels: ErrCorruptCheckpoint covers every structural
+// failure (truncation, bit flips, checksum or version mismatch);
+// ErrNoCheckpoint reports an empty checkpoint directory.
+var (
+	ErrCorruptCheckpoint = ckpt.ErrCorrupt
+	ErrNoCheckpoint      = ckpt.ErrNoCheckpoint
+)
+
+// Checkpoint file helpers.
+var (
+	// SaveRunState writes a run state to a path atomically.
+	SaveRunState = core.SaveRunState
+	// LoadRunState reads and fully validates one checkpoint file.
+	LoadRunState = core.LoadRunState
+	// LoadLatestRunState loads the newest valid checkpoint in a directory.
+	LoadLatestRunState = core.LoadLatestRunState
+	// CheckpointPath returns the canonical checkpoint filename for a round.
+	CheckpointPath = ckpt.Path
+)
 
 // TrainCentralized trains a model centrally (the paper's upper bound).
 var TrainCentralized = core.TrainCentralized
@@ -260,6 +296,10 @@ const (
 	ScaleFast  = experiments.ScaleFast
 	ScaleFull  = experiments.ScaleFull
 )
+
+// CheckpointPolicy turns an experiment environment's checkpoint directory
+// into a resumable artifact store (install with Env.SetCheckpointPolicy).
+type CheckpointPolicy = experiments.CheckpointPolicy
 
 // NewExperimentEnv builds the experiment environment for a scale and seed.
 func NewExperimentEnv(scale ExperimentScale, seed int64) (*ExperimentEnv, error) {

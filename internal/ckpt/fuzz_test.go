@@ -1,0 +1,48 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzUnmarshal drives arbitrary bytes through the container parser: it must
+// either decode cleanly or fail with an error wrapping ErrCorrupt — never
+// panic, never return sections alongside an error. The seed corpus runs on
+// every plain `go test`, so CI exercises the parser's hostile-input paths
+// even without a fuzzing phase.
+func FuzzUnmarshal(f *testing.F) {
+	valid, err := Marshal(testSections())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:len(valid)-5])
+	truncatedHeader := append([]byte(nil), valid[:18]...)
+	f.Add(truncatedHeader)
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0xFF // version field
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := Unmarshal(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-typed error: %v", err)
+			}
+			if sections != nil {
+				t.Fatal("sections returned alongside an error")
+			}
+			return
+		}
+		// A successful parse must re-marshal to an equally parseable file.
+		blob, err := Marshal(sections)
+		if err != nil {
+			t.Fatalf("re-marshal of valid sections failed: %v", err)
+		}
+		if _, err := Unmarshal(blob); err != nil {
+			t.Fatalf("re-marshaled container unreadable: %v", err)
+		}
+	})
+}

@@ -90,6 +90,15 @@ type Config struct {
 	Parallelism int
 	// Seed drives all run randomness (client sampling, selection, batching).
 	Seed int64
+	// CheckpointDir, when set, makes Run write a resumable checkpoint into
+	// this directory every CheckpointEvery rounds (and always after the
+	// final round, so finished runs can later be extended). A run resumed
+	// from such a checkpoint reproduces the uninterrupted run bit for bit.
+	CheckpointDir string
+	// CheckpointEvery is the round interval between checkpoints; it defaults
+	// to 1 when CheckpointDir is set and must not be set without a
+	// CheckpointDir.
+	CheckpointEvery int
 }
 
 // withDefaults returns cfg with unset optional fields filled in.
@@ -121,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.SelectFraction == 0 {
 		c.SelectFraction = 1
 	}
+	if c.CheckpointDir != "" && c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
 	return c
 }
 
@@ -149,6 +161,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: eval every %d", ErrConfig, c.EvalEvery)
 	case c.Parallelism < 1:
 		return fmt.Errorf("%w: parallelism %d", ErrConfig, c.Parallelism)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("%w: checkpoint every %d", ErrConfig, c.CheckpointEvery)
+	case c.CheckpointEvery > 0 && c.CheckpointDir == "":
+		return fmt.Errorf("%w: checkpoint interval without a checkpoint directory", ErrConfig)
 	}
 	return nil
 }

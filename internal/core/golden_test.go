@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedfteds/internal/ckpt"
+	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
+	"fedfteds/internal/selection"
+)
+
+// updateGolden regenerates the committed golden checkpoint fixtures:
+//
+//	go test ./internal/core/ -run TestGoldenCheckpoint -update-golden
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata golden checkpoint fixtures")
+
+const (
+	goldenCkptFile = "testdata/golden-round2.fedckpt"
+	goldenHistFile = "testdata/golden-history.json"
+	goldenRounds   = 4
+	goldenResumeAt = 2
+)
+
+// goldenConfig is the fixed configuration behind the committed fixture. It
+// exercises the full FedFT-EDS stack: partial training, entropy selection,
+// and the utility-driven cohort scheduler. EvalEvery 1 keeps every float in
+// the history finite, so it survives a JSON round trip exactly (Go marshals
+// float64 with shortest-round-trip precision).
+func goldenConfig() Config {
+	return Config{
+		Rounds:         goldenRounds,
+		LocalEpochs:    1,
+		BatchSize:      16,
+		LR:             0.1,
+		Momentum:       0.5,
+		FinetunePart:   models.FinetuneModerate,
+		Selector:       selection.Entropy{Temperature: 0.1},
+		SelectFraction: 0.5,
+		Scheduler:      sched.EntropyUtility{},
+		CohortSize:     3,
+		EvalEvery:      1,
+		Parallelism:    2,
+		Seed:           1234,
+	}
+}
+
+// TestGoldenCheckpoint is the CI determinism gate: decoding the committed
+// checkpoint and resuming two rounds from it must reproduce the committed
+// expected history exactly. It fails on silent codec/format drift (the
+// fixture stops decoding, or re-encoding it changes bytes) and on
+// RNG-ordering drift anywhere in the training stack (the resumed history
+// diverges). Regenerate fixtures with -update-golden after an *intentional*
+// format or numerics change, and say so in the commit message.
+func TestGoldenCheckpoint(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 6, 0.5)
+	build := func() *models.Model {
+		m, err := models.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	if *updateGolden {
+		dir := t.TempDir()
+		cfg := goldenConfig()
+		cfg.CheckpointDir = dir
+		runner, err := NewRunner(cfg, build(), clients, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenCkptFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(ckpt.Path(dir, goldenResumeAt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenCkptFile, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenHistFile, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s and %s", goldenCkptFile, goldenHistFile)
+		return
+	}
+
+	js, err := os.ReadFile(goldenHistFile)
+	if err != nil {
+		t.Fatalf("missing golden history (regenerate with -update-golden): %v", err)
+	}
+	var wantHist History
+	if err := json.Unmarshal(js, &wantHist); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate 1: the committed file still decodes, and re-encoding its state
+	// reproduces it byte for byte (codec determinism and format stability).
+	blob, err := os.ReadFile(goldenCkptFile)
+	if err != nil {
+		t.Fatalf("missing golden checkpoint (regenerate with -update-golden): %v", err)
+	}
+	sections, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("golden checkpoint no longer decodes — the codec or format drifted: %v", err)
+	}
+	state, err := RunStateFromSections(sections)
+	if err != nil {
+		t.Fatalf("golden run state no longer decodes: %v", err)
+	}
+	reSections, err := state.Sections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reBlob, err := ckpt.Marshal(reSections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reBlob) != string(blob) {
+		t.Fatalf("re-encoding the golden state changed its bytes (%d vs %d): encoding is no longer "+
+			"deterministic or the format changed without a version bump", len(reBlob), len(blob))
+	}
+
+	// Gate 2: resuming 2 rounds from the fixture reproduces the committed
+	// history exactly.
+	if state.Round != goldenResumeAt {
+		t.Fatalf("golden checkpoint is at round %d, want %d", state.Round, goldenResumeAt)
+	}
+	runner, err := NewRunner(goldenConfig(), build(), clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.RestoreInto(runner); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !histEqual(wantHist, hist) {
+		t.Fatalf("resuming from the golden checkpoint diverged from the committed history — "+
+			"RNG ordering or numerics drifted:\nwant: %+v\ngot:  %+v", wantHist, hist)
+	}
+}

@@ -100,6 +100,18 @@ type Runner struct {
 	stateBufs [][]*tensor.Tensor
 	results   []clientResult
 	errs      []error
+
+	// hist and acct live on the runner (not in Run) so that a checkpoint
+	// taken mid-run captures them and a restored runner continues them.
+	hist History
+	acct simtime.Accountant
+	// startRound is the last completed round a restored runner resumes
+	// after; 0 for a fresh run. doneRound tracks the last completed round
+	// while Run executes (what Snapshot reports). restored marks that
+	// RestoreInto installed run state which Run must continue, not reset.
+	startRound int
+	doneRound  int
+	restored   bool
 }
 
 // NewRunner validates the configuration and constructs a runner. The global
@@ -132,42 +144,56 @@ func NewRunner(cfg Config, global *models.Model, clients []*Client, test *data.D
 // GlobalModel returns the (live) global model.
 func (r *Runner) GlobalModel() *models.Model { return r.global }
 
-// Run executes the configured number of rounds and returns the history.
+// Run executes the configured number of rounds and returns the history. On a
+// runner restored from a checkpoint (RestoreInto), Run continues after the
+// checkpointed round instead of starting over; the resulting History and
+// final global state are bit-identical to an uninterrupted run's. When
+// Config.CheckpointDir is set, a checkpoint is written every
+// Config.CheckpointEvery rounds and always after the final round.
 func (r *Runner) Run() (History, error) {
-	var hist History
-	var acct simtime.Accountant
+	if r.restored {
+		// RestoreInto armed this run to continue after startRound; consume
+		// the arming so any later Run on the same runner starts fresh (the
+		// legacy re-run semantics) instead of appending duplicate rounds.
+		r.restored = false
+	} else {
+		r.hist = History{}
+		r.acct = simtime.Accountant{}
+		r.startRound = 0
+		r.doneRound = 0
+	}
 
 	// The paper's FedFT freezes the lower part on the *server's* model too:
 	// group states that never train are never communicated.
 	if err := r.global.SetFinetunePart(r.cfg.FinetunePart); err != nil {
-		return hist, err
+		return r.hist, err
 	}
 	commGroups := r.global.TrainableGroupNames()
 	stateSize, err := r.stateBytes(commGroups)
 	if err != nil {
-		return hist, err
+		return r.hist, err
 	}
 	if err := r.cacheProjectedCosts(); err != nil {
-		return hist, err
+		return r.hist, err
 	}
 
-	for round := 1; round <= r.cfg.Rounds; round++ {
+	for round := r.startRound + 1; round <= r.cfg.Rounds; round++ {
 		participants, positions, cohortSize, err := r.sampleParticipants(round)
 		if err != nil {
-			return hist, err
+			return r.hist, err
 		}
 		results, err := r.trainParticipants(participants, round)
 		if err != nil {
-			return hist, err
+			return r.hist, err
 		}
 		if err := r.aggregate(results, commGroups); err != nil {
-			return hist, err
+			return r.hist, err
 		}
 
 		var lossSum float64
 		for i, res := range results {
-			acct.AddRound(res.cost)
-			acct.AddCommunication(stateSize, stateSize)
+			r.acct.AddRound(res.cost)
+			r.acct.AddCommunication(stateSize, stateSize)
 			lossSum += res.trainLoss
 			r.utility.ObserveUpdate(positions[i], res.meanEntropy, res.trainLoss, res.cost.Total())
 		}
@@ -178,8 +204,8 @@ func (r *Runner) Run() (History, error) {
 			Participants:    len(results),
 			TestAccuracy:    math.NaN(),
 			MeanTrainLoss:   lossSum / float64(len(results)),
-			CumTrainSeconds: acct.TotalSeconds(),
-			CumUplinkBytes:  acct.UplinkBytes(),
+			CumTrainSeconds: r.acct.TotalSeconds(),
+			CumUplinkBytes:  r.acct.UplinkBytes(),
 		}
 		if r.cfg.Scheduler != nil {
 			rec.SchedPolicy = r.cfg.Scheduler.Name()
@@ -187,20 +213,27 @@ func (r *Runner) Run() (History, error) {
 		if r.cfg.EvalEvery > 0 && (round%r.cfg.EvalEvery == 0 || round == r.cfg.Rounds) {
 			acc, err := metrics.Accuracy(r.global, r.test)
 			if err != nil {
-				return hist, fmt.Errorf("core: eval round %d: %w", round, err)
+				return r.hist, fmt.Errorf("core: eval round %d: %w", round, err)
 			}
 			rec.TestAccuracy = acc
-			if acc > hist.BestAccuracy {
-				hist.BestAccuracy = acc
+			if acc > r.hist.BestAccuracy {
+				r.hist.BestAccuracy = acc
 			}
-			hist.FinalAccuracy = acc
+			r.hist.FinalAccuracy = acc
 		}
-		hist.Records = append(hist.Records, rec)
+		r.hist.Records = append(r.hist.Records, rec)
+		r.doneRound = round
+
+		if r.cfg.CheckpointEvery > 0 && (round%r.cfg.CheckpointEvery == 0 || round == r.cfg.Rounds) {
+			if _, err := r.SaveCheckpoint(r.cfg.CheckpointDir); err != nil {
+				return r.hist, fmt.Errorf("core: checkpoint round %d: %w", round, err)
+			}
+		}
 	}
-	hist.TotalTrainSeconds = acct.TotalSeconds()
-	hist.TotalUplinkBytes = acct.UplinkBytes()
-	hist.TotalDownlinkBytes = acct.DownlinkBytes()
-	return hist, nil
+	r.hist.TotalTrainSeconds = r.acct.TotalSeconds()
+	r.hist.TotalUplinkBytes = r.acct.UplinkBytes()
+	r.hist.TotalDownlinkBytes = r.acct.DownlinkBytes()
+	return r.hist, nil
 }
 
 // cacheProjectedCosts fills projCost with each client's projected round

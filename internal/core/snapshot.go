@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+
+	"fedfteds/internal/ckpt"
+	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
+	"fedfteds/internal/simtime"
+	"fedfteds/internal/tensor"
+)
+
+// schemaVersion is the run-state schema version carried inside the "meta"
+// section, independent of the ckpt container version: the container framing
+// can stay stable while the section layout evolves.
+const schemaVersion = 1
+
+// Checkpoint section names. The sections and their layouts are specified in
+// DESIGN.md ("Checkpoint file format").
+const (
+	sectionMeta    = "meta"
+	sectionModel   = "model"
+	sectionHistory = "history"
+	sectionTracker = "tracker"
+	sectionSched   = "sched"
+	sectionOpt     = "opt"
+)
+
+// RunState is the complete resumable state of a federated run at a round
+// boundary: everything that survives from one round to the next. Per-round
+// randomness needs no cursors here — every RNG stream is derived statelessly
+// from (Seed, round, tag), so recording Seed and Round pins them all; the
+// only persistent RNG-bearing objects (dropout layers) are rewound on every
+// replica rebind by construction.
+type RunState struct {
+	// Seed is the run seed the state was produced under. Restoring into a
+	// runner with a different seed is refused: the resumed rounds would
+	// silently draw from different RNG streams.
+	Seed int64
+	// ConfigTag fingerprints the run the state was produced under: the
+	// training hyperparameters and the federation's identity (client
+	// count, per-client data sizes and device rates). Restoring under a
+	// different configuration or client pool is refused: the resumed
+	// rounds would silently blend two training regimes.
+	ConfigTag uint64
+	// Round is the last completed round.
+	Round int
+	// Model holds snapshots of the full global model state (every parameter
+	// and buffer of every group, trainable or frozen), so a restore does not
+	// depend on how the caller initialized its model.
+	Model []*tensor.Tensor
+	// Hist is the run history up to and including Round.
+	Hist History
+	// Acct is the simulated cost accounting at the boundary.
+	Acct simtime.AccountantState
+	// TrackerUtil and TrackerSeconds are the scheduler feedback store.
+	TrackerUtil, TrackerSeconds map[int]float64
+	// SchedName names the scheduling policy the state was produced under
+	// (empty without a scheduler); restore refuses a mismatch.
+	SchedName string
+	// SchedState is the policy's internal state for stateful policies
+	// (sched.Stateful, e.g. the Availability churn chain); empty otherwise.
+	SchedState []byte
+	// Opt holds live per-client optimizer state (opt.SGD.StateTensors),
+	// keyed by client ID. Both engines reset client optimizers at round
+	// boundaries, so this is empty in every checkpoint the Runner writes;
+	// the section exists so the format can carry mid-round optimizer state
+	// without a version bump.
+	Opt map[int][]*tensor.Tensor
+}
+
+// SnapshotModelState clones a model's full state tensors (params and buffers
+// of every group) in their canonical order.
+func SnapshotModelState(m *models.Model) []*tensor.Tensor {
+	live := m.StateTensors()
+	out := make([]*tensor.Tensor, len(live))
+	for i, t := range live {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// RestoreModelState copies a SnapshotModelState snapshot back into a model.
+func RestoreModelState(m *models.Model, ts []*tensor.Tensor) error {
+	dst := m.StateTensors()
+	if len(dst) != len(ts) {
+		return fmt.Errorf("core: restore: %d state tensors for a model with %d", len(ts), len(dst))
+	}
+	for i := range dst {
+		if err := dst[i].CopyFrom(ts[i]); err != nil {
+			return fmt.Errorf("core: restore: state tensor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// copyHistory deep-copies a history so a snapshot cannot alias the runner's
+// still-growing record slice.
+func copyHistory(h History) History {
+	out := h
+	out.Records = append([]RoundRecord(nil), h.Records...)
+	return out
+}
+
+// TagConfig hashes a deterministic rendering of the given values into a
+// run-configuration fingerprint: checkpoint writers record it and restores
+// compare it, so state trained under one configuration is never silently
+// continued under another. Values must render deterministically under
+// fmt's %+v (plain structs and scalars do).
+func TagConfig(parts ...any) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%T:%+v;", p, p)
+	}
+	return h.Sum64()
+}
+
+// trainingTag fingerprints every configuration field that shapes the
+// training trajectory or the history's shape. Rounds is deliberately
+// excluded (extending a finished run is supported), as are the scheduler
+// (validated by name, with its own serialized state) and the
+// checkpoint/parallelism knobs (they must not affect results at all).
+func (c Config) trainingTag() uint64 {
+	return TagConfig(c.LocalEpochs, c.BatchSize, c.LR, c.Momentum, c.WeightDecay,
+		c.ProxMu, c.FinetunePart, c.Selector, c.SelectFraction, c.CohortSize,
+		c.Straggler, c.AggWeighting, c.EvalEvery)
+}
+
+// runTag extends trainingTag with the federation's identity — client count
+// and every client's ID, local data size and device rate — so a checkpoint
+// is also refused when the client pool it was trained over changed, not
+// just the hyperparameters.
+func (r *Runner) runTag() uint64 {
+	parts := make([]any, 0, 2+3*len(r.clients))
+	parts = append(parts, r.cfg.trainingTag(), len(r.clients))
+	for _, cl := range r.clients {
+		parts = append(parts, cl.ID, cl.Data.Len(), cl.Device.FLOPSRate)
+	}
+	return TagConfig(parts...)
+}
+
+// CaptureScheduler fills the state's SchedName/SchedState from a scheduler
+// (clearing both for nil). It is the single serialization point for
+// scheduler state, shared by Runner.Snapshot and fedserver's per-round
+// snapshot so the two engines' checkpoints cannot drift apart.
+func (s *RunState) CaptureScheduler(scheduler sched.Scheduler) error {
+	s.SchedName, s.SchedState = "", nil
+	if scheduler == nil {
+		return nil
+	}
+	s.SchedName = scheduler.Name()
+	if st, ok := scheduler.(sched.Stateful); ok {
+		blob, err := st.SnapshotState()
+		if err != nil {
+			return fmt.Errorf("core: snapshot scheduler %s: %w", s.SchedName, err)
+		}
+		s.SchedState = blob
+	}
+	return nil
+}
+
+// Snapshot captures the runner's complete resumable state after the last
+// completed round. The returned state is independent of the runner: tensors
+// are cloned and maps copied.
+func (r *Runner) Snapshot() (*RunState, error) {
+	util, seconds := r.utility.Export()
+	s := &RunState{
+		Seed:           r.cfg.Seed,
+		ConfigTag:      r.runTag(),
+		Round:          r.doneRound,
+		Model:          SnapshotModelState(r.global),
+		Hist:           copyHistory(r.hist),
+		Acct:           r.acct.State(),
+		TrackerUtil:    util,
+		TrackerSeconds: seconds,
+	}
+	if err := s.CaptureScheduler(r.cfg.Scheduler); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ValidateFor checks that the state belongs to the run described by the
+// given parameters — same seed, same training configuration (TagConfig
+// fingerprint), a round within the budget, a self-consistent history, and a
+// matching scheduler. Both engines (Runner.RestoreInto and fedserver's
+// warm-start) share this check so their refusal rules cannot drift.
+func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler) error {
+	if s.Seed != seed {
+		return fmt.Errorf("%w: checkpoint seed %d does not match configured seed %d",
+			ErrConfig, s.Seed, seed)
+	}
+	if s.ConfigTag != configTag {
+		return fmt.Errorf("%w: checkpoint was written under a different training configuration "+
+			"(tag %#x vs %#x); resuming would silently blend two regimes",
+			ErrConfig, s.ConfigTag, configTag)
+	}
+	if s.Round < 0 || s.Round > rounds {
+		return fmt.Errorf("%w: checkpoint round %d outside configured run of %d rounds",
+			ErrConfig, s.Round, rounds)
+	}
+	if len(s.Hist.Records) != s.Round {
+		return fmt.Errorf("%w: checkpoint has %d history records for round %d",
+			ErrConfig, len(s.Hist.Records), s.Round)
+	}
+	cfgSched := ""
+	if scheduler != nil {
+		cfgSched = scheduler.Name()
+	}
+	if s.SchedName != cfgSched {
+		return fmt.Errorf("%w: checkpoint scheduler %q does not match configured %q",
+			ErrConfig, s.SchedName, cfgSched)
+	}
+	if _, ok := scheduler.(sched.Stateful); ok {
+		if len(s.SchedState) == 0 {
+			return fmt.Errorf("%w: stateful scheduler %s but checkpoint carries no scheduler state",
+				ErrConfig, cfgSched)
+		}
+	} else if len(s.SchedState) > 0 {
+		return fmt.Errorf("%w: checkpoint carries scheduler state but %q is stateless",
+			ErrConfig, cfgSched)
+	}
+	return nil
+}
+
+// RestoreScheduler installs the state's serialized scheduler state into a
+// stateful scheduler (no-op for stateless ones). Call after ValidateFor.
+func (s *RunState) RestoreScheduler(scheduler sched.Scheduler) error {
+	st, ok := scheduler.(sched.Stateful)
+	if !ok {
+		return nil
+	}
+	if err := st.RestoreState(s.SchedState); err != nil {
+		return fmt.Errorf("core: restore scheduler %s: %w", scheduler.Name(), err)
+	}
+	return nil
+}
+
+// RestoreInto installs the state into a freshly constructed runner, which
+// must have been built with the same configuration (seed, strategy,
+// scheduler, clients) as the run that produced the state. The runner's next
+// Run continues after s.Round and reproduces the uninterrupted run bit for
+// bit. Call before Run.
+func (s *RunState) RestoreInto(r *Runner) error {
+	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler); err != nil {
+		return err
+	}
+	if err := s.RestoreScheduler(r.cfg.Scheduler); err != nil {
+		return err
+	}
+	if err := RestoreModelState(r.global, s.Model); err != nil {
+		return err
+	}
+	r.utility.Restore(s.TrackerUtil, s.TrackerSeconds)
+	r.acct.Restore(s.Acct)
+	r.hist = copyHistory(s.Hist)
+
+	// Extending a finished run: that run force-evaluated its final round
+	// (Run always evaluates round == Rounds), which a longer run would skip
+	// when the round misses the EvalEvery cadence. Evaluation never mutates
+	// training state, so only the history needs repair: un-evaluate the
+	// record and recompute the accuracy aggregates, keeping the extension
+	// bit-identical to a from-scratch longer run.
+	if s.Round > 0 && s.Round < r.cfg.Rounds && s.Round%r.cfg.EvalEvery != 0 {
+		rec := &r.hist.Records[s.Round-1]
+		if !math.IsNaN(rec.TestAccuracy) {
+			rec.TestAccuracy = math.NaN()
+			var best, final float64
+			for _, rr := range r.hist.Records {
+				if !math.IsNaN(rr.TestAccuracy) {
+					if rr.TestAccuracy > best {
+						best = rr.TestAccuracy
+					}
+					final = rr.TestAccuracy
+				}
+			}
+			r.hist.BestAccuracy, r.hist.FinalAccuracy = best, final
+		}
+	}
+
+	r.startRound = s.Round
+	r.doneRound = s.Round
+	r.restored = true
+	return nil
+}
+
+// Sections encodes the state into checkpoint sections (see DESIGN.md for the
+// layout). Encoding is deterministic: identical state yields identical bytes.
+func (s *RunState) Sections() ([]ckpt.Section, error) {
+	var meta ckpt.Encoder
+	meta.PutUint64(schemaVersion)
+	meta.PutInt64(s.Seed)
+	meta.PutUint64(s.ConfigTag)
+	meta.PutInt(s.Round)
+	meta.PutFloat64(s.Acct.SelectionSeconds)
+	meta.PutFloat64(s.Acct.TrainSeconds)
+	meta.PutInt64(s.Acct.UplinkBytes)
+	meta.PutInt64(s.Acct.DownlinkBytes)
+
+	var model ckpt.Encoder
+	if err := model.PutTensors(s.Model); err != nil {
+		return nil, err
+	}
+
+	var hist ckpt.Encoder
+	hist.PutUint64(uint64(len(s.Hist.Records)))
+	for _, rec := range s.Hist.Records {
+		hist.PutInt(rec.Round)
+		hist.PutInt(rec.CohortSize)
+		hist.PutString(rec.SchedPolicy)
+		hist.PutInt(rec.Participants)
+		hist.PutFloat64(rec.TestAccuracy)
+		hist.PutFloat64(rec.MeanTrainLoss)
+		hist.PutFloat64(rec.CumTrainSeconds)
+		hist.PutInt64(rec.CumUplinkBytes)
+	}
+	hist.PutFloat64(s.Hist.BestAccuracy)
+	hist.PutFloat64(s.Hist.FinalAccuracy)
+	hist.PutFloat64(s.Hist.TotalTrainSeconds)
+	hist.PutInt64(s.Hist.TotalUplinkBytes)
+	hist.PutInt64(s.Hist.TotalDownlinkBytes)
+
+	var tracker ckpt.Encoder
+	tracker.PutFloat64Map(s.TrackerUtil)
+	tracker.PutFloat64Map(s.TrackerSeconds)
+
+	var schedEnc ckpt.Encoder
+	schedEnc.PutString(s.SchedName)
+	schedEnc.PutBytes(s.SchedState)
+
+	var opt ckpt.Encoder
+	ids := make([]int, 0, len(s.Opt))
+	for id := range s.Opt {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	opt.PutUint64(uint64(len(ids)))
+	for _, id := range ids {
+		opt.PutInt(id)
+		if err := opt.PutTensors(s.Opt[id]); err != nil {
+			return nil, err
+		}
+	}
+
+	return []ckpt.Section{
+		{Name: sectionMeta, Body: meta.Bytes()},
+		{Name: sectionModel, Body: model.Bytes()},
+		{Name: sectionHistory, Body: hist.Bytes()},
+		{Name: sectionTracker, Body: tracker.Bytes()},
+		{Name: sectionSched, Body: schedEnc.Bytes()},
+		{Name: sectionOpt, Body: opt.Bytes()},
+	}, nil
+}
+
+// RunStateFromSections decodes checkpoint sections, reversing Sections.
+// Structural problems (missing sections, truncated bodies) report
+// ckpt.ErrCorrupt.
+func RunStateFromSections(sections []ckpt.Section) (*RunState, error) {
+	bodies := make(map[string][]byte, len(sections))
+	for _, sec := range sections {
+		bodies[sec.Name] = sec.Body
+	}
+	for _, name := range []string{sectionMeta, sectionModel, sectionHistory, sectionTracker, sectionSched, sectionOpt} {
+		if _, ok := bodies[name]; !ok {
+			return nil, fmt.Errorf("%w: missing %q section", ckpt.ErrCorrupt, name)
+		}
+	}
+	s := &RunState{}
+
+	meta := ckpt.NewDecoder(bodies[sectionMeta])
+	if v := meta.Uint64(); v != schemaVersion && meta.Err() == nil {
+		return nil, fmt.Errorf("%w: run-state schema %d (supported: %d)", ckpt.ErrVersion, v, schemaVersion)
+	}
+	s.Seed = meta.Int64()
+	s.ConfigTag = meta.Uint64()
+	s.Round = meta.Int()
+	s.Acct.SelectionSeconds = meta.Float64()
+	s.Acct.TrainSeconds = meta.Float64()
+	s.Acct.UplinkBytes = meta.Int64()
+	s.Acct.DownlinkBytes = meta.Int64()
+	if err := meta.Done(); err != nil {
+		return nil, fmt.Errorf("meta section: %w", err)
+	}
+
+	model := ckpt.NewDecoder(bodies[sectionModel])
+	s.Model = model.Tensors()
+	if err := model.Done(); err != nil {
+		return nil, fmt.Errorf("model section: %w", err)
+	}
+
+	hist := ckpt.NewDecoder(bodies[sectionHistory])
+	n := hist.Uint64()
+	if n > uint64(len(bodies[sectionHistory])) {
+		return nil, fmt.Errorf("%w: history claims %d records", ckpt.ErrCorrupt, n)
+	}
+	if n > 0 {
+		s.Hist.Records = make([]RoundRecord, 0, n)
+	}
+	for i := uint64(0); i < n && hist.Err() == nil; i++ {
+		s.Hist.Records = append(s.Hist.Records, RoundRecord{
+			Round:           hist.Int(),
+			CohortSize:      hist.Int(),
+			SchedPolicy:     hist.String(),
+			Participants:    hist.Int(),
+			TestAccuracy:    hist.Float64(),
+			MeanTrainLoss:   hist.Float64(),
+			CumTrainSeconds: hist.Float64(),
+			CumUplinkBytes:  hist.Int64(),
+		})
+	}
+	s.Hist.BestAccuracy = hist.Float64()
+	s.Hist.FinalAccuracy = hist.Float64()
+	s.Hist.TotalTrainSeconds = hist.Float64()
+	s.Hist.TotalUplinkBytes = hist.Int64()
+	s.Hist.TotalDownlinkBytes = hist.Int64()
+	if err := hist.Done(); err != nil {
+		return nil, fmt.Errorf("history section: %w", err)
+	}
+
+	tracker := ckpt.NewDecoder(bodies[sectionTracker])
+	s.TrackerUtil = tracker.Float64Map()
+	s.TrackerSeconds = tracker.Float64Map()
+	if err := tracker.Done(); err != nil {
+		return nil, fmt.Errorf("tracker section: %w", err)
+	}
+
+	schedDec := ckpt.NewDecoder(bodies[sectionSched])
+	s.SchedName = schedDec.String()
+	s.SchedState = schedDec.Bytes()
+	if err := schedDec.Done(); err != nil {
+		return nil, fmt.Errorf("sched section: %w", err)
+	}
+
+	opt := ckpt.NewDecoder(bodies[sectionOpt])
+	optN := opt.Uint64()
+	if optN > uint64(len(bodies[sectionOpt])) {
+		return nil, fmt.Errorf("%w: opt section claims %d clients", ckpt.ErrCorrupt, optN)
+	}
+	if optN > 0 {
+		s.Opt = make(map[int][]*tensor.Tensor, optN)
+	}
+	for i := uint64(0); i < optN && opt.Err() == nil; i++ {
+		id := opt.Int()
+		s.Opt[id] = opt.Tensors()
+	}
+	if err := opt.Done(); err != nil {
+		return nil, fmt.Errorf("opt section: %w", err)
+	}
+
+	return s, nil
+}
+
+// SaveRunState writes the state to path atomically.
+func SaveRunState(path string, s *RunState) error {
+	sections, err := s.Sections()
+	if err != nil {
+		return err
+	}
+	return ckpt.Save(path, sections)
+}
+
+// LoadRunState reads and decodes one checkpoint file.
+func LoadRunState(path string) (*RunState, error) {
+	sections, err := ckpt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return RunStateFromSections(sections)
+}
+
+// LoadLatestRunState loads the newest valid checkpoint in dir
+// (ckpt.ErrNoCheckpoint when there is none).
+func LoadLatestRunState(dir string) (*RunState, error) {
+	_, sections, err := ckpt.LoadLatest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return RunStateFromSections(sections)
+}
+
+// SaveCheckpoint snapshots the runner and writes the checkpoint for the last
+// completed round into dir (created if missing), returning the file path.
+// Run calls this automatically when Config.CheckpointDir is set; it is
+// exported for callers that manage checkpoint cadence themselves.
+func (r *Runner) SaveCheckpoint(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	s, err := r.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	path := ckpt.Path(dir, s.Round)
+	if err := SaveRunState(path, s); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ResumeLatest restores the runner from the newest valid checkpoint in
+// Config.CheckpointDir and returns the restored round. It returns
+// ckpt.ErrNoCheckpoint when the directory has none — callers treating a
+// missing checkpoint as "start fresh" check for that sentinel.
+func (r *Runner) ResumeLatest() (int, error) {
+	if r.cfg.CheckpointDir == "" {
+		return 0, fmt.Errorf("%w: ResumeLatest without a CheckpointDir", ErrConfig)
+	}
+	s, err := LoadLatestRunState(r.cfg.CheckpointDir)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.RestoreInto(r); err != nil {
+		return 0, err
+	}
+	return s.Round, nil
+}

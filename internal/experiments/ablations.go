@@ -102,11 +102,7 @@ func RunAblationAggWeighting(env *Env) (*AblationResult, error) {
 			AggWeighting:   w,
 			Seed:           env.Seed + 21,
 		}
-		runner, err := core.NewRunner(cfg, global, fed.Clients, fed.Test)
-		if err != nil {
-			return nil, err
-		}
-		hist, err := runner.Run()
+		hist, err := env.RunFL("ablation-aggweight-"+w.String(), cfg, global, fed.Clients, fed.Test)
 		if err != nil {
 			return nil, err
 		}

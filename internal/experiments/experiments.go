@@ -12,7 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"strings"
 
+	"fedfteds/internal/ckpt"
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
 	"fedfteds/internal/models"
@@ -168,6 +171,76 @@ type Env struct {
 
 	pretrained map[string]*models.Model // cached source-pretrained models, by domain name
 	target100  *data.Domain             // scale-sized "CIFAR-100" analogue, lazily built
+	ckptPolicy CheckpointPolicy         // artifact-store policy applied to every RunFL
+}
+
+// CheckpointPolicy turns the experiment harness's checkpoint directory into
+// an artifact store: every federated run an experiment launches checkpoints
+// into its own deterministic subdirectory of Dir, and with Resume set a
+// re-launched sweep reloads finished runs instantly (and continues
+// interrupted ones mid-run) instead of re-training them. Because resumption
+// is bit-identical, a resumed sweep's tables and figures match an
+// uninterrupted sweep's exactly; bumping a run's round budget extends the
+// stored run rather than restarting it.
+type CheckpointPolicy struct {
+	// Dir is the artifact-store root; empty disables checkpointing.
+	Dir string
+	// Every is the per-run checkpoint interval in rounds (default 1).
+	Every int
+	// Resume reloads each run's latest stored checkpoint before training.
+	Resume bool
+}
+
+// SetCheckpointPolicy installs the artifact-store policy for subsequent
+// experiment runs.
+func (e *Env) SetCheckpointPolicy(p CheckpointPolicy) error {
+	if p.Every < 0 {
+		return fmt.Errorf("%w: checkpoint interval %d is negative", ErrExperiment, p.Every)
+	}
+	if p.Resume && p.Dir == "" {
+		return fmt.Errorf("%w: resume requested without a checkpoint directory", ErrExperiment)
+	}
+	e.ckptPolicy = p
+	return nil
+}
+
+// sanitizeRunName maps an arbitrary run name to a safe directory name.
+func sanitizeRunName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// RunFL builds a runner for one federated configuration and executes it
+// under the environment's checkpoint policy. runName must uniquely identify
+// the run within a sweep (it keys the run's artifact subdirectory); every
+// experiment launches its runs through this helper so the whole sweep shares
+// one resume discipline.
+func (e *Env) RunFL(runName string, cfg core.Config, global *models.Model, clients []*core.Client, test *data.Dataset) (core.History, error) {
+	if e.ckptPolicy.Dir != "" {
+		cfg.CheckpointDir = filepath.Join(e.ckptPolicy.Dir, sanitizeRunName(runName))
+		cfg.CheckpointEvery = e.ckptPolicy.Every
+	}
+	runner, err := core.NewRunner(cfg, global, clients, test)
+	if err != nil {
+		return core.History{}, fmt.Errorf("experiments: %s: %w", runName, err)
+	}
+	if e.ckptPolicy.Resume && cfg.CheckpointDir != "" {
+		if _, err := runner.ResumeLatest(); err != nil && !errors.Is(err, ckpt.ErrNoCheckpoint) {
+			return core.History{}, fmt.Errorf("experiments: resume %s: %w", runName, err)
+		}
+	}
+	hist, err := runner.Run()
+	if err != nil {
+		return core.History{}, fmt.Errorf("experiments: %s: run: %w", runName, err)
+	}
+	return hist, nil
 }
 
 // NewEnv builds the experiment environment.
@@ -386,15 +459,12 @@ func (e *Env) RunMethod(m Method, fed *Federation, target, source *data.Domain, 
 		Straggler:      m.Straggler,
 		Seed:           tensor.DeriveSeed(uint64(e.Seed), uint64(seedSalt), hashName(m.Name)),
 	}
-	runner, err := core.NewRunner(cfg, global, fed.Clients, fed.Test)
-	if err != nil {
-		return core.History{}, fmt.Errorf("experiments: %s: %w", m.Name, err)
-	}
-	hist, err := runner.Run()
-	if err != nil {
-		return core.History{}, fmt.Errorf("experiments: %s: run: %w", m.Name, err)
-	}
-	return hist, nil
+	// The run name keys the checkpoint artifact store, so it carries every
+	// axis that distinguishes otherwise identically-seeded runs: target and
+	// source domains, federation shape, method and salt.
+	runName := fmt.Sprintf("%s-from-%s-a%g-c%d-n%d-%s-s%d",
+		target.Spec.Name, source.Spec.Name, fed.Alpha, len(fed.Clients), fed.Pool.Len(), m.Name, seedSalt)
+	return e.RunFL(runName, cfg, global, fed.Clients, fed.Test)
 }
 
 // RunCentralized trains the centralized upper bound on the federation pool.

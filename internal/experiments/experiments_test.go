@@ -3,6 +3,8 @@ package experiments
 import (
 	"errors"
 	"math"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -417,5 +419,79 @@ func TestTableRendering(t *testing.T) {
 	}
 	if RenderCurves("c", []Series{s}) == "" {
 		t.Fatal("empty curves")
+	}
+}
+
+// TestCheckpointArtifactStore: with a checkpoint policy installed, an
+// experiment persists each run into its own subdirectory, and a re-launched
+// sweep with Resume reloads the finished runs bit-identically instead of
+// re-training them.
+func TestCheckpointArtifactStore(t *testing.T) {
+	dir := t.TempDir()
+
+	env1, err := NewEnv(ScaleSmoke, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env1.SetCheckpointPolicy(CheckpointPolicy{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := RunSchedCompare(env1, []string{"uniform"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The run landed in its own artifact subdirectory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].IsDir() {
+		t.Fatalf("artifact store contents: %v", entries)
+	}
+
+	// A fresh environment resumes the stored run: identical history.
+	env2, err := NewEnv(ScaleSmoke, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env2.SetCheckpointPolicy(CheckpointPolicy{Dir: dir, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunSchedCompare(env2, []string{"uniform"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Rows, res2.Rows) {
+		t.Fatalf("resumed sweep differs:\nfirst:   %+v\nresumed: %+v", res1.Rows, res2.Rows)
+	}
+}
+
+// TestSetCheckpointPolicyValidation pins the fail-fast rules.
+func TestSetCheckpointPolicyValidation(t *testing.T) {
+	env, err := NewEnv(ScaleSmoke, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SetCheckpointPolicy(CheckpointPolicy{Dir: "x", Every: -1}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if err := env.SetCheckpointPolicy(CheckpointPolicy{Resume: true}); err == nil {
+		t.Fatal("resume without dir accepted")
+	}
+	if err := env.SetCheckpointPolicy(CheckpointPolicy{}); err != nil {
+		t.Fatalf("disabled policy rejected: %v", err)
+	}
+}
+
+// TestRunNameSanitization keeps artifact directory names filesystem-safe.
+func TestRunNameSanitization(t *testing.T) {
+	got := sanitizeRunName("FedFT-EDS (50%)/moderate a=0.1")
+	for _, r := range got {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '.' || r == '_' || r == '-'
+		if !ok {
+			t.Fatalf("unsafe rune %q in %q", r, got)
+		}
 	}
 }

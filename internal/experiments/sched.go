@@ -86,13 +86,10 @@ func RunSchedCompare(env *Env, policyNames []string, k int) (*SchedCompareResult
 			// cohort choice, not the run randomness.
 			Seed: tensor.DeriveSeed(uint64(env.Seed), sched.StreamTag),
 		}
-		runner, err := core.NewRunner(cfg, global, fed.Clients, fed.Test)
+		hist, err := env.RunFL(fmt.Sprintf("sched-%s-k%d-c%d", name, k, numClients),
+			cfg, global, fed.Clients, fed.Test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: sched %s: %w", name, err)
-		}
-		hist, err := runner.Run()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sched %s: run: %w", name, err)
+			return nil, err
 		}
 		res.Rows = append(res.Rows, SchedRow{Policy: name, CohortSize: k, Hist: hist})
 	}

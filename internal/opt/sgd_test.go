@@ -253,3 +253,73 @@ func TestValidateSchedules(t *testing.T) {
 		t.Fatalf("valid schedule rejected: %v", err)
 	}
 }
+
+// TestStateTensorsRoundTrip pins the optimizer checkpoint accessors:
+// velocity (and the proximal anchor when set) survive a snapshot/restore
+// cycle, and a restored optimizer steps identically to the original.
+func TestStateTensorsRoundTrip(t *testing.T) {
+	build := func() ([]*nn.Param, *SGD) {
+		w := &nn.Param{Name: "w", W: tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 2), G: tensor.New(2, 2)}
+		s, err := NewSGD(SGDConfig{LR: 0.1, Momentum: 0.9, ProxMu: 0.01}, []*nn.Param{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*nn.Param{w}, s
+	}
+	step := func(params []*nn.Param, s *SGD, g float32) {
+		for _, p := range params {
+			p.G.Fill(g)
+		}
+		s.Step()
+	}
+
+	paramsA, a := build()
+	a.SnapshotProxAnchor()
+	step(paramsA, a, 0.5)
+	step(paramsA, a, -0.25)
+
+	st := a.StateTensors()
+	if len(st) != 2 { // velocity + anchor
+		t.Fatalf("state tensors %d, want 2", len(st))
+	}
+	snapshot := make([]*tensor.Tensor, len(st))
+	for i, ts := range st {
+		snapshot[i] = ts.Clone()
+	}
+
+	paramsB, b := build()
+	b.SnapshotProxAnchor()
+	step(paramsB, b, 0.5)
+	step(paramsB, b, -0.25)
+	// Desync b, then restore it from a's snapshot (weights must match too).
+	step(paramsB, b, 1)
+	if err := paramsB[0].W.CopyFrom(paramsA[0].W); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreStateTensors(snapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	step(paramsA, a, 0.125)
+	step(paramsB, b, 0.125)
+	if !paramsA[0].W.Equal(paramsB[0].W) {
+		t.Fatal("restored optimizer diverged from original")
+	}
+
+	// Velocity-only restore drops the anchor.
+	if err := b.RestoreStateTensors(snapshot[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.StateTensors(); len(got) != 1 {
+		t.Fatalf("velocity-only restore kept %d state tensors, want 1", len(got))
+	}
+
+	// Wrong counts and shapes are rejected.
+	if err := b.RestoreStateTensors(nil); err == nil {
+		t.Fatal("empty restore accepted")
+	}
+	bad := []*tensor.Tensor{tensor.New(3)}
+	if err := b.RestoreStateTensors(bad); err == nil {
+		t.Fatal("shape-mismatched restore accepted")
+	}
+}

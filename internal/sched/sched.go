@@ -13,6 +13,7 @@
 package sched
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +61,20 @@ type Scheduler interface {
 	// candidates, ascending. Implementations must be deterministic given
 	// cands and rng; round lets stateful policies (churn models) evolve.
 	Schedule(round int, cands []Candidate, k int, rng *rand.Rand) []int
+}
+
+// Stateful is implemented by schedulers whose Schedule calls evolve internal
+// state across rounds (currently only Availability's Markov chain). A run
+// checkpoint captures this state so a resumed run schedules bit-identically
+// to an uninterrupted one; every other shipped policy is stateless — their
+// per-round draws derive entirely from the candidates and the caller's rng.
+type Stateful interface {
+	Scheduler
+	// SnapshotState returns a deterministic serialization of the policy's
+	// internal state (identical state must yield identical bytes).
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the internal state from a SnapshotState blob.
+	RestoreState(state []byte) error
 }
 
 // clampK bounds the cohort size to [1, n] (k <= 0 means the whole pool).
@@ -362,9 +377,60 @@ type Availability struct {
 }
 
 var _ Scheduler = (*Availability)(nil)
+var _ Stateful = (*Availability)(nil)
 
 // Name implements Scheduler.
 func (a *Availability) Name() string { return "avail:" + a.inner().Name() }
+
+// SnapshotState implements Stateful: the Markov up/down map serialized in
+// ascending client-ID order (u64 count, then per client an i64 ID and one
+// status byte), so identical churn state always yields identical bytes.
+func (a *Availability) SnapshotState() ([]byte, error) {
+	ids := make([]int, 0, len(a.up))
+	for id := range a.up {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	buf := make([]byte, 0, 8+9*len(ids))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(id)))
+		var b byte
+		if a.up[id] {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	return buf, nil
+}
+
+// RestoreState implements Stateful, reversing SnapshotState.
+func (a *Availability) RestoreState(state []byte) error {
+	if len(state) < 8 {
+		return fmt.Errorf("%w: availability state truncated (%d bytes)", ErrSched, len(state))
+	}
+	n := binary.LittleEndian.Uint64(state)
+	rest := state[8:]
+	// The division guard comes first: checking 9*n alone would let a count
+	// near 2^64 overflow back into range and panic the decode loop below.
+	if n > uint64(len(rest))/9 || uint64(len(rest)) != 9*n {
+		return fmt.Errorf("%w: availability state claims %d clients in %d bytes", ErrSched, n, len(rest))
+	}
+	up := make(map[int]bool, n)
+	for i := uint64(0); i < n; i++ {
+		id := int(int64(binary.LittleEndian.Uint64(rest[9*i:])))
+		switch rest[9*i+8] {
+		case 0:
+			up[id] = false
+		case 1:
+			up[id] = true
+		default:
+			return fmt.Errorf("%w: availability state has invalid status byte %d", ErrSched, rest[9*i+8])
+		}
+	}
+	a.up = up
+	return nil
+}
 
 // inner returns the wrapped policy, defaulting to UniformRandom.
 func (a *Availability) inner() Scheduler {

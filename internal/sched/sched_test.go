@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -416,5 +417,110 @@ func TestParseRoundTripsPolicyNames(t *testing.T) {
 	}
 	if _, err := Parse("avail:fifo"); err == nil {
 		t.Fatal("Parse must reject unknown inner policies")
+	}
+}
+
+// TestAvailabilitySnapshotRestore pins the Stateful contract: the churn
+// chain's snapshot is deterministic, restores exactly, and a restored
+// instance continues scheduling identically to the original.
+func TestAvailabilitySnapshotRestore(t *testing.T) {
+	cands := make([]Candidate, 6)
+	for i := range cands {
+		cands[i] = Candidate{ClientID: i, DataSize: 10, Available: true}
+	}
+	orig := &Availability{Inner: UniformRandom{}, DownProb: 0.4, UpProb: 0.5}
+
+	// Fresh (never scheduled) state snapshots and restores cleanly.
+	blob, err := orig.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != 8 {
+		t.Fatalf("fresh snapshot %d bytes, want 8 (count only)", len(blob))
+	}
+
+	for round := 1; round <= 3; round++ {
+		orig.Schedule(round, cands, 3, rand.New(rand.NewSource(int64(round))))
+	}
+	blob, err = orig.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := orig.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("snapshot is not deterministic")
+	}
+
+	restored := &Availability{Inner: UniformRandom{}, DownProb: 0.4, UpProb: 0.5}
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for round := 4; round <= 8; round++ {
+		rngA := rand.New(rand.NewSource(int64(100 + round)))
+		rngB := rand.New(rand.NewSource(int64(100 + round)))
+		a := orig.Schedule(round, cands, 3, rngA)
+		b := restored.Schedule(round, cands, 3, rngB)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round %d: restored chain diverged: %v vs %v", round, a, b)
+		}
+	}
+}
+
+// TestAvailabilityRestoreRejectsCorruptState: malformed blobs are typed
+// errors, never applied.
+func TestAvailabilityRestoreRejectsCorruptState(t *testing.T) {
+	a := &Availability{}
+	for _, blob := range [][]byte{
+		nil,
+		{1, 2, 3},
+		{1, 0, 0, 0, 0, 0, 0, 0}, // claims 1 client, no entry
+		{1, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 9}, // invalid status byte
+		{2, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0, 1}, // count overruns
+		// Count = 9^-1 mod 2^64, so 9*n overflows uint64 back to exactly
+		// len(rest)=1: must be rejected by the division guard, not panic
+		// the decode loop.
+		{0x39, 0x8E, 0xE3, 0x38, 0x8E, 0xE3, 0x38, 0x8E, 1},
+	} {
+		if err := a.RestoreState(blob); !errors.Is(err, ErrSched) {
+			t.Fatalf("blob %v: got %v, want ErrSched", blob, err)
+		}
+	}
+	if a.up != nil {
+		t.Fatal("corrupt state was partially applied")
+	}
+}
+
+// TestTrackerExportRestore round-trips the feedback store.
+func TestTrackerExportRestore(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveUpdate(1, 0.9, 0.5, 12)
+	tr.ObserveUpdate(2, math.NaN(), 0.7, 8)
+	util, seconds := tr.Export()
+
+	// Export returns copies: mutating them must not touch the tracker.
+	util[1] = -1
+	if u, _ := tr.Utility(1); u != 0.9 {
+		t.Fatal("Export aliases the tracker's map")
+	}
+	util[1] = 0.9
+
+	tr2 := NewTracker()
+	tr2.Restore(util, seconds)
+	if u, ok := tr2.Utility(1); !ok || u != 0.9 {
+		t.Fatalf("utility(1) = %v, %v", u, ok)
+	}
+	if u, ok := tr2.Utility(2); !ok || u != 0.7 {
+		t.Fatalf("utility(2) = %v, %v (loss fallback lost)", u, ok)
+	}
+	if s := tr2.Seconds(2); s != 8 {
+		t.Fatalf("seconds(2) = %v", s)
+	}
+	// Restoring nil clears.
+	tr2.Restore(nil, nil)
+	if _, ok := tr2.Utility(1); ok {
+		t.Fatal("Restore(nil, nil) did not clear")
 	}
 }

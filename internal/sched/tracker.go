@@ -76,3 +76,31 @@ func (t *Tracker) Stamp(cands []Candidate) {
 		cands[i].Utility, cands[i].HasUtility = t.Utility(cands[i].ClientID)
 	}
 }
+
+// Export returns copies of the stored utility and round-seconds maps — the
+// tracker's complete state, exactly what a run checkpoint must carry so the
+// EntropyUtility feedback loop resumes where it left off.
+func (t *Tracker) Export() (util, seconds map[int]float64) {
+	util = make(map[int]float64, len(t.util))
+	for k, v := range t.util {
+		util[k] = v
+	}
+	seconds = make(map[int]float64, len(t.seconds))
+	for k, v := range t.seconds {
+		seconds[k] = v
+	}
+	return util, seconds
+}
+
+// Restore replaces the tracker's state with copies of the given maps,
+// reversing Export. Nil maps clear the store.
+func (t *Tracker) Restore(util, seconds map[int]float64) {
+	t.util = make(map[int]float64, len(util))
+	for k, v := range util {
+		t.util[k] = v
+	}
+	t.seconds = make(map[int]float64, len(seconds))
+	for k, v := range seconds {
+		t.seconds[k] = v
+	}
+}

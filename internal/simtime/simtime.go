@@ -189,3 +189,33 @@ func (a *Accountant) UplinkBytes() int64 { return a.totalUplinkBytes }
 
 // DownlinkBytes returns cumulative server→client bytes.
 func (a *Accountant) DownlinkBytes() int64 { return a.totalDownlinkBytes }
+
+// AccountantState is an Accountant's complete exported state. Restoring the
+// exact float64 accumulator values (not recomputing them) keeps a resumed
+// run's cost accounting bit-identical to an uninterrupted one: floating-point
+// accumulation continues from the same representable values.
+type AccountantState struct {
+	// SelectionSeconds and TrainSeconds are the cumulative simulated
+	// client-compute accumulators.
+	SelectionSeconds, TrainSeconds float64
+	// UplinkBytes and DownlinkBytes are the cumulative traffic volumes.
+	UplinkBytes, DownlinkBytes int64
+}
+
+// State exports the accountant's accumulators for checkpointing.
+func (a *Accountant) State() AccountantState {
+	return AccountantState{
+		SelectionSeconds: a.totalSelectionSeconds,
+		TrainSeconds:     a.totalTrainSeconds,
+		UplinkBytes:      a.totalUplinkBytes,
+		DownlinkBytes:    a.totalDownlinkBytes,
+	}
+}
+
+// Restore replaces the accountant's accumulators, reversing State.
+func (a *Accountant) Restore(s AccountantState) {
+	a.totalSelectionSeconds = s.SelectionSeconds
+	a.totalTrainSeconds = s.TrainSeconds
+	a.totalUplinkBytes = s.UplinkBytes
+	a.totalDownlinkBytes = s.DownlinkBytes
+}

@@ -1,9 +1,11 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package tensor
 
 // gemmRowKernel falls back to the portable row kernel on architectures
-// without an assembly implementation.
+// without an assembly implementation, and under the noasm build tag — which
+// is how CI tests the portable path natively on amd64
+// (go test -tags noasm ./internal/tensor/ ./internal/nn/).
 func gemmRowKernel(dst, a, b []float32, k, n int) {
 	gemmRowGo(dst, a, b, k, n)
 }
