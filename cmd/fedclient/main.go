@@ -9,6 +9,13 @@
 // client is not part of are invisible here: the client simply blocks until
 // a cohort includes it again.
 //
+// -strategy applies a strategy's client-side hook to the local objective
+// (fedprox:mu=0.1 adds the proximal term); server-side optimizers
+// (fedavgm/fedadam/fedyogi) run on fedserver and need nothing here. Like
+// -seed and -temperature, the hook is client-local configuration the wire
+// never carries: keep it consistent across restarts of a checkpointed
+// federation, or the resumed rounds train a different local objective.
+//
 // Exit status distinguishes how the session ended, so scripted fleets can
 // detect eviction: 0 after a clean server shutdown, 3 when the connection
 // was severed without a shutdown message — the server either removed this
@@ -36,6 +43,7 @@ import (
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/models"
 	"fedfteds/internal/selection"
+	"fedfteds/internal/strategy"
 )
 
 // exitEvicted is the exit status after a crash-class removal by the server,
@@ -66,6 +74,8 @@ type clientConfig struct {
 	seed        int64
 	temperature float64
 	timeout     time.Duration
+	stratSpec   string
+	strat       strategy.Strategy
 }
 
 // parseFlags parses and fail-fast validates the command line.
@@ -78,9 +88,15 @@ func parseFlags(args []string) (clientConfig, error) {
 	fs.Int64Var(&cfg.seed, "seed", 1, "shared federation seed (must match the server)")
 	fs.Float64Var(&cfg.temperature, "temperature", 0.1, "hardened-softmax temperature ρ")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial timeout")
+	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy; only its client-side hook applies here (fedprox:mu=0.1 adds the proximal term), server optimizers run on fedserver")
 	if err := fs.Parse(args); err != nil {
 		return clientConfig{}, err
 	}
+	strat, err := strategy.Parse(cfg.stratSpec)
+	if err != nil {
+		return clientConfig{}, err
+	}
+	cfg.strat = strat
 	if cfg.numClients <= 0 {
 		return clientConfig{}, fmt.Errorf("-clients %d must be positive", cfg.numClients)
 	}
@@ -208,6 +224,7 @@ func run(args []string) error {
 			FinetunePart:   models.FinetuneModerate,
 			Selector:       selection.Entropy{Temperature: cfg.temperature},
 			SelectFraction: rs.SelectFraction,
+			Strategy:       cfg.strat,
 			Seed:           cfg.seed,
 		})
 		if err != nil {

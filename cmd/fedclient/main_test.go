@@ -22,6 +22,21 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.id != 0 || cfg.numClients != 2 || cfg.temperature != 0.1 || cfg.timeout != 10*time.Second {
 		t.Fatalf("unexpected defaults: %+v", cfg)
 	}
+	if cfg.strat == nil || cfg.strat.Name() != "fedavg" || cfg.strat.LocalHook() != nil {
+		t.Fatalf("strategy must default to plain fedavg: %+v", cfg.strat)
+	}
+}
+
+// TestParseFlagsStrategyHook: the client accepts the shared strategy
+// vocabulary; fedprox carries the proximal local hook into local updates.
+func TestParseFlagsStrategyHook(t *testing.T) {
+	cfg, err := parseFlags([]string{"-strategy", "fedprox:mu=0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.strat.LocalHook() == nil {
+		t.Fatal("fedprox lost its local hook")
+	}
 }
 
 func TestParseFlagsFailFast(t *testing.T) {
@@ -35,6 +50,8 @@ func TestParseFlagsFailFast(t *testing.T) {
 		{"zero clients", []string{"-clients", "0"}, "-clients"},
 		{"zero temperature", []string{"-temperature", "0"}, "-temperature"},
 		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+		{"unknown strategy", []string{"-strategy", "sgd"}, "unknown strategy"},
+		{"bad strategy parameter", []string{"-strategy", "fedprox:mu=0"}, "mu"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -19,6 +19,14 @@
 // their mean EDS entropy with every update, and the scheduler exploits the
 // most uncertain clients with ε-greedy exploration.
 //
+// With -strategy the server swaps the federated-optimization strategy: how
+// streamed updates are weighted and how their weighted average moves the
+// global model — fedavg (overwrite, the default), fedavgm (server
+// momentum), fedadam or fedyogi (adaptive server optimizers), with
+// parameters inline ("fedadam:lr=0.05,beta1=0.9"). Server optimizers are
+// server-only: nothing changes on the wire, and unmodified fedclients
+// participate in any strategy.
+//
 // Clients regenerate their local partitions deterministically from the
 // shared -seed, so server and clients agree on data without moving it —
 // the whole point of federated learning.
@@ -26,7 +34,8 @@
 // Usage:
 //
 //	fedserver -addr 127.0.0.1:7070 -clients 4 -rounds 10 -fraction 0.5 \
-//	          -round-deadline 2m -quorum 0.6 -cohort 2 -sched entropy
+//	          -round-deadline 2m -quorum 0.6 -cohort 2 -sched entropy \
+//	          -strategy fedadam:lr=0.05
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 	"fedfteds/internal/tensor"
 )
 
@@ -71,6 +81,18 @@ type serverConfig struct {
 	scheduler     sched.Scheduler // nil when -cohort is 0 (full pool)
 	schedName     string
 	ckptDir       string
+	strat         strategy.Strategy
+	stratSpec     string
+}
+
+// taggedStrategy returns the strategy as checkpoints see it: nil for the
+// default fedavg composition (whose checkpoints stay interchangeable with
+// pre-strategy servers), the configured strategy otherwise.
+func (c serverConfig) taggedStrategy() strategy.Strategy {
+	if strategy.IsDefault(c.strat) {
+		return nil
+	}
+	return c.strat
 }
 
 // parseFlags parses and fail-fast validates the command line: bad -quorum,
@@ -90,9 +112,15 @@ func parseFlags(args []string) (serverConfig, error) {
 	fs.IntVar(&cfg.cohort, "cohort", 0, "clients scheduled per round, 0 = the whole federation")
 	fs.StringVar(&cfg.schedName, "sched", "uniform", "cohort scheduling policy: uniform, size, entropy, powerd, avail:<inner>")
 	fs.StringVar(&cfg.ckptDir, "ckpt-dir", "", "snapshot the federation after every round and warm-start from this directory's latest checkpoint")
+	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy: fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters (fedadam:lr=0.05,beta1=0.9)")
 	if err := fs.Parse(args); err != nil {
 		return serverConfig{}, err
 	}
+	strat, err := strategy.Parse(cfg.stratSpec)
+	if err != nil {
+		return serverConfig{}, err
+	}
+	cfg.strat = strat
 	if cfg.ckptDir != "" {
 		// Fail fast on an unusable checkpoint directory: a server that can
 		// train but not checkpoint would lose the federation it promised to
@@ -154,11 +182,17 @@ func run(args []string) error {
 // training trajectory, so a checkpoint written under one configuration is
 // never silently continued under another (the same refusal Runner applies).
 // Quorum and deadline are included: they decide which client updates enter
-// each aggregate. Only -addr and -ckpt-dir stay out — where the federation
+// each aggregate; a non-default strategy contributes its Fingerprint (the
+// default fedavg contributes nothing, keeping pre-strategy checkpoints
+// resumable). Only -addr and -ckpt-dir stay out — where the federation
 // listens and stores cannot change what it computes.
 func (c serverConfig) configTag() uint64 {
-	return core.TagConfig(c.numClients, c.fraction, c.epochs, c.cohort, c.schedName,
-		c.quorum, c.roundDeadline)
+	parts := []any{c.numClients, c.fraction, c.epochs, c.cohort, c.schedName,
+		c.quorum, c.roundDeadline}
+	if s := c.taggedStrategy(); s != nil {
+		parts = append(parts, s.Fingerprint())
+	}
+	return core.TagConfig(parts...)
 }
 
 // restoreFederation warm-starts the server from the newest checkpoint in
@@ -177,10 +211,13 @@ func restoreFederation(cfg serverConfig, global *models.Model, hist *core.Histor
 	if err != nil {
 		return 0, err
 	}
-	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler); err != nil {
+	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy()); err != nil {
 		return 0, err
 	}
 	if err := snap.RestoreScheduler(cfg.scheduler); err != nil {
+		return 0, err
+	}
+	if err := snap.RestoreStrategy(cfg.taggedStrategy()); err != nil {
 		return 0, err
 	}
 	if err := core.RestoreModelState(global, snap.Model); err != nil {
@@ -209,6 +246,7 @@ func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist 
 	if err := snap.CaptureScheduler(cfg.scheduler); err != nil {
 		return err
 	}
+	snap.CaptureStrategy(cfg.taggedStrategy())
 	return core.SaveRunState(ckpt.Path(cfg.ckptDir, round), snap)
 }
 
@@ -256,11 +294,31 @@ func serve(cfg serverConfig, l comm.Listener) error {
 			log.Printf("shutdown: %v", err)
 		}
 	}()
-	log.Printf("federation ready: clients %v", sess.ClientIDs())
+	log.Printf("federation ready: clients %v, strategy %s", sess.ClientIDs(), cfg.strat.Fingerprint())
 
 	engine, err := comm.NewRoundEngine(sess, engineCfg)
 	if err != nil {
 		return err
+	}
+
+	// The strategy weighs each streamed update (absorbing the fixed
+	// selected-size weighting) and later applies the weighted average to
+	// the global model through its server optimizer. The one-element
+	// scratch keeps the streaming path allocation-light.
+	var (
+		upScratch [1]strategy.Update
+		wScratch  [1]float64
+	)
+	weigh := func(u comm.ClientUpdate) (float64, error) {
+		upScratch[0] = strategy.Update{
+			ClientID:    u.ClientID,
+			NumSelected: u.NumSelected,
+			LocalSize:   sess.LocalSize(u.ClientID),
+		}
+		if err := cfg.strat.WeighUpdates(upScratch[:], wScratch[:]); err != nil {
+			return 0, err
+		}
+		return wScratch[0], nil
 	}
 
 	for round := startRound + 1; round <= cfg.rounds; round++ {
@@ -284,7 +342,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 
 		// Stream each update into the weighted sum as it arrives: the
 		// server holds one decoded state at a time, O(state) not O(N·state).
-		agg := comm.NewStreamAggregator()
+		agg := comm.NewWeightedStreamAggregator(weigh)
 		var roundTrainSeconds, lossSum float64
 		out, err := engine.RunCohort(comm.RoundStart{
 			Round:          round,
@@ -314,12 +372,11 @@ func serve(cfg serverConfig, l comm.Listener) error {
 		if err != nil {
 			return err
 		}
-		// stateTs are live views of the global model's groups — copy the
-		// aggregate straight back into them.
-		for i := range stateTs {
-			if err := stateTs[i].CopyFrom(fused[i]); err != nil {
-				return err
-			}
+		// stateTs are live views of the global model's groups — the
+		// strategy's server optimizer folds the weighted average into them
+		// (fedavg overwrites, exactly the pre-strategy behavior).
+		if err := cfg.strat.ApplyAggregate(stateTs, fused); err != nil {
+			return fmt.Errorf("strategy %s: round %d: %w", cfg.strat.Name(), round, err)
 		}
 
 		acc, err := metrics.Accuracy(global, world.Test)

@@ -11,7 +11,9 @@ import (
 	"fedfteds/internal/core"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/models"
+	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
+	"fedfteds/internal/strategy"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -27,6 +29,46 @@ func TestParseFlagsDefaults(t *testing.T) {
 	}
 	if cfg.schedName != "uniform" {
 		t.Fatalf("default policy %q", cfg.schedName)
+	}
+	if cfg.strat == nil || !strategy.IsDefault(cfg.strat) {
+		t.Fatalf("strategy must default to fedavg: %+v", cfg.strat)
+	}
+	if cfg.taggedStrategy() != nil {
+		t.Fatal("default strategy must stay out of the checkpoint tag")
+	}
+}
+
+// TestParseFlagsStrategy pins the -strategy flag: shared vocabulary with
+// fedsim, inline parameters, fail-fast rejection of bad specs.
+func TestParseFlagsStrategy(t *testing.T) {
+	cfg, err := parseFlags([]string{"-strategy", "fedadam:lr=0.05,beta1=0.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.strat.Name() != "fedadam" {
+		t.Fatalf("strategy name %q", cfg.strat.Name())
+	}
+	if cfg.taggedStrategy() == nil {
+		t.Fatal("non-default strategy missing from the checkpoint tag")
+	}
+	// An edited strategy must change the config tag (the resume refusal).
+	base, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.configTag() == base.configTag() {
+		t.Fatal("fedadam and fedavg share a config tag")
+	}
+
+	for _, name := range []string{"fedavg", "fedprox", "fedavgm", "fedadam", "fedyogi", "fedyogi:lr=0.2"} {
+		if _, err := parseFlags([]string{"-strategy", name}); err != nil {
+			t.Fatalf("strategy %q rejected: %v", name, err)
+		}
+	}
+	for _, bad := range []string{"sgd", "fedadam:lr=0", "fedadam:gamma=2", "fedprox:mu=-1"} {
+		if _, err := parseFlags([]string{"-strategy", bad}); err == nil {
+			t.Fatalf("strategy %q accepted", bad)
+		}
 	}
 }
 
@@ -281,5 +323,152 @@ func TestServerCrashResume(t *testing.T) {
 	}
 	if final.Hist.Records[dieAfter].Round != dieAfter+1 {
 		t.Fatalf("restart did not resume at round %d: %+v", dieAfter+1, final.Hist.Records[dieAfter])
+	}
+}
+
+// runFederation serves one TCP federation with the given extra server flags
+// and numClients in-process clients that (when dieAfter > 0) vanish after
+// that round. It returns serve's error.
+func runFederation(t *testing.T, env *experiments.Env, extraArgs []string, numClients, dieAfter int) error {
+	t.Helper()
+	l, err := comm.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cfg, err := parseFlags(extraArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serve(cfg, l) }()
+	clientErr := make(chan error, numClients)
+	for id := 0; id < numClients; id++ {
+		go func(id int) {
+			clientErr <- testClient(t, env, l.Addr(), id, numClients, cfg.seed, dieAfter)
+		}(id)
+	}
+	for i := 0; i < numClients; i++ {
+		if err := <-clientErr; err != nil && dieAfter == 0 {
+			t.Fatalf("client: %v", err)
+		}
+	}
+	return <-serveErr
+}
+
+// TestServerStrategiesTCPResumeBitIdentical is the distributed half of the
+// strategy acceptance: FedAvgM, FedAdam and FedYogi each run end-to-end
+// over real TCP, and a server crashed mid-federation and restarted from its
+// checkpoints finishes with exactly the reference run's history, global
+// model and server-optimizer state — the moments survive the restart.
+func TestServerStrategiesTCPResumeBitIdentical(t *testing.T) {
+	const (
+		numClients = 2
+		rounds     = 4
+		dieAfter   = 2
+		seed       = int64(1)
+	)
+	env, err := experiments.NewEnv(experiments.ScaleFast, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the env's pretrained-model cache once so per-strategy timings
+	// measure federation work, not repeated pretraining.
+	if _, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, spec := range []string{"fedavgm", "fedadam:lr=0.05", "fedyogi:lr=0.05"} {
+		t.Run(spec, func(t *testing.T) {
+			args := func(dir string) []string {
+				return []string{"-clients", "2", "-rounds", "4", "-epochs", "1", "-seed", "1",
+					"-strategy", spec, "-ckpt-dir", dir}
+			}
+
+			// Reference: an uninterrupted federation.
+			refDir := t.TempDir()
+			if err := runFederation(t, env, args(refDir), numClients, 0); err != nil {
+				t.Fatalf("reference federation: %v", err)
+			}
+			ref, err := core.LoadLatestRunState(refDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Round != rounds || len(ref.Hist.Records) != rounds {
+				t.Fatalf("reference checkpoint at round %d with %d records", ref.Round, len(ref.Hist.Records))
+			}
+			if ref.StratName == "" || len(ref.StratState) == 0 {
+				t.Fatalf("reference checkpoint lost the strategy section: %q, %d tensors",
+					ref.StratName, len(ref.StratState))
+			}
+			if ref.Hist.FinalAccuracy <= 0 {
+				t.Fatalf("federation produced no accuracy: %+v", ref.Hist)
+			}
+
+			// Crash after round 2, then restart from the same directory.
+			crashDir := t.TempDir()
+			if err := runFederation(t, env, args(crashDir), numClients, dieAfter); err == nil {
+				t.Fatal("server survived losing every client")
+			}
+			if err := runFederation(t, env, args(crashDir), numClients, 0); err != nil {
+				t.Fatalf("restarted federation: %v", err)
+			}
+			resumed, err := core.LoadLatestRunState(crashDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(ref.Hist, resumed.Hist) {
+				t.Fatalf("resumed history diverged:\nref:     %+v\nresumed: %+v", ref.Hist, resumed.Hist)
+			}
+			if len(ref.Model) != len(resumed.Model) {
+				t.Fatalf("model tensor count %d vs %d", len(ref.Model), len(resumed.Model))
+			}
+			for i := range ref.Model {
+				if !ref.Model[i].Equal(resumed.Model[i]) {
+					t.Fatalf("resumed global model diverged at tensor %d", i)
+				}
+			}
+			if len(ref.StratState) != len(resumed.StratState) {
+				t.Fatalf("strategy state count %d vs %d", len(ref.StratState), len(resumed.StratState))
+			}
+			for i := range ref.StratState {
+				if !ref.StratState[i].Equal(resumed.StratState[i]) {
+					t.Fatalf("resumed server-optimizer state diverged at tensor %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestServerStrategyWarmStartRefusesEditedStrategy: a checkpoint written
+// under one strategy must not warm-start a server configured with another.
+func TestServerStrategyWarmStartRefusesEditedStrategy(t *testing.T) {
+	env, err := experiments.NewEnv(experiments.ScaleFast, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	args := []string{"-clients", "2", "-rounds", "2", "-epochs", "1", "-seed", "1",
+		"-strategy", "fedadam:lr=0.05", "-ckpt-dir", dir}
+	if err := runFederation(t, env, args, 2, 0); err != nil {
+		t.Fatalf("federation: %v", err)
+	}
+
+	for _, edited := range []string{"fedadam:lr=0.1", "fedavg"} {
+		cfg, err := parseFlags([]string{"-clients", "2", "-rounds", "2", "-epochs", "1", "-seed", "1",
+			"-strategy", edited, "-ckpt-dir", dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist core.History
+		var secs float64
+		if _, err := restoreFederation(cfg, global, &hist, &secs, sched.NewTracker()); err == nil {
+			t.Fatalf("warm-start under edited strategy %q accepted", edited)
+		}
 	}
 }

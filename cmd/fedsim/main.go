@@ -14,14 +14,19 @@
 // runs continue mid-run, bit-identical to an uninterrupted sweep.
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
-// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched all. See DESIGN.md
-// for the experiment index.
+// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies all. See
+// DESIGN.md for the experiment index.
 //
 // The sched experiment compares cohort-scheduling policies (accuracy vs
 // cumulative client-seconds at a fixed cohort size K). -sched narrows it to
 // one policy — the names are the same ones fedserver accepts (uniform,
 // size, entropy, powerd, avail:<inner>) — and -cohort sets K (0 picks a
 // scale-appropriate default).
+//
+// The strategies experiment compares federated-optimization strategies
+// (fedavg, fedprox, fedavgm, fedadam, fedyogi) on one federation; -strategy
+// narrows it to one spec, parameters included ("fedadam:lr=0.05"), using
+// the same names fedserver accepts.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/sched"
+	"fedfteds/internal/strategy"
 )
 
 func main() {
@@ -51,6 +57,7 @@ func run(args []string) error {
 	seedFlag := fs.Int64("seed", 1, "run seed")
 	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
 	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
+	strategyFlag := fs.String("strategy", "all", "strategies experiment: one strategy spec (fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters) or all")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint artifact store: every federated run checkpoints into its own subdirectory")
@@ -103,7 +110,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	// Fail on a bad policy name or cohort now, whatever experiments run.
+	// Fail on a bad policy name, cohort or strategy spec now, whatever
+	// experiments run.
 	schedOpts := schedOptions{cohort: *cohortFlag}
 	if *schedFlag != "all" {
 		if _, err := sched.Parse(*schedFlag); err != nil {
@@ -113,6 +121,13 @@ func run(args []string) error {
 	}
 	if *cohortFlag < 0 {
 		return fmt.Errorf("-cohort %d is negative", *cohortFlag)
+	}
+	var strategySpecs []string
+	if *strategyFlag != "all" {
+		if _, err := strategy.Parse(*strategyFlag); err != nil {
+			return err
+		}
+		strategySpecs = []string{*strategyFlag}
 	}
 	env, err := experiments.NewEnv(scale, *seedFlag)
 	if err != nil {
@@ -129,11 +144,12 @@ func run(args []string) error {
 		// table2+figs and table3+figs are composite ids that run the
 		// underlying experiment once and render every artifact from it.
 		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
-			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations", "sched"}
+			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations",
+			"sched", "strategies"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts)
+		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, strategySpecs)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -153,10 +169,16 @@ type schedOptions struct {
 
 // runExperiment dispatches one experiment id. Figure ids that share a run
 // with a table (fig5..fig9) re-run the underlying table at this scale.
-func runExperiment(env *experiments.Env, id string, schedOpts schedOptions) (string, error) {
+func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, strategySpecs []string) (string, error) {
 	switch id {
 	case "sched":
 		res, err := experiments.RunSchedCompare(env, schedOpts.policies, schedOpts.cohort)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "strategies":
+		res, err := experiments.RunStrategyCompare(env, strategySpecs)
 		if err != nil {
 			return "", err
 		}

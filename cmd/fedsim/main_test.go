@@ -32,9 +32,10 @@ func TestRunExperimentDispatch(t *testing.T) {
 		{id: "table4", want: "cross-domain"},
 		{id: "fig10a", want: "fine-tuned"},
 		{id: "sched", want: "Scheduler comparison"},
+		{id: "strategies", want: "Strategy comparison"},
 	} {
 		t.Run(tt.id, func(t *testing.T) {
-			out, err := runExperiment(env, tt.id, schedOptions{})
+			out, err := runExperiment(env, tt.id, schedOptions{}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +48,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 
 func TestRunExperimentUnknownID(t *testing.T) {
 	env := testEnv(t)
-	if _, err := runExperiment(env, "table99", schedOptions{}); err == nil {
+	if _, err := runExperiment(env, "table99", schedOptions{}, nil); err == nil {
 		t.Fatal("expected error for unknown experiment id")
 	}
 }
@@ -65,6 +66,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "sched", "-scale", "smoke", "-cohort", "-2"}); err == nil {
 		t.Fatal("expected error for negative cohort")
+	}
+	// Strategy specs fail fast too, whatever experiments run.
+	if err := run([]string{"-exp", "strategies", "-scale", "smoke", "-strategy", "sgd"}); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+	if err := run([]string{"-exp", "strategies", "-scale", "smoke", "-strategy", "fedadam:lr=0"}); err == nil {
+		t.Fatal("expected error for invalid strategy parameter")
 	}
 	// Unwritable profile paths fail fast too.
 	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-cpuprofile", "/nonexistent-dir/cpu.out"}); err == nil {
@@ -99,6 +107,15 @@ func TestRunWritesProfiles(t *testing.T) {
 // through the real CLI path, sharing the policy vocabulary with fedserver.
 func TestRunSchedSinglePolicy(t *testing.T) {
 	if err := run([]string{"-exp", "sched", "-scale", "smoke", "-sched", "powerd", "-cohort", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStrategiesSingleSpec runs the strategies experiment narrowed to one
+// parameterized spec through the real CLI path, sharing the strategy
+// vocabulary with fedserver.
+func TestRunStrategiesSingleSpec(t *testing.T) {
+	if err := run([]string{"-exp", "strategies", "-scale", "smoke", "-strategy", "fedadam:lr=0.05"}); err != nil {
 		t.Fatal(err)
 	}
 }

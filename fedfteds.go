@@ -22,10 +22,12 @@ import (
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
+	"fedfteds/internal/opt"
 	"fedfteds/internal/partition"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 )
 
 // Model building.
@@ -117,6 +119,50 @@ const (
 	WeightBySelected  = core.WeightBySelected
 	WeightByLocalSize = core.WeightByLocalSize
 	WeightUniform     = core.WeightUniform
+)
+
+// Federated-optimization strategies (internal/strategy): a Strategy owns
+// the aggregation weighting, the server-side optimizer that applies the
+// weighted client average, and an optional client-side objective hook. Set
+// Config.Strategy in the simulator, or `-strategy` on fedserver/fedsim.
+type (
+	// Strategy is the server-side algorithm plugin both engines orchestrate.
+	Strategy = strategy.Strategy
+	// StatefulStrategy is implemented by strategies with checkpointable
+	// server-optimizer state (FedAvgM, FedAdam, FedYogi).
+	StatefulStrategy = strategy.Stateful
+	// StrategyUpdate describes one client update for aggregation weighting.
+	StrategyUpdate = strategy.Update
+	// LocalHook is a strategy's client-side objective twist (e.g. FedProx).
+	LocalHook = strategy.LocalHook
+	// ProxHook is the FedProx proximal local hook.
+	ProxHook = strategy.Prox
+	// CompositeStrategy composes a weighting, server optimizer and hook;
+	// every shipped strategy is one.
+	CompositeStrategy = strategy.Composite
+	// ServerOptimizer applies a round's weighted client average to the
+	// global model (overwrite, momentum, adam, yogi).
+	ServerOptimizer = opt.ServerOpt
+)
+
+// Strategy constructors and helpers.
+var (
+	// ParseStrategy maps a CLI spec ("fedadam:lr=0.05,beta1=0.9") to a
+	// fresh Strategy; the names are shared by fedsim and fedserver.
+	ParseStrategy = strategy.Parse
+	// StrategyNames lists the flag-constructible strategy identifiers.
+	StrategyNames = strategy.Names
+	// NewStrategy composes a custom strategy from its parts.
+	NewStrategy = strategy.New
+	// FedAvgStrategy is the default: selected-size weighting, overwrite.
+	FedAvgStrategy = strategy.FedAvg
+	// FedProxStrategy is FedAvg with the proximal local hook.
+	FedProxStrategy = strategy.FedProx
+	// FedAvgMStrategy applies the aggregate through server momentum.
+	FedAvgMStrategy = strategy.FedAvgM
+	// FedAdamStrategy and FedYogiStrategy apply it through adaptive moments.
+	FedAdamStrategy = strategy.FedAdam
+	FedYogiStrategy = strategy.FedYogi
 )
 
 // NewRunner validates a configuration and builds a runner.

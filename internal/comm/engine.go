@@ -278,32 +278,58 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// StreamAggregator folds client updates into the selected-size-weighted sum
-// of paper Eq. 5 as they arrive. Only the running sum is retained, so
-// server memory is O(state) regardless of federation size — the buffered
+// WeightFunc maps one client update to its aggregation weight. It runs
+// before the update touches the aggregate, so an error (or a non-positive
+// weight) rejects the update without poisoning the round.
+type WeightFunc func(ClientUpdate) (float64, error)
+
+// StreamAggregator folds client updates into a weighted sum as they arrive
+// — by default the selected-size weighting of paper Eq. 5, or any
+// strategy-supplied WeightFunc. Only the running sum is retained, so server
+// memory is O(state) regardless of federation size — the buffered
 // alternative holds all N decoded states at once.
 type StreamAggregator struct {
+	weigh WeightFunc
 	acc   []*tensor.Tensor
 	total float64
 	count int
 }
 
-// NewStreamAggregator returns an empty aggregator for one round.
+// NewStreamAggregator returns an empty aggregator for one round with the
+// default selected-size weighting.
 func NewStreamAggregator() *StreamAggregator { return &StreamAggregator{} }
 
-// Add decodes one update and folds it into the running sum, weighted by the
-// client's selected-set size. The fold is atomic: every validation happens
+// NewWeightedStreamAggregator returns an empty aggregator whose per-update
+// weights come from weigh (nil falls back to selected-size weighting). The
+// strategy layer uses this to route its WeighUpdates rule into the
+// streaming path.
+func NewWeightedStreamAggregator(weigh WeightFunc) *StreamAggregator {
+	return &StreamAggregator{weigh: weigh}
+}
+
+// Add decodes one update and folds it into the running sum under the
+// aggregator's weighting. The fold is atomic: every validation happens
 // before the sum is touched, so on error the aggregate is unchanged and the
 // caller can drop the client yet keep the round.
 func (a *StreamAggregator) Add(u ClientUpdate) error {
 	if u.NumSelected <= 0 {
 		return fmt.Errorf("%w: client %d reports %d selected samples", ErrProtocol, u.ClientID, u.NumSelected)
 	}
+	w64 := float64(u.NumSelected)
+	if a.weigh != nil {
+		var err error
+		if w64, err = a.weigh(u); err != nil {
+			return fmt.Errorf("comm: weighing update from client %d: %w", u.ClientID, err)
+		}
+		if w64 <= 0 || math.IsNaN(w64) || math.IsInf(w64, 0) {
+			return fmt.Errorf("%w: client %d weighed %v", ErrProtocol, u.ClientID, w64)
+		}
+	}
 	ts, err := DecodeTensors(u.State)
 	if err != nil {
 		return fmt.Errorf("comm: aggregate client %d: %w", u.ClientID, err)
 	}
-	w := float32(u.NumSelected)
+	w := float32(w64)
 	if a.acc == nil {
 		for _, t := range ts {
 			t.Scale(w)
@@ -324,7 +350,7 @@ func (a *StreamAggregator) Add(u ClientUpdate) error {
 			}
 		}
 	}
-	a.total += float64(u.NumSelected)
+	a.total += w64
 	a.count++
 	return nil
 }

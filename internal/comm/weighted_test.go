@@ -1,0 +1,106 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+// mkUpdate builds a ClientUpdate whose single state tensor is filled with v.
+func mkUpdate(t *testing.T, id, nsel int, v float32) ClientUpdate {
+	t.Helper()
+	ts := tensor.New(3)
+	ts.Fill(v)
+	blob, err := EncodeTensors([]*tensor.Tensor{ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClientUpdate{ClientID: id, Round: 1, State: blob, NumSelected: nsel}
+}
+
+// TestWeightedAggregatorMatchesDefault pins the strategy-weighting hook: a
+// WeightFunc returning NumSelected reproduces the default aggregator bit
+// for bit.
+func TestWeightedAggregatorMatchesDefault(t *testing.T) {
+	ups := []ClientUpdate{mkUpdate(t, 0, 1, 0), mkUpdate(t, 1, 3, 1)}
+
+	def := NewStreamAggregator()
+	custom := NewWeightedStreamAggregator(func(u ClientUpdate) (float64, error) {
+		return float64(u.NumSelected), nil
+	})
+	for _, u := range ups {
+		if err := def.Add(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := custom.Add(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := def.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := custom.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("weighted aggregate diverged from default at tensor %d", i)
+		}
+	}
+	if got := a[0].Data()[0]; got != 0.75 {
+		t.Fatalf("selected-size aggregate %v, want 0.75", got)
+	}
+}
+
+// TestWeightedAggregatorUniform: a uniform WeightFunc averages plainly.
+func TestWeightedAggregatorUniform(t *testing.T) {
+	agg := NewWeightedStreamAggregator(func(ClientUpdate) (float64, error) { return 1, nil })
+	if err := agg.Add(mkUpdate(t, 0, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(mkUpdate(t, 1, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := agg.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Data()[0]; got != 0.5 {
+		t.Fatalf("uniform aggregate %v, want 0.5", got)
+	}
+}
+
+// TestWeightedAggregatorRejections: weigh errors and degenerate weights are
+// atomic — the running sum stays untouched and the round survives.
+func TestWeightedAggregatorRejections(t *testing.T) {
+	boom := errors.New("boom")
+	agg := NewWeightedStreamAggregator(func(u ClientUpdate) (float64, error) {
+		switch u.ClientID {
+		case 1:
+			return 0, boom
+		case 2:
+			return 0, nil // non-positive weight
+		default:
+			return 1, nil
+		}
+	})
+	if err := agg.Add(mkUpdate(t, 0, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(mkUpdate(t, 1, 2, 9)); !errors.Is(err, boom) {
+		t.Fatalf("weigh error not surfaced: %v", err)
+	}
+	if err := agg.Add(mkUpdate(t, 2, 2, 9)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("non-positive weight accepted: %v", err)
+	}
+	out, err := agg.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].Data()[0]; got != 4 {
+		t.Fatalf("rejected updates leaked into the aggregate: %v", got)
+	}
+}

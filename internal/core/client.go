@@ -83,22 +83,25 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 		return LocalOutcome{}, fmt.Errorf("core: client %d: subset: %w", cl.ID, err)
 	}
 
-	sgd, err := opt.NewSGD(opt.SGDConfig{
+	// The strategy's local hook carries the per-round objective twist
+	// (FedProx tunes μ into the optimizer and snapshots the proximal anchor
+	// at bind time); plain strategies leave the optimizer untouched.
+	hook := cfg.localHook()
+	sgdCfg := opt.SGDConfig{
 		LR:          cfg.LR,
 		Momentum:    cfg.Momentum,
 		WeightDecay: cfg.WeightDecay,
-		ProxMu:      cfg.ProxMu,
-	}, local.TrainableParams())
+	}
+	if hook != nil {
+		hook.TuneSGD(&sgdCfg)
+	}
+	sgd, err := opt.NewSGD(sgdCfg, local.TrainableParams())
 	if err != nil {
 		return LocalOutcome{}, fmt.Errorf("core: client %d: %w", cl.ID, err)
 	}
-	if cfg.ProxMu > 0 {
-		anchor := make([]*tensor.Tensor, 0, len(local.TrainableParams()))
-		for _, p := range local.TrainableParams() {
-			anchor = append(anchor, p.W.Clone())
-		}
-		if err := sgd.SetProxAnchor(anchor); err != nil {
-			return LocalOutcome{}, fmt.Errorf("core: client %d: %w", cl.ID, err)
+	if hook != nil {
+		if err := hook.OnBind(sgd); err != nil {
+			return LocalOutcome{}, fmt.Errorf("core: client %d: hook %s: %w", cl.ID, hook.Name(), err)
 		}
 	}
 
@@ -149,7 +152,12 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 
 // NewLocalConfig applies defaults and validates a config for standalone
 // LocalUpdate use (the distributed fedclient path, where no Runner exists).
+// Cohort scheduling is a server-side concern, so any CohortSize/Scheduler
+// settings are stripped rather than defaulted: a standalone client must not
+// silently grow a scheduler it can never invoke.
 func NewLocalConfig(cfg Config) (Config, error) {
+	cfg.CohortSize = 0
+	cfg.Scheduler = nil
 	cfg = cfg.withDefaults()
 	if cfg.Rounds == 0 {
 		cfg.Rounds = 1 // standalone clients do not drive the round count

@@ -1,9 +1,11 @@
 // Package core implements the paper's contribution: the federated-learning
-// engine with FedAvg, FedProx and FedFT local-update strategies, entropy-
-// based (and other) data selection, selected-size-weighted aggregation,
-// straggler policies, and full time/communication accounting. Clients train
-// concurrently on a bounded worker pool with per-(round, client) derived
-// seeds, so results are bit-identical regardless of parallelism.
+// engine with pluggable optimization strategies (internal/strategy: FedAvg,
+// FedProx, and the FedOpt server optimizers FedAvgM/FedAdam/FedYogi),
+// entropy-based (and other) data selection, strategy-owned aggregation
+// weighting, straggler policies, and full time/communication accounting.
+// Clients train concurrently on a bounded worker pool with per-(round,
+// client) derived seeds, so results are bit-identical regardless of
+// parallelism.
 package core
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 )
 
 // ErrConfig reports an invalid federated-learning configuration.
@@ -61,8 +64,18 @@ type Config struct {
 	Momentum float64
 	// WeightDecay for client SGD (paper: none; available for extensions).
 	WeightDecay float64
-	// ProxMu enables FedProx when positive: the proximal coefficient μ.
+	// ProxMu enables FedProx when positive: the proximal coefficient μ. It
+	// configures the default strategy's prox hook and must not be combined
+	// with an explicit Strategy (set the hook through the strategy instead).
 	ProxMu float64
+	// Strategy selects the federated-optimization strategy: the aggregation
+	// weighting, the server-side optimizer applied to the weighted client
+	// average, and an optional client-side objective hook. Nil composes the
+	// legacy behavior from AggWeighting and ProxMu (FedAvg overwrite, pinned
+	// bit-identical to runs predating the strategy layer). Stateful
+	// strategies must not be shared across runs — construct one per Runner
+	// (strategy.Parse always returns a fresh instance).
+	Strategy strategy.Strategy
 	// FinetunePart controls partial training: FinetuneFull is FedAvg-style
 	// whole-model training; FinetuneModerate is the paper's FedFT default.
 	FinetunePart models.FinetunePart
@@ -112,7 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.CohortSize > 0 && c.Scheduler == nil {
 		c.Scheduler = sched.UniformRandom{}
 	}
-	if c.AggWeighting == 0 {
+	if c.AggWeighting == 0 && c.Strategy == nil {
+		// With an explicit Strategy the weighting lives in the strategy; the
+		// field is left untouched so validate can refuse a conflicting set.
 		c.AggWeighting = WeightBySelected
 	}
 	if c.EvalEvery == 0 {
@@ -165,6 +180,49 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: checkpoint every %d", ErrConfig, c.CheckpointEvery)
 	case c.CheckpointEvery > 0 && c.CheckpointDir == "":
 		return fmt.Errorf("%w: checkpoint interval without a checkpoint directory", ErrConfig)
+	case c.Strategy != nil && c.ProxMu > 0:
+		return fmt.Errorf("%w: ProxMu together with an explicit Strategy — configure the proximal "+
+			"term through the strategy's local hook instead", ErrConfig)
+	case c.Strategy != nil && c.AggWeighting != 0:
+		return fmt.Errorf("%w: AggWeighting together with an explicit Strategy — the strategy owns "+
+			"the aggregation weighting", ErrConfig)
+	}
+	return nil
+}
+
+// resolveStrategy returns the effective strategy of a defaulted config:
+// cfg.Strategy when set, otherwise the legacy composition of AggWeighting
+// and ProxMu over the default FedAvg overwrite.
+func (c Config) resolveStrategy() (strategy.Strategy, error) {
+	if c.Strategy != nil {
+		return c.Strategy, nil
+	}
+	var w strategy.Weighting
+	switch c.AggWeighting {
+	case WeightBySelected:
+		w = strategy.WeightBySelected
+	case WeightByLocalSize:
+		w = strategy.WeightByLocalSize
+	case WeightUniform:
+		w = strategy.WeightUniform
+	default:
+		return nil, fmt.Errorf("%w: aggregation weighting %v", ErrConfig, c.AggWeighting)
+	}
+	s, err := strategy.FedAvgWith(w, c.localHook())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return s, nil
+}
+
+// localHook returns the client-side hook of the effective strategy: the
+// explicit strategy's hook, or the legacy ProxMu mapping.
+func (c Config) localHook() strategy.LocalHook {
+	if c.Strategy != nil {
+		return c.Strategy.LocalHook()
+	}
+	if c.ProxMu > 0 {
+		return strategy.Prox{Mu: c.ProxMu}
 	}
 	return nil
 }

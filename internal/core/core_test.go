@@ -327,14 +327,14 @@ func TestAggregateWeighting(t *testing.T) {
 		}
 		return clientResult{state: cloned, numSelected: nsel, localSize: nsel * 2}
 	}
-	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, groups); err != nil {
-		t.Fatal(err)
-	}
-	got, err := m.GroupStateTensors(groups)
+	live, err := m.GroupStateTensors(groups)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ts := range got {
+	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, live); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range live {
 		for _, v := range ts.Data() {
 			if math.Abs(float64(v)-0.75) > 1e-6 {
 				t.Fatalf("aggregated value %v, want 0.75", v)
@@ -370,14 +370,14 @@ func TestAggregateUniformWeighting(t *testing.T) {
 		}
 		return clientResult{state: cloned, numSelected: nsel}
 	}
-	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, groups); err != nil {
-		t.Fatal(err)
-	}
-	got, err := m.GroupStateTensors(groups)
+	live, err := m.GroupStateTensors(groups)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ts := range got {
+	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, live); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range live {
 		for _, v := range ts.Data() {
 			if math.Abs(float64(v)-0.5) > 1e-6 {
 				t.Fatalf("uniform aggregated value %v, want 0.5", v)

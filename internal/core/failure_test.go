@@ -101,8 +101,11 @@ func TestAggregateRejectsShortClientState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groups := models.GroupNames()
-	if err := r.aggregate([]clientResult{{state: nil, numSelected: 1}}, groups); err == nil {
+	live, err := m.GroupStateTensors(models.GroupNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.aggregate([]clientResult{{state: nil, numSelected: 1}}, live); err == nil {
 		t.Fatal("expected error for truncated client state")
 	}
 }
@@ -117,7 +120,11 @@ func TestAggregateRejectsZeroWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.aggregate([]clientResult{{numSelected: 0}}, models.GroupNames()); err == nil {
+	live, err := m.GroupStateTensors(models.GroupNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.aggregate([]clientResult{{numSelected: 0}}, live); err == nil {
 		t.Fatal("expected error for zero total weight")
 	}
 }

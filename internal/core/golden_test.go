@@ -11,6 +11,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
+	"fedfteds/internal/strategy"
 )
 
 // updateGolden regenerates the committed golden checkpoint fixtures:
@@ -153,5 +154,141 @@ func TestGoldenCheckpoint(t *testing.T) {
 	if !histEqual(wantHist, hist) {
 		t.Fatalf("resuming from the golden checkpoint diverged from the committed history — "+
 			"RNG ordering or numerics drifted:\nwant: %+v\ngot:  %+v", wantHist, hist)
+	}
+}
+
+const (
+	goldenStratCkptFile = "testdata/golden-fedadam-round2.fedckpt"
+	goldenStratHistFile = "testdata/golden-fedadam-history.json"
+	goldenStratSpec     = "fedadam:lr=0.2"
+)
+
+// goldenStratConfig is the strategy-bearing golden fixture's configuration:
+// FedAdam mid-run, so the committed checkpoint carries the optional
+// "strategy" section with live server-optimizer moments.
+func goldenStratConfig(t *testing.T) Config {
+	strat, err := strategy.Parse(goldenStratSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Rounds:         goldenRounds,
+		LocalEpochs:    1,
+		BatchSize:      16,
+		LR:             0.1,
+		Momentum:       0.5,
+		FinetunePart:   models.FinetuneModerate,
+		Selector:       selection.Entropy{Temperature: 0.1},
+		SelectFraction: 0.5,
+		Strategy:       strat,
+		EvalEvery:      1,
+		Parallelism:    2,
+		Seed:           4321,
+	}
+}
+
+// TestGoldenCheckpointFedAdam extends the determinism gate to the strategy
+// layer: the committed FedAdam checkpoint (strategy section included) must
+// decode, re-encode byte-identically, and resuming from it — moments
+// restored mid-run — must reproduce the committed history exactly. It fails
+// on drift in the strategy section format, the fingerprint rendering (which
+// gates resume), or the server optimizer's numerics.
+func TestGoldenCheckpointFedAdam(t *testing.T) {
+	clients, _, test, spec := testFederation(t, 6, 0.5)
+	build := func() *models.Model {
+		m, err := models.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	if *updateGolden {
+		dir := t.TempDir()
+		cfg := goldenStratConfig(t)
+		cfg.CheckpointDir = dir
+		runner, err := NewRunner(cfg, build(), clients, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenStratCkptFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(ckpt.Path(dir, goldenResumeAt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenStratCkptFile, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenStratHistFile, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s and %s", goldenStratCkptFile, goldenStratHistFile)
+		return
+	}
+
+	js, err := os.ReadFile(goldenStratHistFile)
+	if err != nil {
+		t.Fatalf("missing golden fedadam history (regenerate with -update-golden): %v", err)
+	}
+	var wantHist History
+	if err := json.Unmarshal(js, &wantHist); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(goldenStratCkptFile)
+	if err != nil {
+		t.Fatalf("missing golden fedadam checkpoint (regenerate with -update-golden): %v", err)
+	}
+	sections, err := ckpt.Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("golden fedadam checkpoint no longer decodes: %v", err)
+	}
+	state, err := RunStateFromSections(sections)
+	if err != nil {
+		t.Fatalf("golden fedadam run state no longer decodes: %v", err)
+	}
+	if state.StratName == "" || len(state.StratState) == 0 {
+		t.Fatalf("golden fedadam checkpoint lost its strategy section: name %q, %d state tensors",
+			state.StratName, len(state.StratState))
+	}
+	reSections, err := state.Sections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reBlob, err := ckpt.Marshal(reSections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reBlob) != string(blob) {
+		t.Fatalf("re-encoding the golden fedadam state changed its bytes (%d vs %d)", len(reBlob), len(blob))
+	}
+
+	if state.Round != goldenResumeAt {
+		t.Fatalf("golden fedadam checkpoint is at round %d, want %d", state.Round, goldenResumeAt)
+	}
+	runner, err := NewRunner(goldenStratConfig(t), build(), clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.RestoreInto(runner); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := runner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !histEqual(wantHist, hist) {
+		t.Fatalf("resuming from the golden fedadam checkpoint diverged from the committed history:\nwant: %+v\ngot:  %+v",
+			wantHist, hist)
 	}
 }

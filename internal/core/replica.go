@@ -10,6 +10,7 @@ import (
 	"fedfteds/internal/opt"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 	"fedfteds/internal/tensor"
 )
 
@@ -35,6 +36,8 @@ type replica struct {
 	sgd   *opt.SGD
 	iter  *data.BatchIter
 	loss  nn.LossScratch
+	// hook is the strategy's client-side objective twist, bound per round.
+	hook strategy.LocalHook
 }
 
 // newReplica builds a worker replica for the runner's global model.
@@ -46,16 +49,20 @@ func newReplica(global *models.Model, cfg Config) (*replica, error) {
 	if err := m.SetFinetunePart(cfg.FinetunePart); err != nil {
 		return nil, fmt.Errorf("core: replica: %w", err)
 	}
-	sgd, err := opt.NewSGD(opt.SGDConfig{
+	hook := cfg.localHook()
+	sgdCfg := opt.SGDConfig{
 		LR:          cfg.LR,
 		Momentum:    cfg.Momentum,
 		WeightDecay: cfg.WeightDecay,
-		ProxMu:      cfg.ProxMu,
-	}, m.TrainableParams())
+	}
+	if hook != nil {
+		hook.TuneSGD(&sgdCfg)
+	}
+	sgd, err := opt.NewSGD(sgdCfg, m.TrainableParams())
 	if err != nil {
 		return nil, fmt.Errorf("core: replica: %w", err)
 	}
-	return &replica{model: m, sgd: sgd, iter: &data.BatchIter{}}, nil
+	return &replica{model: m, sgd: sgd, iter: &data.BatchIter{}, hook: hook}, nil
 }
 
 // runReplicaRound executes one client's local round on a pooled replica,
@@ -88,8 +95,10 @@ func runReplicaRound(cfg Config, global *models.Model, rep *replica, cl *Client,
 	}
 
 	rep.sgd.Reset()
-	if cfg.ProxMu > 0 {
-		rep.sgd.SnapshotProxAnchor()
+	if rep.hook != nil {
+		if err := rep.hook.OnBind(rep.sgd); err != nil {
+			return clientResult{}, fmt.Errorf("core: client %d: hook %s: %w", cl.ID, rep.hook.Name(), err)
+		}
 	}
 
 	loss := nn.SoftmaxCrossEntropy{}

@@ -13,6 +13,7 @@ import (
 	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 	"fedfteds/internal/tensor"
 )
 
@@ -76,6 +77,27 @@ var resumeStrategies = []struct {
 				Scheduler:   &sched.Availability{Inner: sched.EntropyUtility{}, DownProb: 0.4, UpProb: 0.5},
 				CohortSize:  3,
 				Parallelism: 2, Seed: 21,
+			}
+		},
+	},
+	{
+		// The stateful-strategy case: resuming mid-run must restore the
+		// server optimizer's moments, or the post-resume aggregates diverge.
+		// The strategy is constructed per run (never shared), like the
+		// stateful schedulers above.
+		name:   "fedadam-midrun",
+		rounds: 5,
+		newCfg: func(rounds int) Config {
+			strat, err := strategy.Parse("fedadam:lr=0.2")
+			if err != nil {
+				panic(err)
+			}
+			return Config{
+				Rounds: rounds, LocalEpochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.5,
+				FinetunePart: models.FinetuneModerate,
+				Selector:     selection.Entropy{Temperature: 0.1}, SelectFraction: 0.5,
+				Strategy:    strat,
+				Parallelism: 2, Seed: 63,
 			}
 		},
 	},

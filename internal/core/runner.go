@@ -11,6 +11,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 	"fedfteds/internal/tensor"
 )
 
@@ -77,6 +78,11 @@ type Runner struct {
 	// utility feeds client-level feedback (mean EDS entropy, or train loss
 	// as a fallback) from each round back into the cohort scheduler.
 	utility *sched.Tracker
+	// strat is the resolved federated-optimization strategy (cfg.Strategy,
+	// or the legacy FedAvg composition when none is set). It owns the
+	// aggregation weighting and how the weighted client average moves the
+	// global model.
+	strat strategy.Strategy
 
 	// projCost caches each client's projected round cost. Model shape,
 	// device rate and dataset size never change during a run, so the costs
@@ -90,6 +96,18 @@ type Runner struct {
 	// idsScratch is its reused per-round copy (see timesScratch).
 	allIDs     []int
 	idsScratch []int
+	// candScratch is the reused per-round candidate slice handed to the
+	// scheduler, and partScratch the reused participant list — both rebuilt
+	// in place every round so steady-state scheduling allocates nothing
+	// beyond what the policy itself draws.
+	candScratch []sched.Candidate
+	partScratch []*Client
+	// updScratch/weightScratch/avgScratch are the aggregation scratch: the
+	// per-update weighting descriptors, their weights, and the weighted
+	// client average handed to the strategy's server optimizer.
+	updScratch    []strategy.Update
+	weightScratch []float64
+	avgScratch    []*tensor.Tensor
 	// replicas are the per-worker reusable client-training contexts of the
 	// fast path, created lazily on first use and kept across rounds.
 	replicas []*replica
@@ -138,7 +156,12 @@ func NewRunner(cfg Config, global *models.Model, clients []*Client, test *data.D
 	if test == nil || test.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty test set", ErrConfig)
 	}
-	return &Runner{cfg: cfg, global: global, clients: clients, test: test, utility: sched.NewTracker()}, nil
+	strat, err := cfg.resolveStrategy()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, global: global, clients: clients, test: test,
+		utility: sched.NewTracker(), strat: strat}, nil
 }
 
 // GlobalModel returns the (live) global model.
@@ -169,6 +192,13 @@ func (r *Runner) Run() (History, error) {
 		return r.hist, err
 	}
 	commGroups := r.global.TrainableGroupNames()
+	// The communicated tensors are live views into the global model and the
+	// groups never change during a run, so they are resolved once here
+	// instead of once per round in aggregate.
+	commState, err := r.global.GroupStateTensors(commGroups)
+	if err != nil {
+		return r.hist, err
+	}
 	stateSize, err := r.stateBytes(commGroups)
 	if err != nil {
 		return r.hist, err
@@ -186,7 +216,7 @@ func (r *Runner) Run() (History, error) {
 		if err != nil {
 			return r.hist, err
 		}
-		if err := r.aggregate(results, commGroups); err != nil {
+		if err := r.aggregate(results, commState); err != nil {
 			return r.hist, err
 		}
 
@@ -268,8 +298,13 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 	cohort, cohortTimes := ids, times
 	if r.cfg.Scheduler != nil {
 		// Candidates are keyed by pool position, the same key the straggler
-		// policy and the utility tracker use.
-		cands := make([]sched.Candidate, len(r.clients))
+		// policy and the utility tracker use. The slice is runner scratch,
+		// rebuilt in place every round (every field is overwritten, so no
+		// stale state survives reuse).
+		if cap(r.candScratch) < len(r.clients) {
+			r.candScratch = make([]sched.Candidate, len(r.clients))
+		}
+		cands := r.candScratch[:len(r.clients)]
 		for i, cl := range r.clients {
 			cands[i] = sched.Candidate{
 				ClientID:         i,
@@ -285,7 +320,10 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 			return nil, nil, 0, fmt.Errorf("core: scheduler %s returned an empty cohort in round %d",
 				r.cfg.Scheduler.Name(), round)
 		}
-		cohortTimes = make([]float64, len(cohort))
+		if cap(r.timesScratch) < len(cohort) {
+			r.timesScratch = make([]float64, len(cohort))
+		}
+		cohortTimes = r.timesScratch[:len(cohort)]
 		for i, idx := range cohort {
 			if idx < 0 || idx >= len(r.clients) {
 				return nil, nil, 0, fmt.Errorf("core: scheduler %s returned unknown client %d in round %d",
@@ -301,6 +339,8 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 		// implementation that mutates its arguments cannot corrupt them.
 		if cap(r.timesScratch) < len(cohortTimes) {
 			r.timesScratch = make([]float64, len(cohortTimes))
+		}
+		if cap(r.idsScratch) < len(cohort) {
 			r.idsScratch = make([]int, len(cohort))
 		}
 		r.timesScratch = r.timesScratch[:len(cohortTimes)]
@@ -315,7 +355,10 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 	if len(chosen) == 0 {
 		return nil, nil, 0, fmt.Errorf("core: straggler policy left no participants in round %d", round)
 	}
-	out := make([]*Client, len(chosen))
+	if cap(r.partScratch) < len(chosen) {
+		r.partScratch = make([]*Client, len(chosen))
+	}
+	out := r.partScratch[:len(chosen)]
 	for i, idx := range chosen {
 		out[i] = r.clients[idx]
 	}
@@ -414,47 +457,68 @@ func (r *Runner) trainParticipants(participants []*Client, round int) ([]clientR
 	return results, nil
 }
 
-// aggregate fuses client states into the global model with the configured
-// weighting (paper Eq. 5) and writes the result into the global model's
-// communicated groups.
-func (r *Runner) aggregate(results []clientResult, commGroups []string) error {
+// aggregate fuses client states into the weighted average of paper Eq. 5 —
+// weighted by the strategy's WeighUpdates rule — and hands it to the
+// strategy's server optimizer, which folds it into the global model's
+// communicated groups (the default fedavg strategy overwrites, reproducing
+// the pre-strategy engine bit for bit). The weighted average accumulates in
+// reused runner scratch tensors in participant order, so the arithmetic —
+// and therefore every result bit — is independent of the strategy applying
+// it. globalState holds the live communicated tensors, resolved once per
+// Run.
+func (r *Runner) aggregate(results []clientResult, globalState []*tensor.Tensor) error {
 	if len(results) == 0 {
 		return fmt.Errorf("core: aggregate with no results")
 	}
-	weights := make([]float64, len(results))
-	var total float64
+	n := len(results)
+	if cap(r.updScratch) < n {
+		r.updScratch = make([]strategy.Update, n)
+		r.weightScratch = make([]float64, n)
+	}
+	ups, weights := r.updScratch[:n], r.weightScratch[:n]
 	for i, res := range results {
-		switch r.cfg.AggWeighting {
-		case WeightBySelected:
-			weights[i] = float64(res.numSelected)
-		case WeightByLocalSize:
-			weights[i] = float64(res.localSize)
-		case WeightUniform:
-			weights[i] = 1
-		default:
-			return fmt.Errorf("%w: aggregation weighting %v", ErrConfig, r.cfg.AggWeighting)
+		ups[i] = strategy.Update{
+			ClientID:    res.clientID,
+			NumSelected: res.numSelected,
+			LocalSize:   res.localSize,
 		}
-		total += weights[i]
+	}
+	if err := r.strat.WeighUpdates(ups, weights); err != nil {
+		return fmt.Errorf("core: weighting updates: %w", err)
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: strategy %s weighed client %d with %v", r.strat.Name(), ups[i].ClientID, w)
+		}
+		total += w
 	}
 	if total <= 0 {
 		return fmt.Errorf("core: aggregate weights sum to %v", total)
 	}
 
-	globalState, err := r.global.GroupStateTensors(commGroups)
-	if err != nil {
-		return err
+	if len(r.avgScratch) < len(globalState) {
+		r.avgScratch = append(r.avgScratch, make([]*tensor.Tensor, len(globalState)-len(r.avgScratch))...)
 	}
+	avg := r.avgScratch[:len(globalState)]
 	for ti, dst := range globalState {
-		dst.Zero()
+		if avg[ti] == nil || !avg[ti].SameShape(dst) {
+			avg[ti] = tensor.Ensure(avg[ti], dst.Shape()...)
+		}
+		acc := avg[ti]
+		acc.Zero()
 		for ri, res := range results {
 			if ti >= len(res.state) {
 				return fmt.Errorf("core: client %d returned %d state tensors, want %d",
 					res.clientID, len(res.state), len(globalState))
 			}
-			if err := dst.Axpy(float32(weights[ri]/total), res.state[ti]); err != nil {
+			if err := acc.Axpy(float32(weights[ri]/total), res.state[ti]); err != nil {
 				return fmt.Errorf("core: aggregating tensor %d from client %d: %w", ti, res.clientID, err)
 			}
 		}
+	}
+	if err := r.strat.ApplyAggregate(globalState, avg); err != nil {
+		return fmt.Errorf("core: strategy %s: %w", r.strat.Name(), err)
 	}
 	return nil
 }

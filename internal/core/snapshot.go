@@ -11,6 +11,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
 	"fedfteds/internal/tensor"
 )
 
@@ -28,6 +29,10 @@ const (
 	sectionTracker = "tracker"
 	sectionSched   = "sched"
 	sectionOpt     = "opt"
+	// sectionStrategy is optional: it is written only when the run was
+	// configured with an explicit strategy, so checkpoints of legacy
+	// (nil-Strategy) runs keep their exact pre-strategy byte layout.
+	sectionStrategy = "strategy"
 )
 
 // RunState is the complete resumable state of a federated run at a round
@@ -71,6 +76,15 @@ type RunState struct {
 	// the section exists so the format can carry mid-round optimizer state
 	// without a version bump.
 	Opt map[int][]*tensor.Tensor
+	// StratName is the Fingerprint of the explicitly configured strategy
+	// the state was produced under (empty for the legacy default path).
+	// Restore refuses a mismatch, so state trained under one strategy —
+	// or one setting of its parameters — is never continued under another.
+	StratName string
+	// StratState holds the strategy's server-optimizer state tensors
+	// (strategy.Stateful.StateTensors): FedAvgM's velocity, FedAdam's
+	// moments. Empty for stateless strategies.
+	StratState []*tensor.Tensor
 }
 
 // SnapshotModelState clones a model's full state tensors (params and buffers
@@ -123,11 +137,18 @@ func TagConfig(parts ...any) uint64 {
 // training trajectory or the history's shape. Rounds is deliberately
 // excluded (extending a finished run is supported), as are the scheduler
 // (validated by name, with its own serialized state) and the
-// checkpoint/parallelism knobs (they must not affect results at all).
+// checkpoint/parallelism knobs (they must not affect results at all). An
+// explicit strategy contributes its Fingerprint; a nil Strategy contributes
+// nothing, keeping legacy configs' tags — and therefore their committed
+// checkpoints — stable across the strategy redesign.
 func (c Config) trainingTag() uint64 {
-	return TagConfig(c.LocalEpochs, c.BatchSize, c.LR, c.Momentum, c.WeightDecay,
+	parts := []any{c.LocalEpochs, c.BatchSize, c.LR, c.Momentum, c.WeightDecay,
 		c.ProxMu, c.FinetunePart, c.Selector, c.SelectFraction, c.CohortSize,
-		c.Straggler, c.AggWeighting, c.EvalEvery)
+		c.Straggler, c.AggWeighting, c.EvalEvery}
+	if c.Strategy != nil {
+		parts = append(parts, c.Strategy.Fingerprint())
+	}
+	return TagConfig(parts...)
 }
 
 // runTag extends trainingTag with the federation's identity — client count
@@ -163,6 +184,23 @@ func (s *RunState) CaptureScheduler(scheduler sched.Scheduler) error {
 	return nil
 }
 
+// CaptureStrategy fills the state's StratName/StratState from an explicitly
+// configured strategy (clearing both for nil, the legacy default path). It
+// is the single serialization point for strategy state, shared by
+// Runner.Snapshot and fedserver's per-round snapshot.
+func (s *RunState) CaptureStrategy(strat strategy.Strategy) {
+	s.StratName, s.StratState = "", nil
+	if strat == nil {
+		return
+	}
+	s.StratName = strat.Fingerprint()
+	if st, ok := strat.(strategy.Stateful); ok {
+		for _, t := range st.StateTensors() {
+			s.StratState = append(s.StratState, t.Clone())
+		}
+	}
+}
+
 // Snapshot captures the runner's complete resumable state after the last
 // completed round. The returned state is independent of the runner: tensors
 // are cloned and maps copied.
@@ -181,15 +219,18 @@ func (r *Runner) Snapshot() (*RunState, error) {
 	if err := s.CaptureScheduler(r.cfg.Scheduler); err != nil {
 		return nil, err
 	}
+	s.CaptureStrategy(r.cfg.Strategy)
 	return s, nil
 }
 
 // ValidateFor checks that the state belongs to the run described by the
 // given parameters — same seed, same training configuration (TagConfig
-// fingerprint), a round within the budget, a self-consistent history, and a
-// matching scheduler. Both engines (Runner.RestoreInto and fedserver's
-// warm-start) share this check so their refusal rules cannot drift.
-func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler) error {
+// fingerprint), a round within the budget, a self-consistent history, a
+// matching scheduler, and a matching strategy (nil strat means the legacy
+// default path; pass the explicitly configured strategy otherwise). Both
+// engines (Runner.RestoreInto and fedserver's warm-start) share this check
+// so their refusal rules cannot drift.
+func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy) error {
 	if s.Seed != seed {
 		return fmt.Errorf("%w: checkpoint seed %d does not match configured seed %d",
 			ErrConfig, s.Seed, seed)
@@ -224,6 +265,21 @@ func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, schedul
 		return fmt.Errorf("%w: checkpoint carries scheduler state but %q is stateless",
 			ErrConfig, cfgSched)
 	}
+	cfgStrat := ""
+	if strat != nil {
+		cfgStrat = strat.Fingerprint()
+	}
+	if s.StratName != cfgStrat {
+		return fmt.Errorf("%w: checkpoint strategy %q does not match configured %q; resuming under "+
+			"an edited strategy would silently blend two optimization regimes",
+			ErrConfig, s.StratName, cfgStrat)
+	}
+	if len(s.StratState) > 0 {
+		if _, ok := strat.(strategy.Stateful); !ok {
+			return fmt.Errorf("%w: checkpoint carries strategy state but %q cannot hold it",
+				ErrConfig, cfgStrat)
+		}
+	}
 	return nil
 }
 
@@ -240,16 +296,33 @@ func (s *RunState) RestoreScheduler(scheduler sched.Scheduler) error {
 	return nil
 }
 
+// RestoreStrategy installs the state's server-optimizer tensors into a
+// stateful strategy (no-op for nil or stateless ones, which ValidateFor has
+// already confirmed carry no state). Call after ValidateFor.
+func (s *RunState) RestoreStrategy(strat strategy.Strategy) error {
+	st, ok := strat.(strategy.Stateful)
+	if !ok {
+		return nil
+	}
+	if err := st.RestoreStateTensors(s.StratState); err != nil {
+		return fmt.Errorf("core: restore strategy %s: %w", strat.Name(), err)
+	}
+	return nil
+}
+
 // RestoreInto installs the state into a freshly constructed runner, which
 // must have been built with the same configuration (seed, strategy,
 // scheduler, clients) as the run that produced the state. The runner's next
 // Run continues after s.Round and reproduces the uninterrupted run bit for
 // bit. Call before Run.
 func (s *RunState) RestoreInto(r *Runner) error {
-	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler); err != nil {
+	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy); err != nil {
 		return err
 	}
 	if err := s.RestoreScheduler(r.cfg.Scheduler); err != nil {
+		return err
+	}
+	if err := s.RestoreStrategy(r.cfg.Strategy); err != nil {
 		return err
 	}
 	if err := RestoreModelState(r.global, s.Model); err != nil {
@@ -346,14 +419,26 @@ func (s *RunState) Sections() ([]ckpt.Section, error) {
 		}
 	}
 
-	return []ckpt.Section{
+	sections := []ckpt.Section{
 		{Name: sectionMeta, Body: meta.Bytes()},
 		{Name: sectionModel, Body: model.Bytes()},
 		{Name: sectionHistory, Body: hist.Bytes()},
 		{Name: sectionTracker, Body: tracker.Bytes()},
 		{Name: sectionSched, Body: schedEnc.Bytes()},
 		{Name: sectionOpt, Body: opt.Bytes()},
-	}, nil
+	}
+	// The strategy section is written only for explicitly configured
+	// strategies: legacy runs keep their exact pre-strategy byte layout, so
+	// committed fixtures and old checkpoints stay valid.
+	if s.StratName != "" || len(s.StratState) > 0 {
+		var strat ckpt.Encoder
+		strat.PutString(s.StratName)
+		if err := strat.PutTensors(s.StratState); err != nil {
+			return nil, err
+		}
+		sections = append(sections, ckpt.Section{Name: sectionStrategy, Body: strat.Bytes()})
+	}
+	return sections, nil
 }
 
 // RunStateFromSections decodes checkpoint sections, reversing Sections.
@@ -449,6 +534,16 @@ func RunStateFromSections(sections []ckpt.Section) (*RunState, error) {
 	}
 	if err := opt.Done(); err != nil {
 		return nil, fmt.Errorf("opt section: %w", err)
+	}
+
+	// The strategy section is optional (absent for legacy runs).
+	if body, ok := bodies[sectionStrategy]; ok {
+		strat := ckpt.NewDecoder(body)
+		s.StratName = strat.String()
+		s.StratState = strat.Tensors()
+		if err := strat.Done(); err != nil {
+			return nil, fmt.Errorf("strategy section: %w", err)
+		}
 	}
 
 	return s, nil

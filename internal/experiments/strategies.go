@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fedfteds/internal/core"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/strategy"
+	"fedfteds/internal/tensor"
+)
+
+// StrategyNames is the strategy-comparison lineup: every flag-constructible
+// strategy at its defaults — the classical overwrite server (with and
+// without the proximal client hook) against the FedOpt server optimizers —
+// so the comparison covers the server-momentum and adaptivity axes the
+// partial-participation literature evaluates. Sharing strategy.Names keeps
+// the sweep in lockstep with what Parse accepts.
+var StrategyNames = strategy.Names()
+
+// StrategyRow is one strategy's outcome on the shared federation.
+type StrategyRow struct {
+	// Strategy is the spec the row ran under (a strategy.Parse input).
+	Strategy string
+	// Hist is the strategy's full run history.
+	Hist core.History
+}
+
+// StrategyCompareResult compares federated-optimization strategies on one
+// federation: accuracy against cumulative client-seconds, the paper's
+// learning-efficiency trade-off, now driven by how the server applies the
+// aggregate rather than what each client trains on.
+type StrategyCompareResult struct {
+	// Rows holds one entry per strategy, in input order.
+	Rows []StrategyRow
+	// NumClients is the federation size.
+	NumClients int
+}
+
+// RunStrategyCompare runs every strategy spec in specs (nil means the
+// standard StrategyNames lineup) on one shared federation with FedFT-EDS
+// locals. All strategies see the same clients, model initialization and
+// seed; only the strategy differs — a fresh instance is parsed per run so
+// stateful server optimizers never leak across rows.
+func RunStrategyCompare(env *Env, specs []string) (*StrategyCompareResult, error) {
+	if len(specs) == 0 {
+		specs = StrategyNames
+	}
+	numClients := env.Dims.SmallClients
+	fed, err := env.BuildFederation(env.Suite.Target10, numClients, 0.1, 6464)
+	if err != nil {
+		return nil, err
+	}
+	res := &StrategyCompareResult{NumClients: numClients}
+	for _, spec := range specs {
+		strat, err := strategy.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
+			Rounds:         env.Dims.Rounds,
+			LocalEpochs:    env.Dims.LocalEpochs,
+			LR:             paperLR,
+			Momentum:       paperMomentum,
+			FinetunePart:   models.FinetuneModerate,
+			Selector:       selection.Entropy{Temperature: paperTemperature},
+			SelectFraction: 0.5,
+			Strategy:       strat,
+			// Every strategy shares one seed: the comparison isolates the
+			// server-side optimization, not the run randomness.
+			Seed: tensor.DeriveSeed(uint64(env.Seed), 0x57A7),
+		}
+		hist, err := env.RunFL(fmt.Sprintf("strategy-%s-c%d", spec, numClients),
+			cfg, global, fed.Clients, fed.Test)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, StrategyRow{Strategy: spec, Hist: hist})
+	}
+	return res, nil
+}
+
+// Render prints the comparison as a table: per strategy the best and final
+// accuracy, total simulated client-seconds, and the paper's learning
+// efficiency (best accuracy per client-second).
+func (r *StrategyCompareResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Strategy comparison: %d clients, FedFT-EDS locals, server-side optimizers\n", r.NumClients)
+	fmt.Fprintf(&b, "%-12s %9s %9s %14s %14s\n",
+		"strategy", "best acc", "final acc", "client-seconds", "eff (%/s)")
+	for _, row := range r.Rows {
+		eff, err := row.Hist.LearningEfficiency()
+		effStr := "n/a"
+		if err == nil {
+			effStr = fmt.Sprintf("%.4g", 100*eff)
+		}
+		fmt.Fprintf(&b, "%-12s %8.2f%% %8.2f%% %14.4g %14s\n",
+			row.Strategy,
+			100*row.Hist.BestAccuracy, 100*row.Hist.FinalAccuracy,
+			row.Hist.TotalTrainSeconds, effStr)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunStrategyCompare runs the full default lineup at smoke scale: every
+// strategy completes, the rows come back in order, and the rendering carries
+// the efficiency column.
+func TestRunStrategyCompare(t *testing.T) {
+	env := smokeEnv(t)
+	res, err := RunStrategyCompare(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(StrategyNames) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(StrategyNames))
+	}
+	for i, row := range res.Rows {
+		if row.Strategy != StrategyNames[i] {
+			t.Fatalf("row %d is %q, want %q", i, row.Strategy, StrategyNames[i])
+		}
+		if len(row.Hist.Records) != env.Dims.Rounds {
+			t.Fatalf("%s ran %d rounds, want %d", row.Strategy, len(row.Hist.Records), env.Dims.Rounds)
+		}
+		if row.Hist.TotalTrainSeconds <= 0 {
+			t.Fatalf("%s has no cost accounting", row.Strategy)
+		}
+	}
+	out := res.Render()
+	for _, want := range append([]string{"Strategy comparison", "eff (%/s)"}, StrategyNames...) {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunStrategyCompareParameterized: an explicit parameterized spec runs
+// and is labeled verbatim.
+func TestRunStrategyCompareParameterized(t *testing.T) {
+	env := smokeEnv(t)
+	res, err := RunStrategyCompare(env, []string{"fedadam:lr=0.05,beta1=0.8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Strategy != "fedadam:lr=0.05,beta1=0.8" {
+		t.Fatalf("unexpected rows: %+v", res.Rows)
+	}
+	if _, err := RunStrategyCompare(env, []string{"nope"}); err == nil {
+		t.Fatal("unknown strategy spec accepted")
+	}
+}

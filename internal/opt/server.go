@@ -1,0 +1,355 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"fedfteds/internal/tensor"
+)
+
+// ServerOpt is the server side of a federated-optimization strategy: once a
+// round's client updates have been fused into their weighted average, the
+// server optimizer decides how that average moves the global model. The
+// classical FedAvg server simply overwrites the global state with the
+// average; the FedOpt family (Reddi et al., "Adaptive Federated
+// Optimization") instead treats the pseudo-gradient
+//
+//	g = w_global − avg
+//
+// as a stochastic gradient of the global objective and feeds it to a
+// first-order optimizer — momentum (FedAvgM), Adam (FedAdam) or Yogi
+// (FedYogi). Applying plain SGD with learning rate 1 to g recovers the
+// overwrite exactly, which is why Overwrite is the degenerate member of the
+// family.
+//
+// Implementations size their auxiliary state lazily on first Apply (the
+// optimizer is constructed before the model's tensor shapes are known) and
+// keep it across rounds; Apply is deterministic and allocation-free in
+// steady state. Not safe for concurrent use.
+type ServerOpt interface {
+	// Name returns the optimizer's short identifier ("overwrite",
+	// "momentum", "adam", "yogi").
+	Name() string
+	// Params renders the configuration canonically ("lr=0.1,beta1=0.9");
+	// strategy fingerprints embed it so a checkpoint written under one
+	// setting is never resumed under another.
+	Params() string
+	// Apply folds the weighted client average into the global tensors in
+	// place. global and avg are parallel and must match shape for shape.
+	Apply(global, avg []*tensor.Tensor) error
+	// StateTensors returns the live auxiliary state in canonical order
+	// (empty before the first Apply of a fresh optimizer). Callers clone
+	// for snapshots.
+	StateTensors() []*tensor.Tensor
+	// RestoreStateTensors replaces the auxiliary state from a StateTensors
+	// snapshot. A restore before the first Apply (the checkpoint warm-start
+	// path) is validated against the model shapes at that first Apply.
+	RestoreStateTensors(ts []*tensor.Tensor) error
+}
+
+// checkAggregate validates the global/average tensor pairing shared by every
+// server optimizer.
+func checkAggregate(global, avg []*tensor.Tensor) error {
+	if len(global) == 0 {
+		return fmt.Errorf("%w: server optimizer applied to no tensors", ErrConfig)
+	}
+	if len(global) != len(avg) {
+		return fmt.Errorf("%w: %d aggregate tensors for %d global tensors", ErrConfig, len(avg), len(global))
+	}
+	for i := range global {
+		if !global[i].SameShape(avg[i]) {
+			return fmt.Errorf("%w: aggregate tensor %d shape %v vs global %v",
+				ErrConfig, i, avg[i].Shape(), global[i].Shape())
+		}
+	}
+	return nil
+}
+
+// serverState manages the lazily sized per-parameter auxiliary buffers
+// (slots buffers per global tensor) plus the restore-before-sized case.
+type serverState struct {
+	slots int
+	live  []*tensor.Tensor // slots*len(global) tensors, slot-major
+	// restored holds a RestoreStateTensors snapshot taken before the state
+	// was sized; it is validated and adopted at the next Apply.
+	restored []*tensor.Tensor
+}
+
+// bind returns the state buffers for the given global tensors, allocating
+// zeros on first use or adopting a pending restore.
+func (s *serverState) bind(global []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	want := s.slots * len(global)
+	if s.restored != nil {
+		if err := s.validateAgainst(s.restored, global); err != nil {
+			return nil, err
+		}
+		s.live, s.restored = s.restored, nil
+		return s.live, nil
+	}
+	if s.live == nil {
+		s.live = make([]*tensor.Tensor, 0, want)
+		for slot := 0; slot < s.slots; slot++ {
+			for _, g := range global {
+				s.live = append(s.live, tensor.New(g.Shape()...))
+			}
+		}
+		return s.live, nil
+	}
+	if err := s.validateAgainst(s.live, global); err != nil {
+		return nil, err
+	}
+	return s.live, nil
+}
+
+// validateAgainst checks a candidate state tensor list against the model.
+func (s *serverState) validateAgainst(ts, global []*tensor.Tensor) error {
+	want := s.slots * len(global)
+	if len(ts) != want {
+		return fmt.Errorf("%w: %d server-optimizer state tensors for %d global tensors (want %d)",
+			ErrConfig, len(ts), len(global), want)
+	}
+	for slot := 0; slot < s.slots; slot++ {
+		for i, g := range global {
+			if !ts[slot*len(global)+i].SameShape(g) {
+				return fmt.Errorf("%w: server-optimizer state tensor %d shape %v vs global %v",
+					ErrConfig, slot*len(global)+i, ts[slot*len(global)+i].Shape(), g.Shape())
+			}
+		}
+	}
+	return nil
+}
+
+// state returns the live (or pending-restored) tensors for snapshots.
+func (s *serverState) state() []*tensor.Tensor {
+	if s.live != nil {
+		return s.live
+	}
+	return s.restored
+}
+
+// restore installs a snapshot: into the live buffers when already sized,
+// or as a pending adoption validated at the next bind. An empty snapshot
+// (a checkpoint taken before the optimizer's first apply) resets the state
+// to fresh — the next bind starts from zero moments again.
+func (s *serverState) restore(ts []*tensor.Tensor) error {
+	if len(ts) == 0 {
+		s.live, s.restored = nil, nil
+		return nil
+	}
+	if len(ts)%s.slots != 0 {
+		return fmt.Errorf("%w: %d server-optimizer state tensors are not a multiple of %d slots",
+			ErrConfig, len(ts), s.slots)
+	}
+	clone := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		clone[i] = t.Clone()
+	}
+	if s.live != nil {
+		if len(clone) != len(s.live) {
+			return fmt.Errorf("%w: %d server-optimizer state tensors, optimizer holds %d",
+				ErrConfig, len(clone), len(s.live))
+		}
+		for i := range clone {
+			if !clone[i].SameShape(s.live[i]) {
+				return fmt.Errorf("%w: server-optimizer state tensor %d shape %v vs %v",
+					ErrConfig, i, clone[i].Shape(), s.live[i].Shape())
+			}
+		}
+		s.live = clone
+		return nil
+	}
+	s.restored = clone
+	return nil
+}
+
+// Overwrite is the classical FedAvg server: the global state becomes the
+// weighted client average. It is stateless, and the engine's strategy layer
+// is pinned bit-identical to the pre-strategy aggregation through it.
+type Overwrite struct{}
+
+var _ ServerOpt = Overwrite{}
+
+// Name implements ServerOpt.
+func (Overwrite) Name() string { return "overwrite" }
+
+// Params implements ServerOpt.
+func (Overwrite) Params() string { return "" }
+
+// Apply implements ServerOpt: global ← avg.
+func (Overwrite) Apply(global, avg []*tensor.Tensor) error {
+	if err := checkAggregate(global, avg); err != nil {
+		return err
+	}
+	for i := range global {
+		if err := global[i].CopyFrom(avg[i]); err != nil {
+			return fmt.Errorf("%w: overwrite tensor %d: %v", ErrConfig, i, err)
+		}
+	}
+	return nil
+}
+
+// StateTensors implements ServerOpt (no state).
+func (Overwrite) StateTensors() []*tensor.Tensor { return nil }
+
+// RestoreStateTensors implements ServerOpt: only the empty snapshot is valid.
+func (Overwrite) RestoreStateTensors(ts []*tensor.Tensor) error {
+	if len(ts) != 0 {
+		return fmt.Errorf("%w: %d state tensors for the stateless overwrite optimizer", ErrConfig, len(ts))
+	}
+	return nil
+}
+
+// ServerMomentum is FedAvgM: heavy-ball momentum over the pseudo-gradient,
+//
+//	v ← β·v + g,  w ← w − lr·v
+//
+// with v starting at zero. lr = 1, β = 0 degenerates to Overwrite.
+type ServerMomentum struct {
+	lr, beta float64
+	st       serverState
+}
+
+var _ ServerOpt = (*ServerMomentum)(nil)
+
+// NewServerMomentum validates and constructs a FedAvgM server optimizer.
+func NewServerMomentum(lr, beta float64) (*ServerMomentum, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("%w: server LR %v must be positive", ErrConfig, lr)
+	}
+	if beta < 0 || beta >= 1 {
+		return nil, fmt.Errorf("%w: server momentum %v outside [0,1)", ErrConfig, beta)
+	}
+	return &ServerMomentum{lr: lr, beta: beta, st: serverState{slots: 1}}, nil
+}
+
+// Name implements ServerOpt.
+func (o *ServerMomentum) Name() string { return "momentum" }
+
+// Params implements ServerOpt.
+func (o *ServerMomentum) Params() string { return fmt.Sprintf("lr=%g,beta1=%g", o.lr, o.beta) }
+
+// Apply implements ServerOpt.
+func (o *ServerMomentum) Apply(global, avg []*tensor.Tensor) error {
+	if err := checkAggregate(global, avg); err != nil {
+		return err
+	}
+	vel, err := o.st.bind(global)
+	if err != nil {
+		return err
+	}
+	lr, beta := float32(o.lr), float32(o.beta)
+	for i := range global {
+		wd, ad, vd := global[i].Data(), avg[i].Data(), vel[i].Data()
+		for j := range wd {
+			g := wd[j] - ad[j]
+			vd[j] = beta*vd[j] + g
+			wd[j] -= lr * vd[j]
+		}
+	}
+	return nil
+}
+
+// StateTensors implements ServerOpt: the velocity buffers.
+func (o *ServerMomentum) StateTensors() []*tensor.Tensor { return o.st.state() }
+
+// RestoreStateTensors implements ServerOpt.
+func (o *ServerMomentum) RestoreStateTensors(ts []*tensor.Tensor) error { return o.st.restore(ts) }
+
+// ServerAdam is FedAdam (and, with Yogi set, FedYogi): adaptive moments over
+// the pseudo-gradient,
+//
+//	m ← β₁·m + (1−β₁)·g
+//	v ← β₂·v + (1−β₂)·g²            (Adam)
+//	v ← v − (1−β₂)·g²·sign(v − g²)  (Yogi)
+//	w ← w − lr·m / (√v + τ)
+//
+// without bias correction, following the FedOpt reference formulation. τ is
+// the adaptivity floor; larger τ makes the update less adaptive.
+type ServerAdam struct {
+	lr, beta1, beta2, tau float64
+	yogi                  bool
+	st                    serverState
+}
+
+var _ ServerOpt = (*ServerAdam)(nil)
+
+// NewServerAdam validates and constructs a FedAdam (yogi=false) or FedYogi
+// (yogi=true) server optimizer.
+func NewServerAdam(lr, beta1, beta2, tau float64, yogi bool) (*ServerAdam, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("%w: server LR %v must be positive", ErrConfig, lr)
+	}
+	if beta1 < 0 || beta1 >= 1 {
+		return nil, fmt.Errorf("%w: server beta1 %v outside [0,1)", ErrConfig, beta1)
+	}
+	if beta2 < 0 || beta2 >= 1 {
+		return nil, fmt.Errorf("%w: server beta2 %v outside [0,1)", ErrConfig, beta2)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("%w: server tau %v must be positive", ErrConfig, tau)
+	}
+	return &ServerAdam{lr: lr, beta1: beta1, beta2: beta2, tau: tau, yogi: yogi, st: serverState{slots: 2}}, nil
+}
+
+// Name implements ServerOpt.
+func (o *ServerAdam) Name() string {
+	if o.yogi {
+		return "yogi"
+	}
+	return "adam"
+}
+
+// Params implements ServerOpt.
+func (o *ServerAdam) Params() string {
+	return fmt.Sprintf("lr=%g,beta1=%g,beta2=%g,tau=%g", o.lr, o.beta1, o.beta2, o.tau)
+}
+
+// Apply implements ServerOpt.
+func (o *ServerAdam) Apply(global, avg []*tensor.Tensor) error {
+	if err := checkAggregate(global, avg); err != nil {
+		return err
+	}
+	st, err := o.st.bind(global)
+	if err != nil {
+		return err
+	}
+	n := len(global)
+	lr, b1, b2, tau := float32(o.lr), float32(o.beta1), float32(o.beta2), float32(o.tau)
+	for i := range global {
+		wd, ad := global[i].Data(), avg[i].Data()
+		md, vd := st[i].Data(), st[n+i].Data()
+		for j := range wd {
+			g := wd[j] - ad[j]
+			md[j] = b1*md[j] + (1-b1)*g
+			g2 := g * g
+			if o.yogi {
+				vd[j] -= (1 - b2) * g2 * sign32(vd[j]-g2)
+			} else {
+				vd[j] = b2*vd[j] + (1-b2)*g2
+			}
+			wd[j] -= lr * md[j] / (sqrt32(vd[j]) + tau)
+		}
+	}
+	return nil
+}
+
+// StateTensors implements ServerOpt: first moments, then second moments.
+func (o *ServerAdam) StateTensors() []*tensor.Tensor { return o.st.state() }
+
+// RestoreStateTensors implements ServerOpt.
+func (o *ServerAdam) RestoreStateTensors(ts []*tensor.Tensor) error { return o.st.restore(ts) }
+
+// sqrt32 is float32 square root (element loop helper).
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// sign32 returns the sign of x in {-1, 0, +1}.
+func sign32(x float32) float32 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,183 @@
+package opt
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+func serverTestState(t *testing.T) (global, avg []*tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	shapes := [][]int{{4}, {2, 3}, {5}}
+	for _, sh := range shapes {
+		g := tensor.New(sh...)
+		g.FillNormal(rng, 0, 1)
+		a := tensor.New(sh...)
+		a.FillNormal(rng, 0, 1)
+		global = append(global, g)
+		avg = append(avg, a)
+	}
+	return global, avg
+}
+
+func TestServerOptConstructorsValidate(t *testing.T) {
+	cases := []func() error{
+		func() error { _, err := NewServerMomentum(0, 0.9); return err },
+		func() error { _, err := NewServerMomentum(1, 1); return err },
+		func() error { _, err := NewServerMomentum(1, -0.1); return err },
+		func() error { _, err := NewServerAdam(0, 0.9, 0.99, 1e-3, false); return err },
+		func() error { _, err := NewServerAdam(0.1, 1, 0.99, 1e-3, false); return err },
+		func() error { _, err := NewServerAdam(0.1, 0.9, -1, 1e-3, true); return err },
+		func() error { _, err := NewServerAdam(0.1, 0.9, 0.99, 0, true); return err },
+	}
+	for i, c := range cases {
+		if err := c(); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d: got %v, want ErrConfig", i, err)
+		}
+	}
+}
+
+func TestOverwriteApply(t *testing.T) {
+	global, avg := serverTestState(t)
+	var o Overwrite
+	if err := o.Apply(global, avg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range global {
+		if !global[i].Equal(avg[i]) {
+			t.Fatalf("tensor %d not overwritten", i)
+		}
+	}
+	if got := o.StateTensors(); len(got) != 0 {
+		t.Fatalf("overwrite carries %d state tensors", len(got))
+	}
+	if err := o.RestoreStateTensors(avg); err == nil {
+		t.Fatal("overwrite accepted state tensors")
+	}
+	if err := o.Apply(global, avg[:1]); err == nil {
+		t.Fatal("mismatched tensor count accepted")
+	}
+}
+
+// TestServerStateShapeMismatch pins the refusals: a restore whose shapes
+// cannot belong to the model is rejected at the next Apply, and an
+// aggregate with drifted shapes never touches the state.
+func TestServerStateShapeMismatch(t *testing.T) {
+	global, avg := serverTestState(t)
+	o, err := NewServerAdam(0.1, 0.9, 0.99, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore-before-sized with the wrong tensor count: caught at Apply.
+	bad := []*tensor.Tensor{tensor.New(4), tensor.New(4)}
+	if err := o.RestoreStateTensors(bad); err != nil {
+		t.Fatal(err) // count is a multiple of the slots, accepted provisionally
+	}
+	if err := o.Apply(global, avg); !errors.Is(err, ErrConfig) {
+		t.Fatalf("wrong-count pending restore applied: %v", err)
+	}
+
+	fresh, err := NewServerAdam(0.1, 0.9, 0.99, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Apply(global, avg); err != nil {
+		t.Fatal(err)
+	}
+	// A live optimizer refuses a wrong-shape restore outright.
+	if err := fresh.RestoreStateTensors(bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("wrong-count restore into live optimizer: %v", err)
+	}
+	// And refuses aggregates whose shapes drifted.
+	if err := fresh.Apply(global[:2], avg[:2]); !errors.Is(err, ErrConfig) {
+		t.Fatalf("drifted aggregate accepted: %v", err)
+	}
+}
+
+// TestServerStateEmptyRestoreResets: restoring an empty snapshot (a
+// checkpoint taken before the optimizer's first apply) resets a stateful
+// optimizer to fresh instead of poisoning its next Apply.
+func TestServerStateEmptyRestoreResets(t *testing.T) {
+	global, avg := serverTestState(t)
+	o, err := NewServerAdam(0.1, 0.9, 0.99, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh optimizer, empty restore: the next Apply starts from zeros.
+	if err := o.RestoreStateTensors(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Apply(global, avg); err != nil {
+		t.Fatalf("apply after empty restore into a fresh optimizer: %v", err)
+	}
+	// Live optimizer, empty restore: moments drop back to fresh, matching a
+	// never-applied twin bit for bit.
+	if err := o.RestoreStateTensors(nil); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := NewServerAdam(0.1, 0.9, 0.99, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := make([]*tensor.Tensor, len(global)), make([]*tensor.Tensor, len(global))
+	for i := range global {
+		ga[i], gb[i] = global[i].Clone(), global[i].Clone()
+	}
+	if err := o.Apply(ga, avg); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.Apply(gb, avg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ga {
+		if !ga[i].Equal(gb[i]) {
+			t.Fatalf("empty restore did not reset: tensor %d differs from a fresh optimizer", i)
+		}
+	}
+}
+
+// TestServerMomentumStateRoundTrip: state out, state in, identical updates.
+func TestServerMomentumStateRoundTrip(t *testing.T) {
+	global, avg := serverTestState(t)
+	a, err := NewServerMomentum(0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := make([]*tensor.Tensor, len(global))
+	for i := range global {
+		ga[i] = global[i].Clone()
+	}
+	if err := a.Apply(ga, avg); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.StateTensors()
+	if len(snap) != len(global) {
+		t.Fatalf("momentum state has %d tensors, want %d", len(snap), len(global))
+	}
+
+	b, err := NewServerMomentum(0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreStateTensors(snap); err != nil {
+		t.Fatal(err)
+	}
+	gb := make([]*tensor.Tensor, len(ga))
+	for i := range ga {
+		gb[i] = ga[i].Clone()
+	}
+	if err := a.Apply(ga, avg); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(gb, avg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ga {
+		if !ga[i].Equal(gb[i]) {
+			t.Fatalf("restored momentum diverged at tensor %d", i)
+		}
+	}
+}

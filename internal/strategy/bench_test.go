@@ -1,0 +1,80 @@
+package strategy
+
+import (
+	"testing"
+
+	"fedfteds/internal/models"
+	"fedfteds/internal/tensor"
+)
+
+// wrnState builds the WRN-10-1 communicated state (the trainable groups'
+// tensors) plus a matching aggregate, the realistic ApplyAggregate workload.
+func wrnState(b *testing.B) (global, avg []*tensor.Tensor) {
+	b.Helper()
+	m, err := models.Build(models.Spec{
+		Arch:        models.ArchWRN,
+		InputShape:  []int{3, 16, 16},
+		NumClasses:  10,
+		Depth:       10,
+		WidthFactor: 1,
+		InitSeed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	global, err = m.GroupStateTensors(m.TrainableGroupNames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	avg = make([]*tensor.Tensor, len(global))
+	for i, g := range global {
+		avg[i] = g.Clone()
+		avg[i].Scale(0.99)
+	}
+	return global, avg
+}
+
+// BenchmarkApplyAggregateWRN measures each server optimizer's aggregate
+// application on the WRN state size. CI gates the -benchmem allocation
+// count: after the first call sizes the optimizer state, ApplyAggregate
+// must not allocate.
+func BenchmarkApplyAggregateWRN(b *testing.B) {
+	for _, spec := range shippedSpecs {
+		b.Run(spec, func(b *testing.B) {
+			global, avg := wrnState(b)
+			s, err := Parse(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.ApplyAggregate(global, avg); err != nil { // size the state
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ApplyAggregate(global, avg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWeighUpdatesLargeCohort measures the weighting pass at fleet
+// scale (N = 1e5 updates), mirroring the sched package's cohort benchmarks.
+func BenchmarkWeighUpdatesLargeCohort(b *testing.B) {
+	const n = 100_000
+	ups := make([]Update, n)
+	for i := range ups {
+		ups[i] = Update{ClientID: i, NumSelected: 1 + i%37, LocalSize: 1 + i%101}
+	}
+	w := make([]float64, n)
+	s := FedAvg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WeighUpdates(ups, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
