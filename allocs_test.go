@@ -9,6 +9,7 @@ import (
 
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
+	"fedfteds/internal/device"
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
 	"fedfteds/internal/opt"
@@ -193,6 +194,80 @@ func TestScheduledRoundAllocBudget(t *testing.T) {
 	// buffers (one client state is ~20 tensors × 3 clients × 4 rounds).
 	if perRound > 800 {
 		t.Fatalf("scheduled round allocates %.1f times per round in steady state (short %v, long %v), want <= 800",
+			perRound, short, long)
+	}
+}
+
+// TestTieredRoundAllocBudget is TestScheduledRoundAllocBudget's tier-mode
+// twin: with a mixed tier distribution the per-round masked-aggregation
+// plumbing (tier masks, cover maps, per-tensor weight totals) is runner
+// scratch too, so the marginal cost of one more tiered round stays within
+// the same order as the untiered budget. Measured differentially so one-time
+// warm-up (replicas, per-mask optimizers, cover caches) cancels out.
+func TestTieredRoundAllocBudget(t *testing.T) {
+	const clients = 8
+	dist, err := device.ParseDistribution("low:1,mid:1,full:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildFederation := func() ([]*core.Client, *data.Dataset) {
+		suite, err := data.NewStandardSuite(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(12))
+		pool, err := suite.Target10.GenerateBalanced(clients*40, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		test, err := suite.Target10.GenerateBalanced(100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := partition.Dirichlet(pool.Y, clients, 0.5, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]*core.Client, clients)
+		for i, idxs := range parts {
+			ds, err := pool.Subset(idxs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = &core.Client{ID: i, Data: ds, Device: simtime.Device{FLOPSRate: 1e9}}
+		}
+		return out, test
+	}
+	runAllocs := func(rounds int) float64 {
+		cl, test := buildFederation()
+		m, err := models.Build(models.Spec{
+			Arch:       models.ArchMLP,
+			InputShape: []int{64},
+			NumClasses: 10,
+			Hidden:     32,
+			InitSeed:   13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner, err := core.NewRunner(core.Config{
+			Rounds: rounds, LocalEpochs: 1, BatchSize: 16, LR: 0.1,
+			Selector: selection.Entropy{Temperature: 0.1}, SelectFraction: 0.5,
+			CohortSize: 3, TierDist: dist, EvalEvery: rounds, Parallelism: 1, Seed: 9,
+		}, m, cl, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(3, func() {
+			if _, err := runner.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := runAllocs(2), runAllocs(6)
+	perRound := (long - short) / 4
+	if perRound > 800 {
+		t.Fatalf("tiered round allocates %.1f times per round in steady state (short %v, long %v), want <= 800",
 			perRound, short, long)
 	}
 }

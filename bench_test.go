@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"fedfteds"
+	"fedfteds/internal/comm"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
@@ -409,6 +410,94 @@ func BenchmarkKernelFederatedRound(b *testing.B) {
 		}
 		b.StartTimer()
 		if _, err := runner.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// aggBenchSetup builds the shared fixture of the aggregation benchmarks: a
+// WRN model, its full communicated group list and per-tensor layout, the
+// encoded full-state blob, and an encoded partial blob holding only the top
+// two groups (a low-tier client's wire payload).
+func aggBenchSetup(b *testing.B) (groups, layout []string, full []*tensor.Tensor, fullBlob, partBlob []byte) {
+	b.Helper()
+	m, err := models.Build(models.Spec{
+		Arch:        models.ArchWRN,
+		InputShape:  []int{3, 16, 16},
+		NumClasses:  10,
+		Depth:       10,
+		WidthFactor: 1,
+		InitSeed:    7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups = models.GroupNames()
+	layout, err = m.GroupStateLayout(groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err = m.GroupStateTensors(groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullBlob, err = comm.EncodeTensors(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := m.GroupStateTensors(groups[len(groups)-2:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	partBlob, err = comm.EncodeTensors(part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return groups, layout, full, fullBlob, partBlob
+}
+
+// BenchmarkKernelStreamAggregation is the legacy server fold: 8 whole-state
+// client updates streamed into the selected-size-weighted average.
+func BenchmarkKernelStreamAggregation(b *testing.B) {
+	_, _, _, fullBlob, _ := aggBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := comm.NewWeightedStreamAggregator(nil)
+		for c := 0; c < 8; c++ {
+			if err := agg.Add(comm.ClientUpdate{ClientID: c, State: fullBlob, NumSelected: 10 + c}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := agg.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelMaskedAggregation is the tiered server fold over the same 8
+// clients: half ship the whole state, half only the top two groups, and each
+// tensor is averaged over exactly the clients that covered it. The perf gate
+// (BENCH_perf.json) holds this within 2.5x of the legacy fold.
+func BenchmarkKernelMaskedAggregation(b *testing.B) {
+	groups, layout, full, fullBlob, partBlob := aggBenchSetup(b)
+	agg, err := comm.NewMaskedStreamAggregator(nil, groups, layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < 8; c++ {
+			u := comm.ClientUpdate{ClientID: c, State: fullBlob, Groups: groups, NumSelected: 10 + c}
+			if c%2 == 1 {
+				u.State, u.Groups = partBlob, groups[len(groups)-2:]
+			}
+			if err := agg.Add(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := agg.Finish(full); err != nil {
 			b.Fatal(err)
 		}
 	}

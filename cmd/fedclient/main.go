@@ -16,6 +16,15 @@
 // never carries: keep it consistent across restarts of a checkpointed
 // federation, or the resumed rounds train a different local objective.
 //
+// With -tiers (and the same -tier-dist as the server) the client derives its
+// device-capability tier deterministically from the shared seed and its -id:
+// it declares the tier at join, trains only the layer groups the tier
+// affords, and ships only those groups' tensors — a masked layer costs zero
+// uplink bytes. Its simulated compute rate is scaled down accordingly, so
+// low-tier clients report realistically longer round times. All fleet
+// members and the server must agree on -tiers/-tier-dist, exactly like
+// -seed.
+//
 // Exit status distinguishes how the session ended, so scripted fleets can
 // detect eviction: 0 after a clean server shutdown, 3 when the connection
 // was severed without a shutdown message — the server either removed this
@@ -36,15 +45,21 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
+	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/models"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/strategy"
 )
+
+// defaultTierSpec mirrors fedserver's default -tiers distribution; the two
+// binaries must derive identical tier assignments from the shared seed.
+const defaultTierSpec = "low:1,mid:2,full:1"
 
 // exitEvicted is the exit status after a crash-class removal by the server,
 // distinct from 1 (local failure) so fleet scripts can tell them apart.
@@ -68,14 +83,17 @@ func main() {
 
 // clientConfig is the validated flag set of one fedclient run.
 type clientConfig struct {
-	addr        string
-	id          int
-	numClients  int
-	seed        int64
-	temperature float64
-	timeout     time.Duration
-	stratSpec   string
-	strat       strategy.Strategy
+	addr         string
+	id           int
+	numClients   int
+	seed         int64
+	temperature  float64
+	timeout      time.Duration
+	stratSpec    string
+	strat        strategy.Strategy
+	tiers        bool
+	tierDistSpec string
+	tierDist     *device.Distribution // nil when untiered
 }
 
 // parseFlags parses and fail-fast validates the command line.
@@ -89,6 +107,8 @@ func parseFlags(args []string) (clientConfig, error) {
 	fs.Float64Var(&cfg.temperature, "temperature", 0.1, "hardened-softmax temperature ρ")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial timeout")
 	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy; only its client-side hook applies here (fedprox:mu=0.1 adds the proximal term), server optimizers run on fedserver")
+	fs.BoolVar(&cfg.tiers, "tiers", false, "device-tier mode: derive this client's capability tier from the shared seed, train and ship only the layer groups it affords (must match the server)")
+	fs.StringVar(&cfg.tierDistSpec, "tier-dist", "", "tier distribution \"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+" (implies -tiers; default "+defaultTierSpec+"; must match the server)")
 	if err := fs.Parse(args); err != nil {
 		return clientConfig{}, err
 	}
@@ -97,6 +117,20 @@ func parseFlags(args []string) (clientConfig, error) {
 		return clientConfig{}, err
 	}
 	cfg.strat = strat
+	if cfg.tierDistSpec != "" {
+		cfg.tiers = true
+	}
+	if cfg.tiers {
+		spec := cfg.tierDistSpec
+		if spec == "" {
+			spec = defaultTierSpec
+		}
+		dist, err := device.ParseDistribution(spec)
+		if err != nil {
+			return clientConfig{}, fmt.Errorf("-tier-dist: %w", err)
+		}
+		cfg.tierDist = dist
+	}
 	if cfg.numClients <= 0 {
 		return clientConfig{}, fmt.Errorf("-clients %d must be positive", cfg.numClients)
 	}
@@ -177,11 +211,31 @@ func run(args []string) error {
 	}
 	log.Printf("client %d: %d local samples", cfg.id, me.Data.Len())
 
+	// In tier mode the client's capability tier falls out of the shared seed
+	// (same derivation on every fleet member and the server), its layer mask
+	// out of the tier's budget over the model's per-group training FLOPs, and
+	// its simulated compute rate is scaled by the tier's factor.
+	var tier string
+	var tierMask []string
+	if cfg.tierDist != nil {
+		tier = cfg.tierDist.Assign(cfg.numClients, cfg.seed)[cfg.id]
+		prof, err := device.Lookup(tier)
+		if err != nil {
+			return err
+		}
+		perGroup, _ := global.GroupFLOPs()
+		if tierMask, err = prof.MaskFor(models.GroupNames(), perGroup); err != nil {
+			return err
+		}
+		me.Device.FLOPSRate *= prof.FLOPSFactor
+		log.Printf("client %d: tier %s, trainable groups %v", cfg.id, tier, tierMask)
+	}
+
 	conn, err := comm.DialTCP(cfg.addr, cfg.timeout)
 	if err != nil {
 		return err
 	}
-	sess, welcome, err := comm.Join(conn, cfg.id, me.Data.Len())
+	sess, welcome, err := comm.JoinTiered(conn, cfg.id, me.Data.Len(), tier)
 	if err != nil {
 		return err
 	}
@@ -216,12 +270,22 @@ func run(args []string) error {
 			}
 		}
 
+		// The wire mask is the tier mask narrowed to the groups the server
+		// actually communicates this round: both are top-suffixes of the
+		// canonical group order, so the intersection is simply the shorter
+		// one, and it always contains the classifier.
+		var mask []string
+		if cfg.tierDist != nil {
+			mask = intersectGroups(tierMask, rs.Groups)
+		}
+
 		localCfg, err := core.NewLocalConfig(core.Config{
 			Rounds:         welcome.Rounds,
 			LocalEpochs:    rs.LocalEpochs,
 			LR:             0.05,
 			Momentum:       0.5,
 			FinetunePart:   models.FinetuneModerate,
+			TrainGroups:    mask,
 			Selector:       selection.Entropy{Temperature: cfg.temperature},
 			SelectFraction: rs.SelectFraction,
 			Strategy:       cfg.strat,
@@ -242,6 +306,7 @@ func run(args []string) error {
 			ClientID:     cfg.id,
 			Round:        rs.Round,
 			State:        blob,
+			Groups:       mask,
 			NumSelected:  out.NumSelected,
 			TrainSeconds: out.Cost.Total(),
 			TrainLoss:    out.TrainLoss,
@@ -252,4 +317,20 @@ func run(args []string) error {
 		log.Printf("round %d: trained on %d selected samples (loss %.3f, mean entropy %.3f)",
 			rs.Round, out.NumSelected, out.TrainLoss, out.MeanEntropy)
 	}
+}
+
+// intersectGroups keeps the groups of mask that the server communicates,
+// preserving mask's (bottom-to-top) order.
+func intersectGroups(mask, have []string) []string {
+	set := make(map[string]bool, len(have))
+	for _, g := range have {
+		set[g] = true
+	}
+	out := make([]string, 0, len(mask))
+	for _, g := range mask {
+		if set[g] {
+			out = append(out, g)
+		}
+	}
+	return out
 }

@@ -27,6 +27,19 @@
 // server-only: nothing changes on the wire, and unmodified fedclients
 // participate in any strategy.
 //
+// With -tiers (optionally -tier-dist "low:1,mid:2,full:1") the federation is
+// heterogeneous: every client belongs to a device-capability tier derived
+// deterministically from the shared seed, trains only the layer groups its
+// tier can afford, and ships only those groups' tensors (masked layers cost
+// zero wire bytes). The server aggregates per layer — each group is averaged
+// over exactly the clients that covered it — and the "tier" scheduling
+// policy keeps cohorts proportionally balanced across tiers.
+//
+// -quorum accepts either a fraction of the round's clients in (0, 1] or,
+// when given a value above 1, an absolute number of updates; an absolute
+// quorum larger than the clients a round can contact (-cohort, or -clients)
+// is rejected at startup, since no round could ever succeed.
+//
 // Clients regenerate their local partitions deterministically from the
 // shared -seed, so server and clients agree on data without moving it —
 // the whole point of federated learning.
@@ -35,7 +48,7 @@
 //
 //	fedserver -addr 127.0.0.1:7070 -clients 4 -rounds 10 -fraction 0.5 \
 //	          -round-deadline 2m -quorum 0.6 -cohort 2 -sched entropy \
-//	          -strategy fedadam:lr=0.05
+//	          -strategy fedadam:lr=0.05 -tiers -tier-dist low:1,mid:2,full:1
 package main
 
 import (
@@ -43,14 +56,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"fedfteds/internal/ckpt"
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
+	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
@@ -67,6 +83,10 @@ func main() {
 	}
 }
 
+// defaultTierSpec is the tier distribution -tiers uses when -tier-dist is
+// not given: a paper-style mix of constrained, moderate and full devices.
+const defaultTierSpec = "low:1,mid:2,full:1"
+
 // serverConfig is the validated flag set of one fedserver run.
 type serverConfig struct {
 	addr          string
@@ -77,12 +97,25 @@ type serverConfig struct {
 	seed          int64
 	roundDeadline time.Duration
 	quorum        float64
+	minUpdates    int // absolute quorum (-quorum above 1); 0 in fractional mode
 	cohort        int
 	scheduler     sched.Scheduler // nil when -cohort is 0 (full pool)
 	schedName     string
 	ckptDir       string
 	strat         strategy.Strategy
 	stratSpec     string
+	tiers         bool
+	tierDistSpec  string
+	tierDist      *device.Distribution // nil when untiered
+}
+
+// tierSpec is the canonical tier-distribution rendering checkpoints record
+// (empty when untiered).
+func (c serverConfig) tierSpec() string {
+	if c.tierDist == nil {
+		return ""
+	}
+	return c.tierDist.String()
 }
 
 // taggedStrategy returns the strategy as checkpoints see it: nil for the
@@ -108,11 +141,13 @@ func parseFlags(args []string) (serverConfig, error) {
 	fs.IntVar(&cfg.epochs, "epochs", 5, "local epochs E")
 	fs.Int64Var(&cfg.seed, "seed", 1, "shared federation seed")
 	fs.DurationVar(&cfg.roundDeadline, "round-deadline", 0, "per-round deadline; hung clients are dropped at expiry (0 = wait forever)")
-	fs.Float64Var(&cfg.quorum, "quorum", 1, "fraction of the round's clients whose updates it needs to succeed, in (0, 1]")
+	fs.Float64Var(&cfg.quorum, "quorum", 1, "updates a round needs to succeed: a fraction of the round's clients in (0, 1], or an absolute count when above 1")
 	fs.IntVar(&cfg.cohort, "cohort", 0, "clients scheduled per round, 0 = the whole federation")
-	fs.StringVar(&cfg.schedName, "sched", "uniform", "cohort scheduling policy: uniform, size, entropy, powerd, avail:<inner>")
+	fs.StringVar(&cfg.schedName, "sched", "uniform", "cohort scheduling policy: uniform, size, entropy, powerd, tier, avail:<inner>")
 	fs.StringVar(&cfg.ckptDir, "ckpt-dir", "", "snapshot the federation after every round and warm-start from this directory's latest checkpoint")
 	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy: fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters (fedadam:lr=0.05,beta1=0.9)")
+	fs.BoolVar(&cfg.tiers, "tiers", false, "device-tier mode: clients train and ship only the layer groups their capability tier affords, aggregated per layer")
+	fs.StringVar(&cfg.tierDistSpec, "tier-dist", "", "tier distribution \"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+" (implies -tiers; default "+defaultTierSpec+")")
 	if err := fs.Parse(args); err != nil {
 		return serverConfig{}, err
 	}
@@ -129,8 +164,8 @@ func parseFlags(args []string) (serverConfig, error) {
 			return serverConfig{}, fmt.Errorf("-ckpt-dir: %w", err)
 		}
 	}
-	if cfg.quorum <= 0 || cfg.quorum > 1 {
-		return serverConfig{}, fmt.Errorf("-quorum %v outside (0, 1]", cfg.quorum)
+	if cfg.quorum <= 0 {
+		return serverConfig{}, fmt.Errorf("-quorum %v must be positive", cfg.quorum)
 	}
 	if cfg.roundDeadline < 0 {
 		return serverConfig{}, fmt.Errorf("-round-deadline %v is negative", cfg.roundDeadline)
@@ -152,6 +187,39 @@ func parseFlags(args []string) (serverConfig, error) {
 	}
 	if cfg.cohort > cfg.numClients {
 		return serverConfig{}, fmt.Errorf("-cohort %d exceeds the federation size %d", cfg.cohort, cfg.numClients)
+	}
+	// A -quorum above 1 is an absolute update count. It must be an integer,
+	// and it must be reachable: a quorum no round can ever meet — more
+	// updates than the clients a round contacts — is rejected now, not
+	// discovered as an eternal ErrQuorum at round 1.
+	if cfg.quorum > 1 {
+		if cfg.quorum != math.Trunc(cfg.quorum) {
+			return serverConfig{}, fmt.Errorf("-quorum %v: values above 1 are absolute update counts and must be integers", cfg.quorum)
+		}
+		cfg.minUpdates, cfg.quorum = int(cfg.quorum), 0
+		roundSize := cfg.numClients
+		if cfg.cohort > 0 {
+			roundSize = cfg.cohort
+		}
+		if cfg.minUpdates > roundSize {
+			return serverConfig{}, fmt.Errorf("-quorum %d exceeds the %d clients a round can contact "+
+				"(-cohort %d, -clients %d): no round could ever succeed",
+				cfg.minUpdates, roundSize, cfg.cohort, cfg.numClients)
+		}
+	}
+	if cfg.tierDistSpec != "" {
+		cfg.tiers = true
+	}
+	if cfg.tiers {
+		spec := cfg.tierDistSpec
+		if spec == "" {
+			spec = defaultTierSpec
+		}
+		dist, err := device.ParseDistribution(spec)
+		if err != nil {
+			return serverConfig{}, fmt.Errorf("-tier-dist: %w", err)
+		}
+		cfg.tierDist = dist
 	}
 	// The policy name is validated even with -cohort 0, so a typo surfaces
 	// now and not on the day scheduling is switched on.
@@ -192,6 +260,15 @@ func (c serverConfig) configTag() uint64 {
 	if s := c.taggedStrategy(); s != nil {
 		parts = append(parts, s.Fingerprint())
 	}
+	// Absolute quorum and tier distribution are appended only when set, so
+	// untiered fractional-quorum servers keep their pre-tier tags — and
+	// their committed checkpoints — unchanged.
+	if c.minUpdates > 0 {
+		parts = append(parts, fmt.Sprintf("minupdates:%d", c.minUpdates))
+	}
+	if c.tierDist != nil {
+		parts = append(parts, "tiers:"+c.tierDist.String())
+	}
 	return core.TagConfig(parts...)
 }
 
@@ -211,7 +288,7 @@ func restoreFederation(cfg serverConfig, global *models.Model, hist *core.Histor
 	if err != nil {
 		return 0, err
 	}
-	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy()); err != nil {
+	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy(), cfg.tierSpec()); err != nil {
 		return 0, err
 	}
 	if err := snap.RestoreScheduler(cfg.scheduler); err != nil {
@@ -247,6 +324,7 @@ func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist 
 		return err
 	}
 	snap.CaptureStrategy(cfg.taggedStrategy())
+	snap.TierSpec = cfg.tierSpec()
 	return core.SaveRunState(ckpt.Path(cfg.ckptDir, round), snap)
 }
 
@@ -255,7 +333,8 @@ func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist 
 // checkpoint, so a crashed-and-restarted server resumes the federation where
 // it stopped (clients reconnect and follow the server's round numbering).
 func serve(cfg serverConfig, l comm.Listener) error {
-	engineCfg := comm.EngineConfig{RoundDeadline: cfg.roundDeadline, Quorum: cfg.quorum}
+	engineCfg := comm.EngineConfig{RoundDeadline: cfg.roundDeadline, Quorum: cfg.quorum,
+		MinUpdates: cfg.minUpdates}
 	if err := engineCfg.Validate(); err != nil {
 		return err
 	}
@@ -321,6 +400,23 @@ func serve(cfg serverConfig, l comm.Listener) error {
 		return wScratch[0], nil
 	}
 
+	// In tier mode clients ship only the groups their capability affords, so
+	// aggregation goes per layer: each tensor is averaged over exactly the
+	// clients that covered it, and uncovered tensors fall back to the current
+	// global state. Finish resets the aggregator, so one instance serves every
+	// round. Untiered federations keep the legacy whole-state aggregator and
+	// its exact semantics.
+	var maskedAgg *comm.MaskedStreamAggregator
+	if cfg.tierDist != nil {
+		layout, err := global.GroupStateLayout(commGroups)
+		if err != nil {
+			return err
+		}
+		if maskedAgg, err = comm.NewMaskedStreamAggregator(weigh, commGroups, layout); err != nil {
+			return err
+		}
+	}
+
 	for round := startRound + 1; round <= cfg.rounds; round++ {
 		stateTs, err := global.GroupStateTensors(commGroups)
 		if err != nil {
@@ -343,6 +439,10 @@ func serve(cfg serverConfig, l comm.Listener) error {
 		// Stream each update into the weighted sum as it arrives: the
 		// server holds one decoded state at a time, O(state) not O(N·state).
 		agg := comm.NewWeightedStreamAggregator(weigh)
+		fold := agg.Add
+		if maskedAgg != nil {
+			fold = maskedAgg.Add
+		}
 		var roundTrainSeconds, lossSum float64
 		out, err := engine.RunCohort(comm.RoundStart{
 			Round:          round,
@@ -351,7 +451,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 			SelectFraction: cfg.fraction,
 			LocalEpochs:    cfg.epochs,
 		}, cohort, func(u comm.ClientUpdate) error {
-			if err := agg.Add(u); err != nil {
+			if err := fold(u); err != nil {
 				return err
 			}
 			roundTrainSeconds += u.TrainSeconds
@@ -368,7 +468,12 @@ func serve(cfg serverConfig, l comm.Listener) error {
 		for _, id := range out.TimedOut {
 			tracker.ObserveTimeout(id, cfg.roundDeadline.Seconds())
 		}
-		fused, err := agg.Finish()
+		var fused []*tensor.Tensor
+		if maskedAgg != nil {
+			fused, err = maskedAgg.Finish(stateTs)
+		} else {
+			fused, err = agg.Finish()
+		}
 		if err != nil {
 			return err
 		}
@@ -429,6 +534,7 @@ func scheduleCohort(cfg serverConfig, tracker *sched.Tracker, sess *comm.ServerS
 			DataSize:         sess.LocalSize(id),
 			ProjectedSeconds: tracker.Seconds(id),
 			Available:        true,
+			Tier:             sess.Tier(id),
 		}
 	}
 	tracker.Stamp(cands)

@@ -9,6 +9,7 @@ import (
 
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
+	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
@@ -124,7 +125,7 @@ func TestParseFlagsFailFast(t *testing.T) {
 // every name fedserver accepts must parse, so the fedsim and fedserver
 // -sched flags stay interchangeable.
 func TestParseFlagsSchedNamesMatchFedsim(t *testing.T) {
-	for _, name := range []string{"uniform", "size", "entropy", "powerd", "avail:uniform", "avail:powerd"} {
+	for _, name := range []string{"uniform", "size", "entropy", "powerd", "tier", "avail:uniform", "avail:powerd", "avail:tier"} {
 		if _, err := parseFlags([]string{"-clients", "4", "-cohort", "2", "-sched", name}); err != nil {
 			t.Fatalf("policy %q rejected: %v", name, err)
 		}
@@ -159,8 +160,10 @@ func TestParseFlagsCheckpointDir(t *testing.T) {
 // testClient mirrors fedclient's loop for in-process integration tests: it
 // joins the server, answers rounds with real FedFT-EDS local updates, and —
 // when dieAfter > 0 — severs its connection after completing that round,
-// simulating a client-side crash.
-func testClient(t *testing.T, env *experiments.Env, addr string, id, numClients int, seed int64, dieAfter int) error {
+// simulating a client-side crash. A non-nil dist puts the client in tier
+// mode, mirroring fedclient's -tiers path: tier derived from the shared
+// seed, partial training under the tier's mask, masked state on the wire.
+func testClient(t *testing.T, env *experiments.Env, addr string, id, numClients int, seed int64, dieAfter int, dist *device.Distribution) error {
 	t.Helper()
 	fed, err := env.BuildFederation(env.Suite.Target10, numClients, 0.1, 31337)
 	if err != nil {
@@ -174,11 +177,24 @@ func testClient(t *testing.T, env *experiments.Env, addr string, id, numClients 
 	if err := global.SetFinetunePart(models.FinetuneModerate); err != nil {
 		return err
 	}
+	var tier string
+	var tierMask []string
+	if dist != nil {
+		tier = dist.Assign(numClients, seed)[id]
+		prof, err := device.Lookup(tier)
+		if err != nil {
+			return err
+		}
+		perGroup, _ := global.GroupFLOPs()
+		if tierMask, err = prof.MaskFor(models.GroupNames(), perGroup); err != nil {
+			return err
+		}
+	}
 	conn, err := comm.DialTCP(addr, 10*time.Second)
 	if err != nil {
 		return err
 	}
-	sess, welcome, err := comm.Join(conn, id, me.Data.Len())
+	sess, welcome, err := comm.JoinTiered(conn, id, me.Data.Len(), tier)
 	if err != nil {
 		return err
 	}
@@ -203,12 +219,17 @@ func testClient(t *testing.T, env *experiments.Env, addr string, id, numClients 
 				return err
 			}
 		}
+		var mask []string
+		if dist != nil {
+			mask = intersectGroups(tierMask, rs.Groups)
+		}
 		localCfg, err := core.NewLocalConfig(core.Config{
 			Rounds:         welcome.Rounds,
 			LocalEpochs:    rs.LocalEpochs,
 			LR:             0.05,
 			Momentum:       0.5,
 			FinetunePart:   models.FinetuneModerate,
+			TrainGroups:    mask,
 			Selector:       selection.Entropy{Temperature: 0.1},
 			SelectFraction: rs.SelectFraction,
 			Seed:           seed,
@@ -228,6 +249,7 @@ func testClient(t *testing.T, env *experiments.Env, addr string, id, numClients 
 			ClientID:     id,
 			Round:        rs.Round,
 			State:        blob,
+			Groups:       mask,
 			NumSelected:  out.NumSelected,
 			TrainSeconds: out.Cost.Total(),
 			TrainLoss:    out.TrainLoss,
@@ -276,7 +298,7 @@ func TestServerCrashResume(t *testing.T) {
 		clientErr := make(chan error, numClients)
 		for id := 0; id < numClients; id++ {
 			go func(id int) {
-				clientErr <- testClient(t, env, l.Addr(), id, numClients, seed, dieAfterRound)
+				clientErr <- testClient(t, env, l.Addr(), id, numClients, seed, dieAfterRound, nil)
 			}(id)
 		}
 		for i := 0; i < numClients; i++ {
@@ -345,7 +367,7 @@ func runFederation(t *testing.T, env *experiments.Env, extraArgs []string, numCl
 	clientErr := make(chan error, numClients)
 	for id := 0; id < numClients; id++ {
 		go func(id int) {
-			clientErr <- testClient(t, env, l.Addr(), id, numClients, cfg.seed, dieAfter)
+			clientErr <- testClient(t, env, l.Addr(), id, numClients, cfg.seed, dieAfter, cfg.tierDist)
 		}(id)
 	}
 	for i := 0; i < numClients; i++ {
@@ -469,6 +491,148 @@ func TestServerStrategyWarmStartRefusesEditedStrategy(t *testing.T) {
 		var secs float64
 		if _, err := restoreFederation(cfg, global, &hist, &secs, sched.NewTracker()); err == nil {
 			t.Fatalf("warm-start under edited strategy %q accepted", edited)
+		}
+	}
+}
+
+// intersectGroups mirrors fedclient's mask narrowing for the tier-mode test
+// client: keep the groups of mask the server communicates, in mask order.
+func intersectGroups(mask, have []string) []string {
+	set := make(map[string]bool, len(have))
+	for _, g := range have {
+		set[g] = true
+	}
+	out := make([]string, 0, len(mask))
+	for _, g := range mask {
+		if set[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// TestParseFlagsQuorumAbsolute pins the -quorum dual reading: values in
+// (0, 1] stay fractional, integer values above 1 become an absolute update
+// count, and an absolute quorum no round could ever meet is rejected at
+// startup rather than discovered as an eternal ErrQuorum at round 1.
+func TestParseFlagsQuorumAbsolute(t *testing.T) {
+	cfg, err := parseFlags([]string{"-clients", "4", "-quorum", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.minUpdates != 3 || cfg.quorum != 0 {
+		t.Fatalf("absolute quorum not converted: minUpdates %d, quorum %v", cfg.minUpdates, cfg.quorum)
+	}
+	// The absolute count enters the config tag, so a checkpoint cannot be
+	// silently continued under an edited quorum mode.
+	base, err := parseFlags([]string{"-clients", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.configTag() == base.configTag() {
+		t.Fatal("absolute quorum does not change the config tag")
+	}
+
+	for _, tt := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-clients", "4", "-quorum", "2.5"}, "integers"},
+		{[]string{"-clients", "2", "-quorum", "3"}, "no round could ever succeed"},
+		{[]string{"-clients", "8", "-cohort", "2", "-quorum", "3"}, "no round could ever succeed"},
+	} {
+		if _, err := parseFlags(tt.args); err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Fatalf("args %v: err %v, want mention of %q", tt.args, err, tt.want)
+		}
+	}
+}
+
+// TestParseFlagsTiers pins the tier flags: -tiers alone uses the default
+// distribution, -tier-dist implies -tiers, bad specs fail fast, and the
+// distribution enters the config tag (the resume refusal).
+func TestParseFlagsTiers(t *testing.T) {
+	cfg, err := parseFlags([]string{"-tiers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.tierDist == nil || cfg.tierDist.String() != "full:1,low:1,mid:2" {
+		t.Fatalf("default tier distribution: %+v", cfg.tierDist)
+	}
+	implied, err := parseFlags([]string{"-tier-dist", "low:1,full:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !implied.tiers || implied.tierSpec() != "full:1,low:1" {
+		t.Fatalf("-tier-dist did not imply tiers: %+v", implied)
+	}
+	base, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.tierDist != nil || base.tierSpec() != "" {
+		t.Fatalf("tiers must default off: %+v", base)
+	}
+	if cfg.configTag() == base.configTag() || cfg.configTag() == implied.configTag() {
+		t.Fatal("tier distributions do not separate config tags")
+	}
+	for _, bad := range []string{"low:0", "quantum:1", "low:-1", ","} {
+		if _, err := parseFlags([]string{"-tier-dist", bad}); err == nil {
+			t.Fatalf("tier distribution %q accepted", bad)
+		}
+	}
+}
+
+// TestServerTieredTCPEndToEnd runs a heterogeneous federation over real TCP:
+// a low-tier and a full-tier client train under their masks, the server
+// aggregates per layer with the tier scheduling policy available, and the
+// checkpoint records the tier spec — which then refuses warm-starts under an
+// edited or removed distribution.
+func TestServerTieredTCPEndToEnd(t *testing.T) {
+	const rounds = 2
+	env, err := experiments.NewEnv(experiments.ScaleFast, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	args := []string{"-clients", "2", "-rounds", "2", "-epochs", "1", "-seed", "1",
+		"-tier-dist", "low:1,full:1", "-ckpt-dir", dir}
+	if err := runFederation(t, env, args, 2, 0); err != nil {
+		t.Fatalf("tiered federation: %v", err)
+	}
+	snap, err := core.LoadLatestRunState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Round != rounds || len(snap.Hist.Records) != rounds {
+		t.Fatalf("checkpoint at round %d with %d records", snap.Round, len(snap.Hist.Records))
+	}
+	if snap.TierSpec != "full:1,low:1" {
+		t.Fatalf("checkpoint tier spec %q, want \"full:1,low:1\"", snap.TierSpec)
+	}
+	if snap.Hist.FinalAccuracy <= 0 {
+		t.Fatalf("federation produced no accuracy: %+v", snap.Hist)
+	}
+
+	// Warm-start refusal: an edited or dropped tier distribution must not
+	// silently continue this checkpoint.
+	for _, edited := range [][]string{
+		{"-tier-dist", "full:1"},
+		{"-tier-dist", "low:1,full:2"},
+		nil,
+	} {
+		cfg, err := parseFlags(append([]string{"-clients", "2", "-rounds", "4", "-epochs", "1",
+			"-seed", "1", "-ckpt-dir", dir}, edited...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist core.History
+		var secs float64
+		if _, err := restoreFederation(cfg, global, &hist, &secs, sched.NewTracker()); err == nil {
+			t.Fatalf("warm-start under edited tier distribution %v accepted", edited)
 		}
 	}
 }

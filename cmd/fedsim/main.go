@@ -14,8 +14,8 @@
 // runs continue mid-run, bit-identical to an uninterrupted sweep.
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
-// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies all. See
-// DESIGN.md for the experiment index.
+// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies tiers all.
+// See DESIGN.md for the experiment index.
 //
 // The sched experiment compares cohort-scheduling policies (accuracy vs
 // cumulative client-seconds at a fixed cohort size K). -sched narrows it to
@@ -27,6 +27,12 @@
 // (fedavg, fedprox, fedavgm, fedadam, fedyogi) on one federation; -strategy
 // narrows it to one spec, parameters included ("fedadam:lr=0.05"), using
 // the same names fedserver accepts.
+//
+// The tiers experiment sweeps device-tier distributions on one federation —
+// homogeneous capability classes and a heterogeneous mix — reporting each
+// row's accuracy, simulated client-seconds, and the uplink bytes per-client
+// partial training saves. -tier-dist narrows it to one distribution spec
+// ("low:1,mid:2,full:1"), the same format fedserver and fedclient accept.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/strategy"
@@ -58,6 +65,7 @@ func run(args []string) error {
 	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
 	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
 	strategyFlag := fs.String("strategy", "all", "strategies experiment: one strategy spec (fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters) or all")
+	tierDistFlag := fs.String("tier-dist", "all", "tiers experiment: one tier distribution spec (\"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+") or all")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint artifact store: every federated run checkpoints into its own subdirectory")
@@ -129,6 +137,13 @@ func run(args []string) error {
 		}
 		strategySpecs = []string{*strategyFlag}
 	}
+	var tierSpecs []string
+	if *tierDistFlag != "all" {
+		if _, err := device.ParseDistribution(*tierDistFlag); err != nil {
+			return err
+		}
+		tierSpecs = []string{*tierDistFlag}
+	}
 	env, err := experiments.NewEnv(scale, *seedFlag)
 	if err != nil {
 		return err
@@ -145,11 +160,11 @@ func run(args []string) error {
 		// underlying experiment once and render every artifact from it.
 		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
 			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations",
-			"sched", "strategies"}
+			"sched", "strategies", "tiers"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, strategySpecs)
+		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, strategySpecs, tierSpecs)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -169,7 +184,7 @@ type schedOptions struct {
 
 // runExperiment dispatches one experiment id. Figure ids that share a run
 // with a table (fig5..fig9) re-run the underlying table at this scale.
-func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, strategySpecs []string) (string, error) {
+func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, strategySpecs, tierSpecs []string) (string, error) {
 	switch id {
 	case "sched":
 		res, err := experiments.RunSchedCompare(env, schedOpts.policies, schedOpts.cohort)
@@ -179,6 +194,12 @@ func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, stra
 		return res.Render(), nil
 	case "strategies":
 		res, err := experiments.RunStrategyCompare(env, strategySpecs)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "tiers":
+		res, err := experiments.RunTiers(env, tierSpecs)
 		if err != nil {
 			return "", err
 		}

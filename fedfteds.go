@@ -19,6 +19,7 @@ import (
 	"fedfteds/internal/comm"
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
+	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
@@ -299,7 +300,7 @@ type (
 )
 
 // ParseScheduler maps the shared CLI policy names (uniform, size, entropy,
-// powerd, avail:<inner>) to a Scheduler.
+// powerd, tier, avail:<inner>) to a Scheduler.
 var ParseScheduler = sched.Parse
 
 // NewUtilityTracker starts an empty client-utility feedback store.
@@ -319,6 +320,38 @@ type (
 
 // NewHeterogeneousDevices draws a lognormal device population.
 var NewHeterogeneousDevices = simtime.NewHeterogeneousDevices
+
+// Device capability tiers (internal/device): per-client partial training.
+// A Distribution assigns capability profiles deterministically; each
+// profile's layer mask caps how deep that client trains, and the engines
+// aggregate per layer. Set Config.TierDist in the simulator, or
+// -tiers/-tier-dist on fedserver and fedclient.
+type (
+	// DeviceProfile is one capability class (compute factor, memory
+	// fraction, battery level) and the layer mask it affords.
+	DeviceProfile = device.Profile
+	// TierDistribution is a weighted mix of tiers with a deterministic
+	// per-client assignment.
+	TierDistribution = device.Distribution
+	// MaskedStreamAggregator folds masked updates per layer: each group is
+	// averaged only over the clients that shipped it.
+	MaskedStreamAggregator = comm.MaskedStreamAggregator
+)
+
+// Tier helpers.
+var (
+	// ParseDistribution parses "tier:weight,..." specs (e.g. "low:1,full:1").
+	ParseDistribution = device.ParseDistribution
+	// LookupTier resolves a built-in tier name to its profile.
+	LookupTier = device.Lookup
+	// TierNames lists the built-in tiers, least to most capable.
+	TierNames = device.TierNames
+	// JoinTieredFederation registers a client with its capability tier.
+	JoinTieredFederation = comm.JoinTiered
+	// NewMaskedStreamAggregator starts a per-layer aggregator over the
+	// communicated groups.
+	NewMaskedStreamAggregator = comm.NewMaskedStreamAggregator
+)
 
 // Metrics.
 

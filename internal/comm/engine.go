@@ -28,15 +28,26 @@ type EngineConfig struct {
 	RoundDeadline time.Duration
 	// Quorum is the fraction of the round's live clients, in (0, 1], whose
 	// updates must arrive for the round to succeed. Zero defaults to 1
-	// (every live client must report). At least one update is always
-	// required.
+	// (every live client must report) unless MinUpdates is set, in which
+	// case the absolute floor alone is the requirement. At least one update
+	// is always required.
 	Quorum float64
+	// MinUpdates is an absolute floor on folded updates per round: alone
+	// (Quorum zero) it is the requirement itself, otherwise it compounds the
+	// fractional Quorum. Unlike the fraction it is NOT clamped to the
+	// round's client count: a floor the cohort can never meet fails the
+	// round explicitly instead of silently deadlining forever, and fedserver
+	// rejects such configurations at startup.
+	MinUpdates int
 }
 
 // Validate checks the configuration bounds.
 func (c EngineConfig) Validate() error {
 	if c.Quorum < 0 || c.Quorum > 1 {
 		return fmt.Errorf("%w: quorum %v outside [0, 1]", ErrProtocol, c.Quorum)
+	}
+	if c.MinUpdates < 0 {
+		return fmt.Errorf("%w: negative min updates %d", ErrProtocol, c.MinUpdates)
 	}
 	if c.RoundDeadline < 0 {
 		return fmt.Errorf("%w: negative round deadline %v", ErrProtocol, c.RoundDeadline)
@@ -239,7 +250,15 @@ func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfi
 		}
 	}
 
-	if need := quorumCount(cfg.Quorum, len(clientIDs)); len(out.Reported) < need {
+	need := quorumCount(cfg.Quorum, len(clientIDs))
+	if cfg.Quorum == 0 && cfg.MinUpdates > 0 {
+		// An explicit absolute floor with no fraction set is the requirement
+		// itself; the zero-quorum default (all clients) would swallow it.
+		need = cfg.MinUpdates
+	} else if cfg.MinUpdates > need {
+		need = cfg.MinUpdates
+	}
+	if len(out.Reported) < need {
 		errs := []error{fmt.Errorf("%w: round %d: %d of %d clients reported, need %d",
 			ErrQuorum, rs.Round, len(out.Reported), len(clientIDs), need)}
 		for _, id := range out.TimedOut {

@@ -1,0 +1,187 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"fedfteds/internal/tensor"
+)
+
+// MaskedStreamAggregator folds partially-trained client updates into
+// per-layer weighted sums: each state tensor is averaged with weights only
+// over the clients whose declared Groups subset covered it. Like
+// StreamAggregator it retains O(state) memory and folds updates as they
+// arrive; unlike it, every tensor carries its own weight total, and groups a
+// client's layer mask excluded simply never contribute (they also shipped
+// zero bytes — the update's State holds only the covered groups' tensors).
+type MaskedStreamAggregator struct {
+	weigh  WeightFunc
+	groups []string       // canonical communicated group list, bottom to top
+	gIndex map[string]int // group name → canonical position
+	layout []string       // group owning each tensor of the full layout
+	acc    []*tensor.Tensor
+	totals []float64
+	count  int
+}
+
+// NewMaskedStreamAggregator builds an aggregator for one round over the
+// given full communicated layout: groups is the canonical communicated group
+// list (RoundStart.Groups) and layout names, per tensor of the full state
+// blob, the group it belongs to (models.GroupStateLayout). weigh may be nil
+// for the default selected-size weighting.
+func NewMaskedStreamAggregator(weigh WeightFunc, groups, layout []string) (*MaskedStreamAggregator, error) {
+	if len(groups) == 0 || len(layout) == 0 {
+		return nil, fmt.Errorf("%w: masked aggregator needs groups and a layout", ErrProtocol)
+	}
+	gIndex := make(map[string]int, len(groups))
+	for i, g := range groups {
+		if _, dup := gIndex[g]; dup {
+			return nil, fmt.Errorf("%w: duplicate group %q", ErrProtocol, g)
+		}
+		gIndex[g] = i
+	}
+	seen := make(map[string]bool, len(groups))
+	for _, g := range layout {
+		if _, ok := gIndex[g]; !ok {
+			return nil, fmt.Errorf("%w: layout group %q not in group list", ErrProtocol, g)
+		}
+		seen[g] = true
+	}
+	for _, g := range groups {
+		if !seen[g] {
+			return nil, fmt.Errorf("%w: group %q has no tensors in the layout", ErrProtocol, g)
+		}
+	}
+	return &MaskedStreamAggregator{
+		weigh:  weigh,
+		groups: append([]string(nil), groups...),
+		gIndex: gIndex,
+		layout: append([]string(nil), layout...),
+		acc:    make([]*tensor.Tensor, len(layout)),
+		totals: make([]float64, len(layout)),
+	}, nil
+}
+
+// coveredSet validates an update's Groups declaration — non-empty, known
+// names only, no duplicates, canonical (ascending) order — and returns it
+// as a set. Order is enforced so a subset's tensor layout is exactly the
+// full layout filtered by membership.
+func (a *MaskedStreamAggregator) coveredSet(clientID int, declared []string) (map[string]bool, error) {
+	if len(declared) == 0 {
+		return nil, fmt.Errorf("%w: client %d declared an empty group subset", ErrProtocol, clientID)
+	}
+	covered := make(map[string]bool, len(declared))
+	prev := -1
+	for _, g := range declared {
+		gi, ok := a.gIndex[g]
+		if !ok {
+			return nil, fmt.Errorf("%w: client %d declared unknown group %q", ErrProtocol, clientID, g)
+		}
+		if covered[g] {
+			return nil, fmt.Errorf("%w: client %d declared group %q twice", ErrProtocol, clientID, g)
+		}
+		if gi <= prev {
+			return nil, fmt.Errorf("%w: client %d declared groups out of canonical order", ErrProtocol, clientID)
+		}
+		prev = gi
+		covered[g] = true
+	}
+	return covered, nil
+}
+
+// Add decodes one masked update and folds its covered tensors into the
+// per-layer sums. The fold is atomic: every validation (weight, group
+// declaration, tensor count, shapes) happens before any sum is touched, so
+// on error the aggregate is unchanged and the caller can drop the client
+// yet keep the round.
+func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
+	if u.NumSelected <= 0 {
+		return fmt.Errorf("%w: client %d reports %d selected samples", ErrProtocol, u.ClientID, u.NumSelected)
+	}
+	w64 := float64(u.NumSelected)
+	if a.weigh != nil {
+		var err error
+		if w64, err = a.weigh(u); err != nil {
+			return fmt.Errorf("comm: weighing update from client %d: %w", u.ClientID, err)
+		}
+		if w64 <= 0 || math.IsNaN(w64) || math.IsInf(w64, 0) {
+			return fmt.Errorf("%w: client %d weighed %v", ErrProtocol, u.ClientID, w64)
+		}
+	}
+	covered, err := a.coveredSet(u.ClientID, u.Groups)
+	if err != nil {
+		return err
+	}
+	ts, err := DecodeTensors(u.State)
+	if err != nil {
+		return fmt.Errorf("comm: aggregate client %d: %w", u.ClientID, err)
+	}
+	wantN := 0
+	for _, g := range a.layout {
+		if covered[g] {
+			wantN++
+		}
+	}
+	if len(ts) != wantN {
+		return fmt.Errorf("%w: client %d sent %d tensors for groups %v, want %d",
+			ErrProtocol, u.ClientID, len(ts), u.Groups, wantN)
+	}
+	// Validate every shape before folding anything.
+	ci := 0
+	for ti, g := range a.layout {
+		if !covered[g] {
+			continue
+		}
+		if a.acc[ti] != nil && !a.acc[ti].SameShape(ts[ci]) {
+			return fmt.Errorf("%w: client %d tensor %d shape mismatch", ErrProtocol, u.ClientID, ti)
+		}
+		ci++
+	}
+	w := float32(w64)
+	ci = 0
+	for ti, g := range a.layout {
+		if !covered[g] {
+			continue
+		}
+		if a.acc[ti] == nil {
+			ts[ci].Scale(w)
+			a.acc[ti] = ts[ci]
+		} else if err := a.acc[ti].Axpy(w, ts[ci]); err != nil {
+			return err
+		}
+		a.totals[ti] += w64
+		ci++
+	}
+	a.count++
+	return nil
+}
+
+// Updates returns how many updates have been folded so far.
+func (a *MaskedStreamAggregator) Updates() int { return a.count }
+
+// Finish normalizes each tensor by its own weight total and resets the
+// aggregator. Tensors no reporting client covered fall back to the current
+// global state (fallback, parallel to the full layout, cloned) — averaging
+// nothing leaves the layer where it was. It fails when no update at all was
+// folded.
+func (a *MaskedStreamAggregator) Finish(fallback []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if a.count == 0 {
+		return nil, fmt.Errorf("comm: masked aggregate: no client updates")
+	}
+	if len(fallback) != len(a.layout) {
+		return nil, fmt.Errorf("%w: fallback has %d tensors, layout %d", ErrProtocol, len(fallback), len(a.layout))
+	}
+	out := make([]*tensor.Tensor, len(a.layout))
+	for ti := range a.layout {
+		if a.totals[ti] > 0 {
+			a.acc[ti].Scale(float32(1 / a.totals[ti]))
+			out[ti] = a.acc[ti]
+		} else {
+			out[ti] = fallback[ti].Clone()
+		}
+	}
+	a.acc = make([]*tensor.Tensor, len(a.layout))
+	a.totals = make([]float64, len(a.layout))
+	a.count = 0
+	return out, nil
+}

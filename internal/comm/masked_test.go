@@ -1,0 +1,247 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+// maskedFixture builds a two-group layout ("up" with two tensors,
+// "classifier" with one) and helpers to encode per-client states.
+type maskedFixture struct {
+	groups []string
+	layout []string
+	full   []*tensor.Tensor // one full state, the fallback
+}
+
+func newMaskedFixture(t *testing.T) *maskedFixture {
+	t.Helper()
+	mk := func(vals ...float32) *tensor.Tensor {
+		ts := tensor.New(len(vals))
+		for i, v := range vals {
+			ts.Set(v, i)
+		}
+		return ts
+	}
+	return &maskedFixture{
+		groups: []string{"up", "classifier"},
+		layout: []string{"up", "up", "classifier"},
+		full:   []*tensor.Tensor{mk(1, 1), mk(2, 2), mk(3, 3)},
+	}
+}
+
+// update encodes the tensors of the covered groups only.
+func (f *maskedFixture) update(t *testing.T, id, nsel int, groups []string, ts []*tensor.Tensor) ClientUpdate {
+	t.Helper()
+	blob, err := EncodeTensors(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClientUpdate{ClientID: id, Round: 1, State: blob, Groups: groups, NumSelected: nsel}
+}
+
+func TestMaskedAggregatorPerLayerAverage(t *testing.T) {
+	f := newMaskedFixture(t)
+	agg, err := NewMaskedStreamAggregator(nil, f.groups, f.layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(vals ...float32) *tensor.Tensor {
+		ts := tensor.New(len(vals))
+		for i, v := range vals {
+			ts.Set(v, i)
+		}
+		return ts
+	}
+	// Client 0 (weight 1) trained both groups; client 1 (weight 3) only the
+	// classifier.
+	full := f.update(t, 0, 1, []string{"up", "classifier"},
+		[]*tensor.Tensor{mk(10, 10), mk(20, 20), mk(30, 30)})
+	headOnly := f.update(t, 1, 3, []string{"classifier"},
+		[]*tensor.Tensor{mk(70, 70)})
+	if err := agg.Add(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(headOnly); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Updates() != 2 {
+		t.Fatalf("Updates() = %d", agg.Updates())
+	}
+	out, err := agg.Finish(f.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "up" tensors averaged over client 0 alone; classifier over both:
+	// (1·30 + 3·70) / 4 = 60.
+	if got := out[0].At(0); got != 10 {
+		t.Fatalf("up tensor 0 = %v, want 10", got)
+	}
+	if got := out[1].At(0); got != 20 {
+		t.Fatalf("up tensor 1 = %v, want 20", got)
+	}
+	if got := out[2].At(0); math.Abs(float64(got-60)) > 1e-5 {
+		t.Fatalf("classifier tensor = %v, want 60", got)
+	}
+}
+
+func TestMaskedAggregatorFallbackForUncoveredGroup(t *testing.T) {
+	f := newMaskedFixture(t)
+	agg, err := NewMaskedStreamAggregator(nil, f.groups, f.layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v float32) *tensor.Tensor {
+		ts := tensor.New(2)
+		ts.Set(v, 0)
+		ts.Set(v, 1)
+		return ts
+	}
+	if err := agg.Add(f.update(t, 1, 2, []string{"classifier"}, []*tensor.Tensor{mk(5)})); err != nil {
+		t.Fatal(err)
+	}
+	out, err := agg.Finish(f.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody covered "up": both tensors fall back to the global values.
+	if out[0].At(0) != 1 || out[1].At(0) != 2 {
+		t.Fatalf("uncovered group = %v/%v, want global 1/2", out[0].At(0), out[1].At(0))
+	}
+	if out[0] == f.full[0] {
+		t.Fatal("fallback aliases the global tensor instead of cloning")
+	}
+	if out[2].At(0) != 5 {
+		t.Fatalf("classifier = %v, want 5", out[2].At(0))
+	}
+}
+
+// TestMaskedUpdateShipsZeroBytesForMaskedLayer pins the wire contract the
+// tiers sweep reports: a group outside the client's mask contributes zero
+// bytes to ClientUpdate.State — the blob is exactly the count prefix plus
+// the covered groups' tensors.
+func TestMaskedUpdateShipsZeroBytesForMaskedLayer(t *testing.T) {
+	up1 := tensor.New(64, 64)
+	up2 := tensor.New(64)
+	head := tensor.New(10, 64)
+
+	fullBlob, err := EncodeTensors([]*tensor.Tensor{up1, up2, head})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskedBlob, err := EncodeTensors([]*tensor.Tensor{head})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + head.EncodedSize(); len(maskedBlob) != want {
+		t.Fatalf("masked blob is %d bytes, want exactly %d (count prefix + head)", len(maskedBlob), want)
+	}
+	saved := len(fullBlob) - len(maskedBlob)
+	if want := up1.EncodedSize() + up2.EncodedSize(); saved != want {
+		t.Fatalf("masking the up group saved %d bytes, want %d", saved, want)
+	}
+}
+
+func TestMaskedAggregatorRejections(t *testing.T) {
+	f := newMaskedFixture(t)
+	mk := func(v float32) *tensor.Tensor {
+		ts := tensor.New(2)
+		ts.Set(v, 0)
+		return ts
+	}
+	good := f.update(t, 0, 1, []string{"classifier"}, []*tensor.Tensor{mk(9)})
+
+	cases := []struct {
+		name string
+		u    ClientUpdate
+	}{
+		{"empty groups", f.update(t, 1, 1, nil, []*tensor.Tensor{mk(1)})},
+		{"unknown group", f.update(t, 1, 1, []string{"warp"}, []*tensor.Tensor{mk(1)})},
+		{"duplicate group", f.update(t, 1, 1, []string{"classifier", "classifier"}, []*tensor.Tensor{mk(1), mk(1)})},
+		{"non-canonical order", f.update(t, 1, 1, []string{"classifier", "up"}, []*tensor.Tensor{mk(1), mk(1), mk(1)})},
+		{"tensor count mismatch", f.update(t, 1, 1, []string{"up"}, []*tensor.Tensor{mk(1)})},
+		{"zero selected", func() ClientUpdate {
+			u := f.update(t, 1, 1, []string{"classifier"}, []*tensor.Tensor{mk(1)})
+			u.NumSelected = 0
+			return u
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			agg, err := NewMaskedStreamAggregator(nil, f.groups, f.layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := agg.Add(good); err != nil {
+				t.Fatal(err)
+			}
+			if err := agg.Add(tc.u); err == nil {
+				t.Fatal("bad update accepted")
+			}
+			// The failed add must not have touched the aggregate.
+			out, err := agg.Finish(f.full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[2].At(0) != 9 {
+				t.Fatalf("aggregate poisoned: classifier = %v, want 9", out[2].At(0))
+			}
+		})
+	}
+}
+
+func TestMaskedAggregatorShapeMismatchAtomic(t *testing.T) {
+	f := newMaskedFixture(t)
+	agg, err := NewMaskedStreamAggregator(nil, f.groups, f.layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(n int, v float32) *tensor.Tensor {
+		ts := tensor.New(n)
+		ts.Set(v, 0)
+		return ts
+	}
+	if err := agg.Add(f.update(t, 0, 1, []string{"up", "classifier"},
+		[]*tensor.Tensor{mk(2, 1), mk(2, 2), mk(2, 3)})); err != nil {
+		t.Fatal(err)
+	}
+	// Client 1's second "up" tensor has the wrong shape; the whole update
+	// must be rejected without perturbing any tensor's total.
+	bad := f.update(t, 1, 5, []string{"up", "classifier"},
+		[]*tensor.Tensor{mk(2, 100), mk(3, 100), mk(2, 100)})
+	if err := agg.Add(bad); err == nil {
+		t.Fatal("shape-mismatched update accepted")
+	}
+	out, err := agg.Finish(f.full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float32{1, 2, 3} {
+		if out[i].At(0) != want {
+			t.Fatalf("tensor %d = %v, want %v", i, out[i].At(0), want)
+		}
+	}
+}
+
+func TestNewMaskedStreamAggregatorValidation(t *testing.T) {
+	if _, err := NewMaskedStreamAggregator(nil, nil, nil); err == nil {
+		t.Fatal("empty construction accepted")
+	}
+	if _, err := NewMaskedStreamAggregator(nil, []string{"a", "a"}, []string{"a"}); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	if _, err := NewMaskedStreamAggregator(nil, []string{"a"}, []string{"b"}); err == nil {
+		t.Fatal("layout with unknown group accepted")
+	}
+	if _, err := NewMaskedStreamAggregator(nil, []string{"a", "b"}, []string{"a"}); err == nil {
+		t.Fatal("group without tensors accepted")
+	}
+	agg, err := NewMaskedStreamAggregator(nil, []string{"a"}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Finish([]*tensor.Tensor{tensor.New(1)}); err == nil {
+		t.Fatal("Finish with no updates succeeded")
+	}
+}

@@ -60,6 +60,10 @@ type Hello struct {
 	ClientID int
 	// LocalSize is the client's local dataset size.
 	LocalSize int
+	// Tier names the client's device capability tier (see internal/device);
+	// empty on untiered federations. Gob omits empty strings, so legacy
+	// clients and servers interoperate unchanged.
+	Tier string
 }
 
 // Welcome acknowledges registration and shares run parameters.
@@ -93,6 +97,12 @@ type ClientUpdate struct {
 	Round int
 	// State is the encoded updated state for the communicated groups.
 	State []byte
+	// Groups names the model groups State covers, in canonical bottom-to-top
+	// order. Empty means the client trained every group the server
+	// broadcast (the legacy whole-state contract); a tiered client reports
+	// the subset its layer mask afforded, and groups outside it ship zero
+	// bytes. Gob omits empty slices, keeping legacy peers compatible.
+	Groups []string
 	// NumSelected is |D_select|, the aggregation weight numerator.
 	NumSelected int
 	// TrainSeconds is the client's reported local compute time.

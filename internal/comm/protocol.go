@@ -15,8 +15,9 @@ const shutdownTimeout = 10 * time.Second
 // ServerSession coordinates a registered set of federated clients over any
 // Transport. It implements the server half of the wire protocol.
 type ServerSession struct {
-	conns map[int]Conn // by client ID
-	sizes map[int]int  // local dataset sizes reported at Hello, by client ID
+	conns map[int]Conn   // by client ID
+	sizes map[int]int    // local dataset sizes reported at Hello, by client ID
+	tiers map[int]string // device tiers reported at Hello, by client ID
 }
 
 // AcceptClients blocks until numClients clients have registered, answering
@@ -30,6 +31,7 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 	s := &ServerSession{
 		conns: make(map[int]Conn, numClients),
 		sizes: make(map[int]int, numClients),
+		tiers: make(map[int]string, numClients),
 	}
 	fail := func(conn Conn, err error) (*ServerSession, error) {
 		if conn != nil {
@@ -68,6 +70,7 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 		}
 		s.conns[hello.ClientID] = conn
 		s.sizes[hello.ClientID] = hello.LocalSize
+		s.tiers[hello.ClientID] = hello.Tier
 	}
 	return s, nil
 }
@@ -75,6 +78,10 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 // LocalSize returns the local dataset size the client reported at
 // registration (zero for unknown clients) — the scheduler's |D_i| signal.
 func (s *ServerSession) LocalSize(id int) int { return s.sizes[id] }
+
+// Tier returns the device tier the client reported at registration (empty
+// for untiered or unknown clients) — the scheduler's tier signal.
+func (s *ServerSession) Tier(id int) string { return s.tiers[id] }
 
 // ClientIDs returns the registered client IDs in ascending order.
 func (s *ServerSession) ClientIDs() []int {
@@ -146,7 +153,14 @@ type ClientSession struct {
 // Join registers with the server and returns the session plus the server's
 // Welcome.
 func Join(conn Conn, clientID, localSize int) (*ClientSession, Welcome, error) {
-	env, err := EncodeBody(MsgHello, Hello{ClientID: clientID, LocalSize: localSize})
+	return JoinTiered(conn, clientID, localSize, "")
+}
+
+// JoinTiered is Join with a device-tier declaration; tiered clients report
+// their capability class so the server can balance cohorts and expect
+// masked updates.
+func JoinTiered(conn Conn, clientID, localSize int, tier string) (*ClientSession, Welcome, error) {
+	env, err := EncodeBody(MsgHello, Hello{ClientID: clientID, LocalSize: localSize, Tier: tier})
 	if err != nil {
 		return nil, Welcome{}, err
 	}

@@ -64,6 +64,13 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 	if err := local.SetFinetunePart(cfg.FinetunePart); err != nil {
 		return LocalOutcome{}, fmt.Errorf("core: client %d: %w", cl.ID, err)
 	}
+	if len(cfg.TrainGroups) > 0 {
+		// The client's layer mask: only these groups train, and only their
+		// state is returned (and shipped) below.
+		if err := local.SetTrainableGroups(cfg.TrainGroups); err != nil {
+			return LocalOutcome{}, fmt.Errorf("core: client %d: mask: %w", cl.ID, err)
+		}
+	}
 	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))
 
 	var (
@@ -168,8 +175,12 @@ func NewLocalConfig(cfg Config) (Config, error) {
 	return cfg, nil
 }
 
-// runClientRound adapts LocalUpdate to the Runner's internal result type.
-func runClientRound(cfg Config, global *models.Model, cl *Client, round int) (clientResult, error) {
+// runClientRound adapts LocalUpdate to the Runner's internal result type,
+// narrowing the trainable groups to the client's layer mask when one is set.
+func runClientRound(cfg Config, global *models.Model, cl *Client, round int, mask []string) (clientResult, error) {
+	if mask != nil {
+		cfg.TrainGroups = mask
+	}
 	out, err := LocalUpdate(cfg, global, cl, round)
 	if err != nil {
 		return clientResult{}, err

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"fedfteds/internal/device"
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
@@ -79,6 +80,18 @@ type Config struct {
 	// FinetunePart controls partial training: FinetuneFull is FedAvg-style
 	// whole-model training; FinetuneModerate is the paper's FedFT default.
 	FinetunePart models.FinetunePart
+	// TierDist, when set, assigns every client a device-capability tier
+	// (device.Distribution over the built-in profiles) and switches the run
+	// to per-client partial training: each client trains and ships only the
+	// layer-group mask its tier can afford, and the server averages each
+	// group over the clients that covered it. Nil keeps the uniform
+	// FinetunePart behavior, bit-identical to untiered runs.
+	TierDist *device.Distribution
+	// TrainGroups narrows the trainable groups below what FinetunePart
+	// allows — the per-client layer mask of the standalone fedclient path
+	// (LocalUpdate applies it after the finetune part). In-process runs
+	// configure masks through TierDist instead; NewRunner refuses the field.
+	TrainGroups []string
 	// Selector picks each client's training subset per round.
 	Selector selection.Selector
 	// SelectFraction is P_ds, the share of local data selected (0, 1].
@@ -186,6 +199,9 @@ func (c Config) validate() error {
 	case c.Strategy != nil && c.AggWeighting != 0:
 		return fmt.Errorf("%w: AggWeighting together with an explicit Strategy — the strategy owns "+
 			"the aggregation weighting", ErrConfig)
+	case c.TierDist != nil && len(c.TrainGroups) > 0:
+		return fmt.Errorf("%w: TrainGroups together with TierDist — tiered runs derive each "+
+			"client's mask from its tier", ErrConfig)
 	}
 	return nil
 }

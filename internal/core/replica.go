@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"fedfteds/internal/data"
 	"fedfteds/internal/models"
@@ -38,6 +39,15 @@ type replica struct {
 	loss  nn.LossScratch
 	// hook is the strategy's client-side objective twist, bound per round.
 	hook strategy.LocalHook
+	// maskKey names the layer mask the model is currently set to, and sgds
+	// caches one optimizer per distinct mask (each mask has its own
+	// trainable-parameter set): tiered runs rebind masks per client without
+	// re-allocating velocity buffers. sgdCfg rebuilds optimizers for masks
+	// first seen mid-run. The untiered path never leaves the initial mask,
+	// so it keeps using the construction-time sgd untouched.
+	maskKey string
+	sgds    map[string]*opt.SGD
+	sgdCfg  opt.SGDConfig
 }
 
 // newReplica builds a worker replica for the runner's global model.
@@ -62,7 +72,37 @@ func newReplica(global *models.Model, cfg Config) (*replica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: replica: %w", err)
 	}
-	return &replica{model: m, sgd: sgd, iter: &data.BatchIter{}, hook: hook}, nil
+	key := strings.Join(m.TrainableGroupNames(), ",")
+	return &replica{model: m, sgd: sgd, iter: &data.BatchIter{}, hook: hook,
+		maskKey: key, sgds: map[string]*opt.SGD{key: sgd}, sgdCfg: sgdCfg}, nil
+}
+
+// bindMask applies a client's layer mask to the replica, swapping in the
+// mask's cached optimizer (or building one on first sight). A nil mask — the
+// untiered path — and a mask equal to the current one are no-ops, so legacy
+// runs and full-tier clients keep the construction-time model/optimizer pair
+// bit for bit.
+func (rep *replica) bindMask(mask []string) error {
+	if mask == nil {
+		return nil
+	}
+	key := strings.Join(mask, ",")
+	if key == rep.maskKey {
+		return nil
+	}
+	if err := rep.model.SetTrainableGroups(mask); err != nil {
+		return err
+	}
+	sgd, ok := rep.sgds[key]
+	if !ok {
+		var err error
+		if sgd, err = opt.NewSGD(rep.sgdCfg, rep.model.TrainableParams()); err != nil {
+			return err
+		}
+		rep.sgds[key] = sgd
+	}
+	rep.sgd, rep.maskKey = sgd, key
+	return nil
 }
 
 // runReplicaRound executes one client's local round on a pooled replica,
@@ -70,9 +110,12 @@ func newReplica(global *models.Model, cfg Config) (*replica, error) {
 // batch composition, same update order) so the two paths produce bit-identical
 // histories. The trained state is copied into stateBuf's reused tensors,
 // which the caller owns per result slot.
-func runReplicaRound(cfg Config, global *models.Model, rep *replica, cl *Client, round int, stateBuf *[]*tensor.Tensor) (clientResult, error) {
+func runReplicaRound(cfg Config, global *models.Model, rep *replica, cl *Client, round int, mask []string, stateBuf *[]*tensor.Tensor) (clientResult, error) {
 	if err := rep.model.CopyStateFrom(global); err != nil {
 		return clientResult{}, fmt.Errorf("core: client %d: rebind replica: %w", cl.ID, err)
+	}
+	if err := rep.bindMask(mask); err != nil {
+		return clientResult{}, fmt.Errorf("core: client %d: mask: %w", cl.ID, err)
 	}
 	rep.model.ResetTransientRNGs()
 	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"fedfteds/internal/data"
+	"fedfteds/internal/device"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
@@ -119,6 +121,31 @@ type Runner struct {
 	results   []clientResult
 	errs      []error
 
+	// Partial-training state (nil/false on untiered runs, whose code paths
+	// stay byte-for-byte identical to the pre-tier engine). tiers assigns a
+	// device tier to every pool position, drawn once per federation;
+	// tierMasks maps each tier to its layer-group mask (the profile's
+	// affordable top suffix intersected with the communicated groups).
+	// commGroups/commLayout/commState describe the communicated state,
+	// resolved once per Run. maskActive marks that the current round's
+	// participants carry per-client masks: maskScratch[i] is participant i's
+	// group mask, coverScratch[i] maps every communicated tensor to its index
+	// in that participant's shipped state (-1 when masked out), and
+	// bytesScratch[i] is the participant's masked uplink size. coverCache and
+	// bytesCache memoize cover maps per distinct mask.
+	tiers        []string
+	tierMasks    map[string][]string
+	commGroups   []string
+	commIndex    map[string]int
+	commLayout   []string
+	commState    []*tensor.Tensor
+	maskActive   bool
+	maskScratch  [][]string
+	coverScratch [][]int
+	bytesScratch []int64
+	coverCache   map[string][]int
+	bytesCache   map[string]int64
+
 	// hist and acct live on the runner (not in Run) so that a checkpoint
 	// taken mid-run captures them and a restored runner continues them.
 	hist History
@@ -155,6 +182,10 @@ func NewRunner(cfg Config, global *models.Model, clients []*Client, test *data.D
 	}
 	if test == nil || test.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty test set", ErrConfig)
+	}
+	if len(cfg.TrainGroups) > 0 {
+		return nil, fmt.Errorf("%w: TrainGroups is a standalone-client setting; in-process runs "+
+			"derive per-client masks from TierDist", ErrConfig)
 	}
 	strat, err := cfg.resolveStrategy()
 	if err != nil {
@@ -203,6 +234,10 @@ func (r *Runner) Run() (History, error) {
 	if err != nil {
 		return r.hist, err
 	}
+	r.commGroups, r.commState = commGroups, commState
+	if err := r.setupTiers(); err != nil {
+		return r.hist, err
+	}
 	if err := r.cacheProjectedCosts(); err != nil {
 		return r.hist, err
 	}
@@ -210,6 +245,9 @@ func (r *Runner) Run() (History, error) {
 	for round := r.startRound + 1; round <= r.cfg.Rounds; round++ {
 		participants, positions, cohortSize, err := r.sampleParticipants(round)
 		if err != nil {
+			return r.hist, err
+		}
+		if err := r.prepareRoundMasks(participants, positions, round); err != nil {
 			return r.hist, err
 		}
 		results, err := r.trainParticipants(participants, round)
@@ -222,8 +260,12 @@ func (r *Runner) Run() (History, error) {
 
 		var lossSum float64
 		for i, res := range results {
+			uplink := stateSize
+			if r.maskActive {
+				uplink = r.bytesScratch[i]
+			}
 			r.acct.AddRound(res.cost)
-			r.acct.AddCommunication(stateSize, stateSize)
+			r.acct.AddCommunication(uplink, stateSize)
 			lossSum += res.trainLoss
 			r.utility.ObserveUpdate(positions[i], res.meanEntropy, res.trainLoss, res.cost.Total())
 		}
@@ -266,9 +308,173 @@ func (r *Runner) Run() (History, error) {
 	return r.hist, nil
 }
 
+// maskProvider returns the strategy's per-client mask hook when one is
+// actually configured (strategy.Composite always implements the interface but
+// reports an empty MaskName when no provider is attached).
+func (r *Runner) maskProvider() strategy.MaskProvider {
+	mp, ok := r.strat.(strategy.MaskProvider)
+	if !ok || mp.MaskName() == "" {
+		return nil
+	}
+	return mp
+}
+
+// setupTiers resolves the run's partial-training state: the per-pool-position
+// tier assignment, each tier's layer mask (the profile's affordable top
+// suffix, by per-group FLOP cost, intersected with the communicated groups),
+// and the tensor→group layout the per-layer aggregation filters by. Untiered
+// runs without a mask provider clear everything, keeping the legacy paths.
+// Called once per Run, after the finetune part is applied.
+func (r *Runner) setupTiers() error {
+	r.tiers, r.tierMasks, r.commLayout, r.commIndex = nil, nil, nil, nil
+	r.coverCache, r.bytesCache = nil, nil
+	r.maskActive = false
+	mp := r.maskProvider()
+	if r.cfg.TierDist == nil && mp == nil {
+		return nil
+	}
+	layout, err := r.global.GroupStateLayout(r.commGroups)
+	if err != nil {
+		return err
+	}
+	r.commLayout = layout
+	r.commIndex = make(map[string]int, len(r.commGroups))
+	for i, g := range r.commGroups {
+		r.commIndex[g] = i
+	}
+	r.coverCache = make(map[string][]int)
+	r.bytesCache = make(map[string]int64)
+	if r.cfg.TierDist == nil {
+		return nil
+	}
+	r.tiers = r.cfg.TierDist.Assign(len(r.clients), r.cfg.Seed)
+	perGroup, _ := r.global.GroupFLOPs()
+	names := models.GroupNames()
+	r.tierMasks = make(map[string][]string, len(r.cfg.TierDist.Tiers()))
+	for _, tier := range r.cfg.TierDist.Tiers() {
+		prof, err := device.Lookup(tier)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		mask, err := prof.MaskFor(names, perGroup)
+		if err != nil {
+			return fmt.Errorf("core: tier %s: %w", tier, err)
+		}
+		// Both the profile mask and the communicated groups are top suffixes
+		// of the canonical group list, so the intersection is the shorter
+		// suffix — never empty (both always contain the classifier).
+		mask = intersectGroups(mask, r.commGroups)
+		if len(mask) == 0 {
+			return fmt.Errorf("%w: tier %s affords none of the communicated groups %v",
+				ErrConfig, tier, r.commGroups)
+		}
+		r.tierMasks[tier] = mask
+	}
+	return nil
+}
+
+// intersectGroups filters want down to the members of have, preserving
+// want's order.
+func intersectGroups(want, have []string) []string {
+	set := make(map[string]bool, len(have))
+	for _, g := range have {
+		set[g] = true
+	}
+	out := make([]string, 0, len(want))
+	for _, g := range want {
+		if set[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// coverFor validates a mask against the communicated groups (known names, no
+// duplicates, canonical order) and returns its cover map — per communicated
+// tensor, the index into the masked state a client ships, or -1 when the
+// tensor's group is outside the mask — plus the masked uplink size. Results
+// are memoized per distinct mask.
+func (r *Runner) coverFor(mask []string) ([]int, int64, error) {
+	key := strings.Join(mask, ",")
+	if cover, ok := r.coverCache[key]; ok {
+		return cover, r.bytesCache[key], nil
+	}
+	set := make(map[string]bool, len(mask))
+	prev := -1
+	for _, g := range mask {
+		gi, ok := r.commIndex[g]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: mask group %q is not communicated (groups %v)",
+				ErrConfig, g, r.commGroups)
+		}
+		if set[g] {
+			return nil, 0, fmt.Errorf("%w: mask declares group %q twice", ErrConfig, g)
+		}
+		if gi <= prev {
+			return nil, 0, fmt.Errorf("%w: mask %v not in canonical group order", ErrConfig, mask)
+		}
+		prev, set[g] = gi, true
+	}
+	cover := make([]int, len(r.commLayout))
+	ci, bytes := 0, int64(0)
+	for ti, g := range r.commLayout {
+		if set[g] {
+			cover[ti] = ci
+			ci++
+			bytes += int64(r.commState[ti].EncodedSize())
+		} else {
+			cover[ti] = -1
+		}
+	}
+	if ci == 0 {
+		return nil, 0, fmt.Errorf("%w: mask %v covers no communicated tensors", ErrConfig, mask)
+	}
+	r.coverCache[key], r.bytesCache[key] = cover, bytes
+	return cover, bytes, nil
+}
+
+// prepareRoundMasks resolves each participant's layer mask for the round: the
+// tier's mask by default, optionally overridden per client by the strategy's
+// MaskProvider hook. On untiered runs without a provider it deactivates the
+// masked paths, so the legacy whole-state round is untouched.
+func (r *Runner) prepareRoundMasks(participants []*Client, positions []int, round int) error {
+	if r.commLayout == nil {
+		r.maskActive = false
+		return nil
+	}
+	n := len(participants)
+	if cap(r.maskScratch) < n {
+		r.maskScratch = make([][]string, n)
+		r.coverScratch = make([][]int, n)
+		r.bytesScratch = make([]int64, n)
+	}
+	r.maskScratch = r.maskScratch[:n]
+	r.coverScratch = r.coverScratch[:n]
+	r.bytesScratch = r.bytesScratch[:n]
+	mp := r.maskProvider()
+	for i, cl := range participants {
+		mask := r.commGroups
+		if r.tiers != nil {
+			mask = r.tierMasks[r.tiers[positions[i]]]
+		}
+		if mp != nil {
+			if custom := mp.MaskFor(round, cl.ID, mask); custom != nil {
+				mask = custom
+			}
+		}
+		cover, bytes, err := r.coverFor(mask)
+		if err != nil {
+			return fmt.Errorf("core: round %d client %d: %w", round, cl.ID, err)
+		}
+		r.maskScratch[i], r.coverScratch[i], r.bytesScratch[i] = mask, cover, bytes
+	}
+	r.maskActive = true
+	return nil
+}
+
 // cacheProjectedCosts fills projCost with each client's projected round
-// cost. Called once per Run, after SetFinetunePart (the cost depends on
-// which groups train).
+// cost. Called once per Run, after SetFinetunePart and setupTiers (the cost
+// depends on which groups the client's mask lets train).
 func (r *Runner) cacheProjectedCosts() error {
 	r.projCost = make([]float64, len(r.clients))
 	r.allIDs = make([]int, len(r.clients))
@@ -276,9 +482,19 @@ func (r *Runner) cacheProjectedCosts() error {
 		r.allIDs[i] = i
 	}
 	for i, cl := range r.clients {
-		cost, err := simtime.ClientRoundCost(r.global, cl.Device,
-			cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
-			r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
+		var (
+			cost simtime.RoundCost
+			err  error
+		)
+		if r.tiers != nil {
+			cost, err = simtime.ClientRoundCostFor(r.global, r.tierMasks[r.tiers[i]], cl.Device,
+				cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
+				r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
+		} else {
+			cost, err = simtime.ClientRoundCost(r.global, cl.Device,
+				cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
+				r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
+		}
 		if err != nil {
 			return fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
 		}
@@ -311,6 +527,9 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 				DataSize:         cl.Data.Len(),
 				ProjectedSeconds: times[i],
 				Available:        true,
+			}
+			if r.tiers != nil {
+				cands[i].Tier = r.tiers[i]
 			}
 		}
 		r.utility.Stamp(cands)
@@ -377,6 +596,15 @@ func projectedSelected(n int, fraction float64) int {
 	return k
 }
 
+// slotMask returns participant slot's layer mask for the current round (nil
+// on legacy whole-state rounds, which skips every masked code path).
+func (r *Runner) slotMask(slot int) []string {
+	if !r.maskActive {
+		return nil
+	}
+	return r.maskScratch[slot]
+}
+
 // trainParticipants runs the participants' local rounds on a bounded worker
 // pool of reusable client replicas. Results are ordered by participant
 // position, so aggregation is deterministic regardless of scheduling; each
@@ -405,7 +633,7 @@ func (r *Runner) trainParticipants(participants []*Client, round int) ([]clientR
 			go func(slot int, cl *Client) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				res, err := runClientRound(r.cfg, r.global, cl, round)
+				res, err := runClientRound(r.cfg, r.global, cl, round, r.slotMask(slot))
 				results[slot] = res
 				errs[slot] = err
 			}(i, cl)
@@ -442,7 +670,7 @@ func (r *Runner) trainParticipants(participants []*Client, round int) ([]clientR
 				if slot >= n {
 					return
 				}
-				res, err := runReplicaRound(r.cfg, r.global, rep, participants[slot], round, &stateBufs[slot])
+				res, err := runReplicaRound(r.cfg, r.global, rep, participants[slot], round, r.slotMask(slot), &stateBufs[slot])
 				results[slot] = res
 				errs[slot] = err
 			}
@@ -501,6 +729,9 @@ func (r *Runner) aggregate(results []clientResult, globalState []*tensor.Tensor)
 		r.avgScratch = append(r.avgScratch, make([]*tensor.Tensor, len(globalState)-len(r.avgScratch))...)
 	}
 	avg := r.avgScratch[:len(globalState)]
+	if r.maskActive {
+		return r.aggregateMasked(results, globalState, avg, weights)
+	}
 	for ti, dst := range globalState {
 		if avg[ti] == nil || !avg[ti].SameShape(dst) {
 			avg[ti] = tensor.Ensure(avg[ti], dst.Shape()...)
@@ -513,6 +744,54 @@ func (r *Runner) aggregate(results []clientResult, globalState []*tensor.Tensor)
 					res.clientID, len(res.state), len(globalState))
 			}
 			if err := acc.Axpy(float32(weights[ri]/total), res.state[ti]); err != nil {
+				return fmt.Errorf("core: aggregating tensor %d from client %d: %w", ti, res.clientID, err)
+			}
+		}
+	}
+	if err := r.strat.ApplyAggregate(globalState, avg); err != nil {
+		return fmt.Errorf("core: strategy %s: %w", r.strat.Name(), err)
+	}
+	return nil
+}
+
+// aggregateMasked is the per-layer variant of the weighted average: every
+// communicated tensor is averaged — with its own weight total — only over the
+// participants whose mask covered it, via the round's cover maps. A tensor
+// nobody covered keeps the global value (its "average" is the current state,
+// so a strategy's server optimizer sees a zero delta). When every participant
+// covers every group, the per-tensor totals accumulate the same weights in
+// the same order as the legacy path's global total, so a full-mask tiered run
+// is bit-identical to an untiered one.
+func (r *Runner) aggregateMasked(results []clientResult, globalState, avg []*tensor.Tensor, weights []float64) error {
+	covers := r.coverScratch[:len(results)]
+	for ti, dst := range globalState {
+		if avg[ti] == nil || !avg[ti].SameShape(dst) {
+			avg[ti] = tensor.Ensure(avg[ti], dst.Shape()...)
+		}
+		acc := avg[ti]
+		var total float64
+		for ri := range results {
+			if covers[ri][ti] >= 0 {
+				total += weights[ri]
+			}
+		}
+		if total <= 0 {
+			if err := acc.CopyFrom(dst); err != nil {
+				return fmt.Errorf("core: carrying uncovered tensor %d: %w", ti, err)
+			}
+			continue
+		}
+		acc.Zero()
+		for ri, res := range results {
+			ci := covers[ri][ti]
+			if ci < 0 {
+				continue
+			}
+			if ci >= len(res.state) {
+				return fmt.Errorf("core: client %d returned %d state tensors, want ≥%d for its mask",
+					res.clientID, len(res.state), ci+1)
+			}
+			if err := acc.Axpy(float32(weights[ri]/total), res.state[ci]); err != nil {
 				return fmt.Errorf("core: aggregating tensor %d from client %d: %w", ti, res.clientID, err)
 			}
 		}

@@ -33,6 +33,10 @@ const (
 	// configured with an explicit strategy, so checkpoints of legacy
 	// (nil-Strategy) runs keep their exact pre-strategy byte layout.
 	sectionStrategy = "strategy"
+	// sectionTiers is optional: it is written only for tiered runs
+	// (Config.TierDist set), so untiered checkpoints keep their exact
+	// pre-tier byte layout.
+	sectionTiers = "tiers"
 )
 
 // RunState is the complete resumable state of a federated run at a round
@@ -85,6 +89,12 @@ type RunState struct {
 	// (strategy.Stateful.StateTensors): FedAvgM's velocity, FedAdam's
 	// moments. Empty for stateless strategies.
 	StratState []*tensor.Tensor
+	// TierSpec is the canonical rendering of the device-tier distribution
+	// the state was produced under (device.Distribution.String; empty for
+	// untiered runs). Restore refuses a mismatch, so state trained under one
+	// tier mix — one set of per-client layer masks — is never continued
+	// under an edited one.
+	TierSpec string
 }
 
 // SnapshotModelState clones a model's full state tensors (params and buffers
@@ -148,7 +158,25 @@ func (c Config) trainingTag() uint64 {
 	if c.Strategy != nil {
 		parts = append(parts, c.Strategy.Fingerprint())
 	}
+	// The tier distribution and a standalone layer mask are appended only
+	// when configured, keeping untiered configs' tags — and their committed
+	// checkpoints — stable across the partial-training refactor.
+	if c.TierDist != nil {
+		parts = append(parts, "tiers:"+c.TierDist.String())
+	}
+	if len(c.TrainGroups) > 0 {
+		parts = append(parts, fmt.Sprintf("mask:%v", c.TrainGroups))
+	}
 	return TagConfig(parts...)
+}
+
+// tierSpec is the config's canonical tier-distribution rendering (empty when
+// untiered) — what checkpoints record and restores compare.
+func (c Config) tierSpec() string {
+	if c.TierDist == nil {
+		return ""
+	}
+	return c.TierDist.String()
 }
 
 // runTag extends trainingTag with the federation's identity — client count
@@ -220,17 +248,20 @@ func (r *Runner) Snapshot() (*RunState, error) {
 		return nil, err
 	}
 	s.CaptureStrategy(r.cfg.Strategy)
+	s.TierSpec = r.cfg.tierSpec()
 	return s, nil
 }
 
 // ValidateFor checks that the state belongs to the run described by the
 // given parameters — same seed, same training configuration (TagConfig
 // fingerprint), a round within the budget, a self-consistent history, a
-// matching scheduler, and a matching strategy (nil strat means the legacy
-// default path; pass the explicitly configured strategy otherwise). Both
-// engines (Runner.RestoreInto and fedserver's warm-start) share this check
-// so their refusal rules cannot drift.
-func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy) error {
+// matching scheduler, a matching strategy (nil strat means the legacy
+// default path; pass the explicitly configured strategy otherwise), and a
+// matching device-tier distribution (tierSpec is the configured
+// distribution's canonical String, empty for untiered runs). Both engines
+// (Runner.RestoreInto and fedserver's warm-start) share this check so their
+// refusal rules cannot drift.
+func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy, tierSpec string) error {
 	if s.Seed != seed {
 		return fmt.Errorf("%w: checkpoint seed %d does not match configured seed %d",
 			ErrConfig, s.Seed, seed)
@@ -280,6 +311,11 @@ func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, schedul
 				ErrConfig, cfgStrat)
 		}
 	}
+	if s.TierSpec != tierSpec {
+		return fmt.Errorf("%w: checkpoint tier distribution %q does not match configured %q; resuming "+
+			"under an edited tier mix would silently change every client's layer mask",
+			ErrConfig, s.TierSpec, tierSpec)
+	}
 	return nil
 }
 
@@ -316,7 +352,7 @@ func (s *RunState) RestoreStrategy(strat strategy.Strategy) error {
 // Run continues after s.Round and reproduces the uninterrupted run bit for
 // bit. Call before Run.
 func (s *RunState) RestoreInto(r *Runner) error {
-	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy); err != nil {
+	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy, r.cfg.tierSpec()); err != nil {
 		return err
 	}
 	if err := s.RestoreScheduler(r.cfg.Scheduler); err != nil {
@@ -438,6 +474,13 @@ func (s *RunState) Sections() ([]ckpt.Section, error) {
 		}
 		sections = append(sections, ckpt.Section{Name: sectionStrategy, Body: strat.Bytes()})
 	}
+	// The tiers section is written only for tiered runs: untiered
+	// checkpoints keep their exact pre-tier byte layout.
+	if s.TierSpec != "" {
+		var tiers ckpt.Encoder
+		tiers.PutString(s.TierSpec)
+		sections = append(sections, ckpt.Section{Name: sectionTiers, Body: tiers.Bytes()})
+	}
 	return sections, nil
 }
 
@@ -543,6 +586,15 @@ func RunStateFromSections(sections []ckpt.Section) (*RunState, error) {
 		s.StratState = strat.Tensors()
 		if err := strat.Done(); err != nil {
 			return nil, fmt.Errorf("strategy section: %w", err)
+		}
+	}
+
+	// The tiers section is optional (absent for untiered runs).
+	if body, ok := bodies[sectionTiers]; ok {
+		tiers := ckpt.NewDecoder(body)
+		s.TierSpec = tiers.String()
+		if err := tiers.Done(); err != nil {
+			return nil, fmt.Errorf("tiers section: %w", err)
 		}
 	}
 

@@ -1,0 +1,257 @@
+// Package device models client capability tiers for per-client partial
+// training. A Profile describes a device class (relative compute rate,
+// memory headroom, battery class) and maps deterministically onto a layer
+// mask over a model's named groups: the largest top-suffix of groups whose
+// cumulative training cost fits the profile's budget. Low-capability tiers
+// therefore train (and ship) only the upper layers, while the "full" tier
+// reproduces today's whole-model path bit-identically.
+//
+// A Distribution assigns tiers to a client population. Parsing, rendering
+// and assignment are all canonical and deterministic, so tier setups can be
+// fingerprinted into run tags: resuming a checkpoint under an edited tier
+// distribution is refused the same way an edited strategy is.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fedfteds/internal/tensor"
+)
+
+// ErrDevice reports an invalid device or tier configuration.
+var ErrDevice = errors.New("device: invalid configuration")
+
+// streamTag salts the tier-assignment rng stream so enabling tiers never
+// perturbs the scheduling, straggler, or training streams.
+const streamTag uint64 = 0x71E125
+
+// Battery classifies a device's energy headroom; it scales down the
+// training budget the way production FL systems gate work on charge state.
+type Battery int
+
+const (
+	// BatteryLow devices train only when they must (budget ×0.6).
+	BatteryLow Battery = iota + 1
+	// BatteryMedium devices train with a mild budget cut (×0.9).
+	BatteryMedium
+	// BatteryHigh devices (charging / plugged in) use their full budget.
+	BatteryHigh
+)
+
+// String implements fmt.Stringer.
+func (b Battery) String() string {
+	switch b {
+	case BatteryLow:
+		return "low"
+	case BatteryMedium:
+		return "medium"
+	case BatteryHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Battery(%d)", int(b))
+	}
+}
+
+// factor returns the battery class's budget multiplier.
+func (b Battery) factor() float64 {
+	switch b {
+	case BatteryLow:
+		return 0.6
+	case BatteryMedium:
+		return 0.9
+	default:
+		return 1.0
+	}
+}
+
+// Profile describes one device capability tier.
+type Profile struct {
+	// Name is the tier's CLI identifier ("low", "mid", "high", "full").
+	Name string
+	// FLOPSFactor scales a baseline device's compute rate; tier sweeps apply
+	// it to simtime.Device.FLOPSRate.
+	FLOPSFactor float64
+	// MemoryFrac is the fraction of the model's per-group training cost the
+	// device can hold trainable, before the battery discount.
+	MemoryFrac float64
+	// Battery is the tier's energy class.
+	Battery Battery
+}
+
+// Budget returns the effective training-cost fraction the profile affords:
+// MemoryFrac discounted by the battery class.
+func (p Profile) Budget() float64 { return p.MemoryFrac * p.Battery.factor() }
+
+// MaskFor maps the profile onto a layer mask: the largest top-suffix of
+// groups (costs parallel to groups, e.g. per-group FLOPs) whose cumulative
+// cost, accumulated from the top, fits Budget()×total. The topmost group is
+// always included — every tier can at least train the classifier head — and
+// a budget ≥ 1 selects every group. The returned mask preserves the input
+// (bottom-to-top) group order.
+func (p Profile) MaskFor(groups []string, costs []int64) ([]string, error) {
+	if len(groups) == 0 || len(groups) != len(costs) {
+		return nil, fmt.Errorf("%w: %d groups with %d costs", ErrDevice, len(groups), len(costs))
+	}
+	total := int64(0)
+	for i, c := range costs {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: group %q has negative cost %d", ErrDevice, groups[i], c)
+		}
+		total += c
+	}
+	budget := p.Budget()
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w: profile %q has non-positive budget %v", ErrDevice, p.Name, budget)
+	}
+	if total == 0 || budget >= 1 {
+		return append([]string(nil), groups...), nil
+	}
+	afford := budget * float64(total)
+	lowest := len(groups) - 1 // topmost group always trains
+	cum := costs[lowest]
+	for lowest > 0 && float64(cum+costs[lowest-1]) <= afford+1e-9 {
+		lowest--
+		cum += costs[lowest]
+	}
+	return append([]string(nil), groups[lowest:]...), nil
+}
+
+// Built-in tiers. Budgets are chosen so that on the canonical four-group
+// models (low/mid/up/classifier) "full" trains everything and the lower
+// tiers progressively keep only the upper groups.
+var builtin = []Profile{
+	{Name: "low", FLOPSFactor: 0.25, MemoryFrac: 0.15, Battery: BatteryLow},
+	{Name: "mid", FLOPSFactor: 0.5, MemoryFrac: 0.55, Battery: BatteryMedium},
+	{Name: "high", FLOPSFactor: 0.8, MemoryFrac: 0.95, Battery: BatteryHigh},
+	{Name: "full", FLOPSFactor: 1.0, MemoryFrac: 1.0, Battery: BatteryHigh},
+}
+
+// TierNames lists the built-in tier identifiers in capability order.
+func TierNames() []string {
+	out := make([]string, len(builtin))
+	for i, p := range builtin {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Lookup resolves a built-in tier by name.
+func Lookup(name string) (Profile, error) {
+	for _, p := range builtin {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("%w: unknown tier %q (want one of %s)",
+		ErrDevice, name, strings.Join(TierNames(), ", "))
+}
+
+// Distribution is a weighted mix of tiers over a client population.
+type Distribution struct {
+	tiers   []string // ascending tier name, unique
+	weights []int    // positive, parallel to tiers
+}
+
+// ParseDistribution parses a "tier:weight,tier:weight" spec (e.g.
+// "low:1,mid:2,full:1"). Weights are positive integers; duplicate tiers
+// merge by summing. A bare tier name means weight 1, so "full" pins every
+// client to the full tier.
+func ParseDistribution(spec string) (*Distribution, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("%w: empty tier distribution", ErrDevice)
+	}
+	acc := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty tier entry in %q", ErrDevice, spec)
+		}
+		name, w := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			n, err := strconv.Atoi(part[i+1:])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("%w: tier weight %q must be a positive integer", ErrDevice, part[i+1:])
+			}
+			w = n
+		}
+		if _, err := Lookup(name); err != nil {
+			return nil, err
+		}
+		acc[name] += w
+	}
+	d := &Distribution{}
+	for name := range acc {
+		d.tiers = append(d.tiers, name)
+	}
+	sort.Strings(d.tiers)
+	d.weights = make([]int, len(d.tiers))
+	for i, name := range d.tiers {
+		d.weights[i] = acc[name]
+	}
+	return d, nil
+}
+
+// String renders the distribution canonically (tiers ascending by name),
+// so equal distributions always fingerprint identically.
+func (d *Distribution) String() string {
+	var sb strings.Builder
+	for i, name := range d.tiers {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s:%d", name, d.weights[i])
+	}
+	return sb.String()
+}
+
+// Tiers returns the distribution's tier names, ascending.
+func (d *Distribution) Tiers() []string { return append([]string(nil), d.tiers...) }
+
+// Assign deterministically maps n clients onto tiers: per-tier counts by
+// largest remainder over the weights (ties to the earlier tier name), then
+// a seed-derived permutation scatters the tiers across client IDs so tier
+// never correlates with the ID-ordered data partition.
+func (d *Distribution) Assign(n int, seed int64) []string {
+	if n <= 0 {
+		return nil
+	}
+	totalW := 0
+	for _, w := range d.weights {
+		totalW += w
+	}
+	counts := make([]int, len(d.tiers))
+	rems := make([]float64, len(d.tiers))
+	assigned := 0
+	for i, w := range d.weights {
+		exact := float64(n) * float64(w) / float64(totalW)
+		counts[i] = int(exact)
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	order := make([]int, len(d.tiers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rems[order[a]] > rems[order[b]] })
+	for i := 0; assigned < n; i++ {
+		counts[order[i%len(order)]]++
+		assigned++
+	}
+	flat := make([]string, 0, n)
+	for i, name := range d.tiers {
+		for j := 0; j < counts[i]; j++ {
+			flat = append(flat, name)
+		}
+	}
+	out := make([]string, n)
+	perm := tensor.NewRand(uint64(seed), streamTag).Perm(n)
+	for i, p := range perm {
+		out[p] = flat[i]
+	}
+	return out
+}

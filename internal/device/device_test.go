@@ -1,0 +1,156 @@
+package device
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testGroups = []string{"low", "mid", "up", "classifier"}
+var testCosts = []int64{4000, 3000, 2000, 1000}
+
+func TestLookup(t *testing.T) {
+	for _, name := range TierNames() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("Lookup(%q) returned profile %q", name, p.Name)
+		}
+		if p.Budget() <= 0 || p.Budget() > 1 {
+			t.Fatalf("tier %q budget %v out of (0, 1]", name, p.Budget())
+		}
+	}
+	if _, err := Lookup("ultra"); err == nil {
+		t.Fatal("Lookup of unknown tier succeeded")
+	}
+}
+
+// isSuffix reports whether mask is a (non-empty) top-suffix of groups.
+func isSuffix(mask, groups []string) bool {
+	if len(mask) == 0 || len(mask) > len(groups) {
+		return false
+	}
+	return reflect.DeepEqual(mask, groups[len(groups)-len(mask):])
+}
+
+func TestMaskForProperties(t *testing.T) {
+	prevLen := 0
+	for _, name := range []string{"low", "mid", "high", "full"} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mask, err := p.MaskFor(testGroups, testCosts)
+		if err != nil {
+			t.Fatalf("tier %q: %v", name, err)
+		}
+		if !isSuffix(mask, testGroups) {
+			t.Fatalf("tier %q mask %v is not a top-suffix of %v", name, mask, testGroups)
+		}
+		if mask[len(mask)-1] != "classifier" {
+			t.Fatalf("tier %q mask %v excludes the top group", name, mask)
+		}
+		// TierNames is capability-ascending, so masks must not shrink.
+		if len(mask) < prevLen {
+			t.Fatalf("tier %q mask %v smaller than the previous tier's", name, mask)
+		}
+		prevLen = len(mask)
+		again, err := p.MaskFor(testGroups, testCosts)
+		if err != nil || !reflect.DeepEqual(mask, again) {
+			t.Fatalf("tier %q mask not deterministic: %v vs %v (%v)", name, mask, again, err)
+		}
+	}
+	full, _ := Lookup("full")
+	mask, err := full.MaskFor(testGroups, testCosts)
+	if err != nil || len(mask) != len(testGroups) {
+		t.Fatalf("full tier mask %v (%v), want all groups", mask, err)
+	}
+}
+
+func TestMaskForErrors(t *testing.T) {
+	p, _ := Lookup("mid")
+	if _, err := p.MaskFor(nil, nil); err == nil {
+		t.Fatal("MaskFor with no groups succeeded")
+	}
+	if _, err := p.MaskFor(testGroups, testCosts[:2]); err == nil {
+		t.Fatal("MaskFor with mismatched costs succeeded")
+	}
+	if _, err := p.MaskFor([]string{"a", "b"}, []int64{1, -1}); err == nil {
+		t.Fatal("MaskFor with negative cost succeeded")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	d, err := ParseDistribution("mid:2, low:1,full:1,mid:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical: ascending tier names, duplicates merged.
+	if got := d.String(); got != "full:1,low:1,mid:3" {
+		t.Fatalf("canonical spec = %q", got)
+	}
+	if got := d.Tiers(); !reflect.DeepEqual(got, []string{"full", "low", "mid"}) {
+		t.Fatalf("Tiers() = %v", got)
+	}
+	bare, err := ParseDistribution("full")
+	if err != nil || bare.String() != "full:1" {
+		t.Fatalf("bare spec: %v (%v)", bare, err)
+	}
+	for _, bad := range []string{"", " ,", "low:0", "low:-1", "low:x", "warp:1"} {
+		if _, err := ParseDistribution(bad); err == nil {
+			t.Fatalf("ParseDistribution(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestAssignDeterministicCounts(t *testing.T) {
+	d, err := ParseDistribution("low:1,mid:2,full:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	got := d.Assign(n, 42)
+	if len(got) != n {
+		t.Fatalf("Assign length %d, want %d", len(got), n)
+	}
+	counts := map[string]int{}
+	for _, name := range got {
+		if _, err := Lookup(name); err != nil {
+			t.Fatalf("assigned unknown tier %q", name)
+		}
+		counts[name]++
+	}
+	// Largest remainder over weights 1:2:1 of 10 clients: full and low tie
+	// at remainder 0.5 and the extra slot goes to the earlier canonical name.
+	want := map[string]int{"full": 3, "low": 2, "mid": 5}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("tier counts %v, want %v", counts, want)
+	}
+	if again := d.Assign(n, 42); !reflect.DeepEqual(got, again) {
+		t.Fatalf("Assign not deterministic: %v vs %v", got, again)
+	}
+	other := d.Assign(n, 43)
+	if reflect.DeepEqual(got, other) {
+		t.Fatal("Assign ignores the seed")
+	}
+	if d.Assign(0, 42) != nil {
+		t.Fatal("Assign(0) should be nil")
+	}
+}
+
+func TestAssignSingleTier(t *testing.T) {
+	d, err := ParseDistribution("full:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range d.Assign(7, 1) {
+		if name != "full" {
+			t.Fatalf("single-tier distribution assigned %q", name)
+		}
+	}
+	if got := d.String(); !strings.HasPrefix(got, "full:") {
+		t.Fatalf("String() = %q", got)
+	}
+}

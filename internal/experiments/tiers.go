@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fedfteds/internal/core"
+	"fedfteds/internal/device"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/tensor"
+)
+
+// TierDistSpecs is the tier-sweep lineup: the homogeneous federations from
+// full capability down to the most constrained tier, then a paper-style
+// heterogeneous mix. The full:1 row is the untiered baseline in disguise —
+// the full tier's mask covers every group, so it reproduces the legacy run
+// bit for bit — and the sweep reads as "what does each capability class cost
+// in accuracy, compute and uplink".
+var TierDistSpecs = []string{"full:1", "high:1", "mid:1", "low:1", "low:1,mid:2,full:1"}
+
+// TierRow is one tier distribution's outcome on the shared federation.
+type TierRow struct {
+	// Spec is the distribution the row ran under (a device.ParseDistribution
+	// input, canonicalized).
+	Spec string
+	// Mix renders the realized assignment, e.g. "low×2 mid×1 full×1".
+	Mix string
+	// Hist is the run's full history.
+	Hist core.History
+}
+
+// TierCompareResult compares device-tier distributions on one federation:
+// per-tier accuracy (the homogeneous rows), straggler behavior (total
+// simulated client-seconds shrink with the tier's compute factor and layer
+// mask), and the uplink bytes partial training saves.
+type TierCompareResult struct {
+	// Rows holds one entry per distribution, in input order.
+	Rows []TierRow
+	// NumClients is the federation size.
+	NumClients int
+}
+
+// RunTiers runs every tier-distribution spec in specs (nil means the
+// standard TierDistSpecs lineup) on one shared federation with FedFT-EDS
+// locals. All rows see the same clients, model initialization and seed; only
+// the tier distribution differs. Each client's simulated compute rate is
+// scaled by its tier's FLOPSFactor — the same deterministic assignment the
+// Runner derives — so low tiers are slow and partially trained, exactly the
+// heterogeneity the per-layer aggregation is for.
+func RunTiers(env *Env, specs []string) (*TierCompareResult, error) {
+	if len(specs) == 0 {
+		specs = TierDistSpecs
+	}
+	numClients := env.Dims.SmallClients
+	// Every row shares one seed: the comparison isolates the tier
+	// distribution, not the run randomness.
+	seed := tensor.DeriveSeed(uint64(env.Seed), 0x71E5)
+	res := &TierCompareResult{NumClients: numClients}
+	for _, spec := range specs {
+		dist, err := device.ParseDistribution(spec)
+		if err != nil {
+			return nil, err
+		}
+		fed, err := env.BuildFederation(env.Suite.Target10, numClients, 0.1, 7272)
+		if err != nil {
+			return nil, err
+		}
+		// Scale each client's device by its tier's compute factor, mirroring
+		// the Runner's deterministic tier assignment. The federation is
+		// rebuilt per row, so rows never see each other's scaling.
+		assign := dist.Assign(numClients, seed)
+		for i, cl := range fed.Clients {
+			prof, err := device.Lookup(assign[i])
+			if err != nil {
+				return nil, err
+			}
+			cl.Device.FLOPSRate *= prof.FLOPSFactor
+		}
+		global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
+			Rounds:         env.Dims.Rounds,
+			LocalEpochs:    env.Dims.LocalEpochs,
+			LR:             paperLR,
+			Momentum:       paperMomentum,
+			FinetunePart:   models.FinetuneModerate,
+			Selector:       selection.Entropy{Temperature: paperTemperature},
+			SelectFraction: 0.5,
+			TierDist:       dist,
+			Seed:           seed,
+		}
+		hist, err := env.RunFL(fmt.Sprintf("tiers-%s-c%d", dist.String(), numClients),
+			cfg, global, fed.Clients, fed.Test)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TierRow{
+			Spec: dist.String(),
+			Mix:  renderMix(assign),
+			Hist: hist,
+		})
+	}
+	return res, nil
+}
+
+// renderMix counts an assignment into "tier×n" form, tiers ascending.
+func renderMix(assign []string) string {
+	counts := map[string]int{}
+	for _, tier := range assign {
+		counts[tier]++
+	}
+	parts := []string{}
+	for _, tier := range device.TierNames() {
+		if n := counts[tier]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", tier, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render prints the sweep as a table: per distribution the realized mix,
+// best and final accuracy, total simulated client-seconds, uplink traffic,
+// and the uplink saved relative to the full-capability baseline row (the
+// first row whose every client is in the full tier; "n/a" without one).
+func (r *TierCompareResult) Render() string {
+	var baseline int64
+	for _, row := range r.Rows {
+		if row.Spec == "full:1" {
+			baseline = row.Hist.TotalUplinkBytes
+			break
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tier sweep: %d clients, FedFT-EDS locals, per-layer aggregation\n", r.NumClients)
+	fmt.Fprintf(&b, "%-20s %-22s %9s %9s %11s %11s %9s\n",
+		"distribution", "mix", "best acc", "final acc", "client-s", "uplink KB", "saved")
+	for _, row := range r.Rows {
+		saved := "n/a"
+		if baseline > 0 {
+			saved = fmt.Sprintf("%.1f%%", 100*(1-float64(row.Hist.TotalUplinkBytes)/float64(baseline)))
+		}
+		fmt.Fprintf(&b, "%-20s %-22s %8.2f%% %8.2f%% %11.4g %11.1f %9s\n",
+			row.Spec, row.Mix,
+			100*row.Hist.BestAccuracy, 100*row.Hist.FinalAccuracy,
+			row.Hist.TotalTrainSeconds,
+			float64(row.Hist.TotalUplinkBytes)/1024,
+			saved)
+	}
+	return b.String()
+}

@@ -116,6 +116,7 @@ type Model struct {
 	spec   Spec
 	groups []*nn.Sequential // parallel to groupOrder
 	part   FinetunePart
+	mask   []string // trainable groups, canonical order; mirrors frozen state
 }
 
 // Build constructs a model from its spec with deterministic initialization.
@@ -138,7 +139,7 @@ func Build(spec Spec) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{spec: spec, groups: groups, part: FinetuneFull}
+	m := &Model{spec: spec, groups: groups, part: FinetuneFull, mask: GroupNames()}
 	// Validate the chain end to end.
 	if _, err := m.OutputShape(); err != nil {
 		return nil, err
@@ -224,15 +225,57 @@ func (m *Model) SetFinetunePart(part FinetunePart) error {
 	if err != nil {
 		return err
 	}
-	set := make(map[string]bool, len(trainable))
-	for _, g := range trainable {
-		set[g] = true
-	}
-	for i, name := range groupOrder {
-		m.groups[i].SetFrozen(!set[name])
+	if err := m.SetTrainableGroups(trainable); err != nil {
+		return err
 	}
 	m.part = part
 	return nil
+}
+
+// SetTrainableGroups freezes everything except the named groups — the
+// per-client layer-mask generalization of SetFinetunePart, accepting any
+// non-empty subset of the model's groups (gaps included: Backward already
+// traverses frozen groups above the lowest trainable one). The mask is
+// stored in canonical group order and reported by TrainableGroupNames.
+// FinetunePart keeps its last value; tier masks and finetune parts compose
+// by applying the part first and the (narrower) mask second.
+func (m *Model) SetTrainableGroups(names []string) error {
+	set, err := groupSet(names)
+	if err != nil {
+		return err
+	}
+	mask := make([]string, 0, len(set))
+	for i, name := range groupOrder {
+		m.groups[i].SetFrozen(!set[name])
+		if set[name] {
+			mask = append(mask, name)
+		}
+	}
+	m.mask = mask
+	return nil
+}
+
+// groupSet validates names as a non-empty duplicate-free subset of the
+// model's groups and returns it as a set.
+func groupSet(names []string) (map[string]bool, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("models: empty group mask")
+	}
+	known := make(map[string]bool, len(groupOrder))
+	for _, g := range groupOrder {
+		known[g] = true
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !known[n] {
+			return nil, fmt.Errorf("models: unknown group %q", n)
+		}
+		if set[n] {
+			return nil, fmt.Errorf("models: duplicate group %q in mask", n)
+		}
+		set[n] = true
+	}
+	return set, nil
 }
 
 // FinetunePart returns the current partial-training setting.
@@ -308,15 +351,42 @@ func (m *Model) GroupStateTensors(names []string) ([]*tensor.Tensor, error) {
 	return ts, nil
 }
 
-// TrainableGroupNames returns the group names trained under the current
-// finetune part.
+// TrainableGroupNames returns the currently trainable group names in
+// canonical order — the finetune part's groups, or the last mask set by
+// SetTrainableGroups.
 func (m *Model) TrainableGroupNames() []string {
-	names, err := m.part.trainableGroups()
+	return append([]string(nil), m.mask...)
+}
+
+// GroupStateLayout returns, parallel to GroupStateTensors(names), the group
+// each state tensor belongs to. Engines use it to align a client's masked
+// state with the server's full layout during per-layer aggregation.
+func (m *Model) GroupStateLayout(names []string) ([]string, error) {
+	want, err := groupSet(names)
 	if err != nil {
-		// part is always set through SetFinetunePart, which validates.
-		panic(err)
+		return nil, err
 	}
-	return names
+	var layout []string
+	for i, name := range groupOrder {
+		if !want[name] {
+			continue
+		}
+		for range m.groups[i].Params() {
+			layout = append(layout, name)
+		}
+	}
+	for i, name := range groupOrder {
+		if !want[name] {
+			continue
+		}
+		for range m.groups[i].Buffers() {
+			layout = append(layout, name)
+		}
+	}
+	if len(layout) == 0 {
+		return nil, fmt.Errorf("models: no state for groups %v", names)
+	}
+	return layout, nil
 }
 
 // CopyStateFrom copies all state tensors from src into m. The models must
@@ -361,7 +431,7 @@ func (m *Model) CopyGroupStateFrom(src *Model, groups []string) error {
 
 // Clone builds a fresh model from the same spec and copies all state.
 // The clone is independent: training it does not affect m. The clone
-// preserves the finetune part.
+// preserves the finetune part and the trainable-group mask.
 func (m *Model) Clone() (*Model, error) {
 	c, err := Build(m.spec)
 	if err != nil {
@@ -371,6 +441,9 @@ func (m *Model) Clone() (*Model, error) {
 		return nil, err
 	}
 	if err := c.SetFinetunePart(m.part); err != nil {
+		return nil, err
+	}
+	if err := c.SetTrainableGroups(m.mask); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -444,9 +517,36 @@ func (m *Model) TrainFLOPsPerSample() int64 {
 			break
 		}
 	}
+	return total + backFLOPs(perGroup, lowest)
+}
+
+// TrainFLOPsPerSampleFor models a training step with the given group mask
+// trainable instead of the model's current frozen state: full forward plus
+// backward from the top down to the lowest masked group (the backward pass
+// traverses frozen groups sitting above it). Projecting per-tier costs this
+// way avoids mutating the shared global model.
+func (m *Model) TrainFLOPsPerSampleFor(names []string) (int64, error) {
+	want, err := groupSet(names)
+	if err != nil {
+		return 0, err
+	}
+	perGroup, total := m.GroupFLOPs()
+	lowest := len(m.groups)
+	for i, name := range groupOrder {
+		if want[name] {
+			lowest = i
+			break
+		}
+	}
+	return total + backFLOPs(perGroup, lowest), nil
+}
+
+// backFLOPs models the backward cost over groups lowest..top as 2× their
+// forward cost.
+func backFLOPs(perGroup []int64, lowest int) int64 {
 	var back int64
-	for i := lowest; i < len(m.groups); i++ {
+	for i := lowest; i < len(perGroup); i++ {
 		back += 2 * perGroup[i]
 	}
-	return total + back
+	return back
 }

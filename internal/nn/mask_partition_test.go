@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildNestedNet constructs a WRN-shaped container tree: sequentials holding
+// residual blocks (with and without projection shortcuts) over dense and
+// batch-norm leaves, so freeze masks exercise the recursive
+// layerFullyFrozen/TrainableParams/FrozenParams logic on every container
+// kind.
+func buildNestedNet(t *testing.T, rng *rand.Rand) *Sequential {
+	t.Helper()
+	dense := func(name string, in, out int) *Dense {
+		d, err := NewDense(name, in, out, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	bn := func(name string, ch int) *BatchNorm {
+		b, err := NewBatchNorm(name, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// Residual with a projection shortcut (both branches hold params).
+	res1 := NewResidual("res1",
+		NewSequential("res1.body", dense("res1.d1", 8, 8), NewReLU("res1.relu"), dense("res1.d2", 8, 8)),
+		NewSequential("res1.sc", dense("res1.proj", 8, 8)),
+	)
+	// Residual with identity shortcut, nested one level deeper.
+	res2 := NewResidual("res2",
+		NewSequential("res2.body",
+			NewSequential("res2.inner", dense("res2.d1", 8, 8), bn("res2.bn", 8)),
+			NewReLU("res2.relu"),
+		),
+		nil,
+	)
+	return NewSequential("net",
+		dense("stem", 8, 8),
+		NewSequential("stage", res1, res2),
+		bn("headbn", 8),
+		dense("head", 8, 4),
+	)
+}
+
+// leafLayers collects the net's parameterized leaves so the test can apply
+// arbitrary per-leaf freeze masks.
+func leafLayers(net *Sequential) []Layer {
+	var leaves []Layer
+	net.VisitLayers(func(l Layer) {
+		if len(l.Params()) > 0 {
+			leaves = append(leaves, l)
+		}
+	})
+	return leaves
+}
+
+// TestMaskPartitionsParams property-tests that for ANY freeze mask over the
+// nested WRN/Residual structure, TrainableParams and FrozenParams exactly
+// partition Params: every parameter tensor appears in precisely one of the
+// two sets, none duplicated, none lost. This pins the container edge cases
+// around layerFullyFrozen (e.g. a residual whose body is frozen but whose
+// projection shortcut is not).
+func TestMaskPartitionsParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := buildNestedNet(t, rng)
+	leaves := leafLayers(net)
+	if len(leaves) < 6 {
+		t.Fatalf("expected a parameterized nested net, got %d leaves", len(leaves))
+	}
+	all := net.Params()
+	if len(all) == 0 {
+		t.Fatal("net has no params")
+	}
+
+	checkMask := func(mask uint) {
+		for i, l := range leaves {
+			l.SetFrozen(mask&(1<<uint(i)) != 0)
+		}
+		trainable := net.TrainableParams()
+		frozen := net.FrozenParams()
+		if len(trainable)+len(frozen) != len(all) {
+			t.Fatalf("mask %b: %d trainable + %d frozen != %d total",
+				mask, len(trainable), len(frozen), len(all))
+		}
+		seen := make(map[*Param]string, len(all))
+		for _, p := range trainable {
+			seen[p] = "trainable"
+		}
+		for _, p := range frozen {
+			if where, dup := seen[p]; dup {
+				t.Fatalf("mask %b: param %q in both %s and frozen", mask, p.Name, where)
+			}
+			seen[p] = "frozen"
+		}
+		for _, p := range all {
+			if _, ok := seen[p]; !ok {
+				t.Fatalf("mask %b: param %q lost from the partition", mask, p.Name)
+			}
+		}
+		// The frozen set must agree with each leaf's own state.
+		for i, l := range leaves {
+			wantFrozen := mask&(1<<uint(i)) != 0
+			for _, p := range l.Params() {
+				if got := seen[p] == "frozen"; got != wantFrozen {
+					t.Fatalf("mask %b: leaf %q param %q classified %s", mask, l.Name(), p.Name, seen[p])
+				}
+			}
+		}
+	}
+
+	// Exhaustive over all leaf masks (2^n, n is small by construction).
+	if len(leaves) <= 12 {
+		for mask := uint(0); mask < 1<<uint(len(leaves)); mask++ {
+			checkMask(mask)
+		}
+		return
+	}
+	for trial := 0; trial < 4096; trial++ {
+		checkMask(uint(rng.Intn(1 << uint(len(leaves)))))
+	}
+}
+
+// TestMaskPartitionContainerFreeze applies masks through container-level
+// SetFrozen (the path models.SetTrainableGroups uses) and re-checks the
+// partition plus the Frozen() aggregate on mixed containers.
+func TestMaskPartitionContainerFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := buildNestedNet(t, rng)
+	all := net.Params()
+
+	stage := net.Layers()[1].(*Sequential)
+	res1 := stage.Layers()[0].(*Residual)
+
+	// Freeze the whole stage, then thaw only res1's projection shortcut:
+	// res1 is now mixed, so it must not be "fully frozen".
+	net.SetFrozen(false)
+	stage.SetFrozen(true)
+	res1.shortcut.SetFrozen(false)
+
+	if layerFullyFrozen(res1) {
+		t.Fatal("residual with trainable shortcut reported fully frozen")
+	}
+	if res1.Frozen() {
+		t.Fatal("mixed residual reported Frozen")
+	}
+	trainable := net.TrainableParams()
+	frozen := net.FrozenParams()
+	if len(trainable)+len(frozen) != len(all) {
+		t.Fatalf("%d trainable + %d frozen != %d total", len(trainable), len(frozen), len(all))
+	}
+	foundProj := false
+	for _, p := range trainable {
+		for _, sp := range res1.shortcut.Params() {
+			if p == sp {
+				foundProj = true
+			}
+		}
+	}
+	if !foundProj {
+		t.Fatal("thawed projection shortcut missing from TrainableParams")
+	}
+	// Every res1 body param must be frozen.
+	for _, bp := range res1.body.Params() {
+		inFrozen := false
+		for _, p := range frozen {
+			if p == bp {
+				inFrozen = true
+			}
+		}
+		if !inFrozen {
+			t.Fatalf("frozen body param %q escaped FrozenParams", bp.Name)
+		}
+	}
+}

@@ -140,6 +140,26 @@ func (s *Sequential) TrainableParams() []*Param {
 	return ps
 }
 
+// FrozenParams returns parameters of frozen descendants only — the exact
+// complement of TrainableParams, so for any freeze mask the two partition
+// Params with no tensor duplicated or lost.
+func (s *Sequential) FrozenParams() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		switch v := l.(type) {
+		case *Sequential:
+			ps = append(ps, v.FrozenParams()...)
+		case *Residual:
+			ps = append(ps, v.FrozenParams()...)
+		default:
+			if l.Frozen() {
+				ps = append(ps, l.Params()...)
+			}
+		}
+	}
+	return ps
+}
+
 // Buffers implements Layer.
 func (s *Sequential) Buffers() []*tensor.Tensor {
 	var bs []*tensor.Tensor
@@ -288,6 +308,16 @@ func (r *Residual) TrainableParams() []*Param {
 	ps := r.body.TrainableParams()
 	if r.shortcut != nil {
 		ps = append(ps, r.shortcut.TrainableParams()...)
+	}
+	return ps
+}
+
+// FrozenParams returns parameters of frozen descendants, complementing
+// TrainableParams (see Sequential.FrozenParams).
+func (r *Residual) FrozenParams() []*Param {
+	ps := r.body.FrozenParams()
+	if r.shortcut != nil {
+		ps = append(ps, r.shortcut.FrozenParams()...)
 	}
 	return ps
 }

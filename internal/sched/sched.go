@@ -51,6 +51,10 @@ type Candidate struct {
 	// Available marks the client reachable this round. Policies never
 	// schedule unavailable candidates.
 	Available bool
+	// Tier names the client's device capability tier (see internal/device);
+	// empty when the federation is untiered. Tier-aware policies use it to
+	// balance cohorts across capability classes.
+	Tier string
 }
 
 // Scheduler picks the per-round cohort.
@@ -350,6 +354,85 @@ func (p PowerOfD) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []in
 	return finishCohort(cands, sampled[:k])
 }
 
+// TierBalanced stratifies the cohort across device tiers: cohort slots are
+// split over the tiers present in the candidate pool proportionally to each
+// tier's available population (largest remainder, ties to the
+// lexicographically earlier tier name), and filled uniformly at random
+// within each tier. This keeps low-capability clients — whose partial
+// updates cover fewer layers — represented every round instead of being
+// crowded out, so the lower groups still aggregate over enough full-tier
+// clients while upper groups see the whole population. Candidates with no
+// tier ("") form their own stratum, which makes the policy degenerate to
+// UniformRandom on untiered federations (single stratum, uniform within).
+type TierBalanced struct{}
+
+var _ Scheduler = TierBalanced{}
+
+// Name implements Scheduler.
+func (TierBalanced) Name() string { return "tier" }
+
+// Schedule implements Scheduler. Tiers draw from rng in ascending tier-name
+// order, so the cohort is reproducible from the seed.
+func (TierBalanced) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []int {
+	avail := availableSet(cands)
+	k = clampK(k, len(avail))
+	byTier := make(map[string][]int)
+	for _, idx := range avail {
+		t := cands[idx].Tier
+		byTier[t] = append(byTier[t], idx)
+	}
+	tiers := make([]string, 0, len(byTier))
+	for t := range byTier {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+
+	// Proportional slots per tier by largest remainder.
+	counts := make([]int, len(tiers))
+	rems := make([]float64, len(tiers))
+	assigned := 0
+	for i, t := range tiers {
+		exact := float64(k) * float64(len(byTier[t])) / float64(len(avail))
+		counts[i] = int(exact)
+		if counts[i] > len(byTier[t]) {
+			counts[i] = len(byTier[t])
+		}
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	order := make([]int, len(tiers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rems[order[a]] > rems[order[b]] })
+	for assigned < k {
+		grew := false
+		for _, i := range order {
+			if assigned >= k {
+				break
+			}
+			if counts[i] < len(byTier[tiers[i]]) {
+				counts[i]++
+				assigned++
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	chosen := make([]int, 0, k)
+	for i, t := range tiers {
+		pool := byTier[t]
+		perm := rng.Perm(len(pool))
+		for _, p := range perm[:counts[i]] {
+			chosen = append(chosen, pool[p])
+		}
+	}
+	return finishCohort(cands, chosen)
+}
+
 // Availability composes any inner policy with client churn: each client is
 // an on/off two-state Markov chain (per round, an up client goes down with
 // DownProb and a down client comes back with UpProb), or replays an
@@ -491,12 +574,12 @@ func (a *Availability) Schedule(round int, cands []Candidate, k int, rng *rand.R
 
 // PolicyNames lists the identifiers Parse accepts, in display order.
 func PolicyNames() []string {
-	return []string{"uniform", "size", "entropy", "powerd", "avail:<inner>"}
+	return []string{"uniform", "size", "entropy", "powerd", "tier", "avail:<inner>"}
 }
 
 // Parse maps a CLI policy name to a Scheduler. The names are shared by
 // `fedsim -sched` and `fedserver -sched`: "uniform", "size", "entropy",
-// "powerd", and "avail:<inner>" for the churn wrapper (e.g.
+// "powerd", "tier", and "avail:<inner>" for the churn wrapper (e.g.
 // "avail:entropy"). Parameters keep their defaults (ε = 0.1, d = 2,
 // churn DownProb = UpProb = 0.2); construct policies directly for other
 // settings.
@@ -510,6 +593,8 @@ func Parse(name string) (Scheduler, error) {
 		return EntropyUtility{}, nil
 	case name == "powerd":
 		return PowerOfD{}, nil
+	case name == "tier":
+		return TierBalanced{}, nil
 	case strings.HasPrefix(name, "avail:"):
 		inner, err := Parse(strings.TrimPrefix(name, "avail:"))
 		if err != nil {

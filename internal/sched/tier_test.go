@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+func tierCands(tiers []string) []Candidate {
+	cands := make([]Candidate, len(tiers))
+	for i, t := range tiers {
+		cands[i] = Candidate{ClientID: i, DataSize: 10, Available: true, Tier: t}
+	}
+	return cands
+}
+
+func TestTierBalancedProportions(t *testing.T) {
+	tiers := make([]string, 12)
+	for i := range tiers {
+		if i < 6 {
+			tiers[i] = "low"
+		} else {
+			tiers[i] = "full"
+		}
+	}
+	cands := tierCands(tiers)
+	cohort := TierBalanced{}.Schedule(0, cands, 4, tensor.NewRand(1, 0, StreamTag))
+	if len(cohort) != 4 {
+		t.Fatalf("cohort size %d, want 4", len(cohort))
+	}
+	counts := map[string]int{}
+	for _, id := range cohort {
+		counts[cands[id].Tier]++
+	}
+	if counts["low"] != 2 || counts["full"] != 2 {
+		t.Fatalf("tier split %v, want 2/2", counts)
+	}
+}
+
+func TestTierBalancedDeterministicAndAvailable(t *testing.T) {
+	cands := tierCands([]string{"low", "low", "mid", "mid", "full", "full"})
+	cands[1].Available = false
+	a := TierBalanced{}.Schedule(3, cands, 3, tensor.NewRand(7, 3, StreamTag))
+	b := TierBalanced{}.Schedule(3, cands, 3, tensor.NewRand(7, 3, StreamTag))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+	for _, id := range a {
+		if !cands[id].Available {
+			t.Fatalf("scheduled unavailable client %d", id)
+		}
+	}
+	if len(a) != 3 {
+		t.Fatalf("cohort size %d, want 3", len(a))
+	}
+}
+
+// On an untiered pool TierBalanced is a single stratum filled uniformly, so
+// it must pick exactly UniformRandom's cohort from the same rng stream.
+func TestTierBalancedUntieredMatchesUniform(t *testing.T) {
+	cands := tierCands(make([]string, 9)) // all Tier ""
+	got := TierBalanced{}.Schedule(0, cands, 4, tensor.NewRand(5, 0, StreamTag))
+	want := UniformRandom{}.Schedule(0, cands, 4, tensor.NewRand(5, 0, StreamTag))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("untiered TierBalanced %v != UniformRandom %v", got, want)
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	s, err := Parse("tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "tier" {
+		t.Fatalf("Name() = %q", s.Name())
+	}
+}

@@ -66,6 +66,24 @@ func (c RoundCost) Total() float64 { return c.SelectionSeconds + c.TrainSeconds 
 // cost) plus epochs passes of forward+partial-backward over the selected
 // subset. The model's current finetune part determines the backward cost.
 func ClientRoundCost(m *models.Model, dev Device, localSize, selectedSize, epochs, scoringPasses int) (RoundCost, error) {
+	return clientRoundCost(float64(m.ForwardFLOPsPerSample()), float64(m.TrainFLOPsPerSample()),
+		dev, localSize, selectedSize, epochs, scoringPasses)
+}
+
+// ClientRoundCostFor is ClientRoundCost with the training cost projected for
+// the given trainable-group mask instead of the model's current frozen
+// state. Per-client partial training uses it to cost each tier's mask
+// without mutating the shared global model.
+func ClientRoundCostFor(m *models.Model, groups []string, dev Device, localSize, selectedSize, epochs, scoringPasses int) (RoundCost, error) {
+	train, err := m.TrainFLOPsPerSampleFor(groups)
+	if err != nil {
+		return RoundCost{}, fmt.Errorf("%w: %v", ErrSim, err)
+	}
+	return clientRoundCost(float64(m.ForwardFLOPsPerSample()), float64(train),
+		dev, localSize, selectedSize, epochs, scoringPasses)
+}
+
+func clientRoundCost(fwd, train float64, dev Device, localSize, selectedSize, epochs, scoringPasses int) (RoundCost, error) {
 	if localSize < 0 || selectedSize < 0 || selectedSize > localSize || epochs < 0 || scoringPasses < 0 {
 		return RoundCost{}, fmt.Errorf("%w: local=%d selected=%d epochs=%d passes=%d",
 			ErrSim, localSize, selectedSize, epochs, scoringPasses)
@@ -73,8 +91,6 @@ func ClientRoundCost(m *models.Model, dev Device, localSize, selectedSize, epoch
 	if dev.FLOPSRate <= 0 {
 		return RoundCost{}, fmt.Errorf("%w: device rate %v", ErrSim, dev.FLOPSRate)
 	}
-	fwd := float64(m.ForwardFLOPsPerSample())
-	train := float64(m.TrainFLOPsPerSample())
 	return RoundCost{
 		SelectionSeconds: float64(scoringPasses) * fwd * float64(localSize) / dev.FLOPSRate,
 		TrainSeconds:     float64(epochs) * train * float64(selectedSize) / dev.FLOPSRate,
