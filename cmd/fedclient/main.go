@@ -89,6 +89,7 @@ type clientConfig struct {
 	seed         int64
 	temperature  float64
 	timeout      time.Duration
+	dialRetries  int
 	stratSpec    string
 	strat        strategy.Strategy
 	tiers        bool
@@ -106,6 +107,7 @@ func parseFlags(args []string) (clientConfig, error) {
 	fs.Int64Var(&cfg.seed, "seed", 1, "shared federation seed (must match the server)")
 	fs.Float64Var(&cfg.temperature, "temperature", 0.1, "hardened-softmax temperature ρ")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "dial timeout")
+	fs.IntVar(&cfg.dialRetries, "dial-retries", 0, "re-dial a refused or timed-out connection this many times with exponential backoff, so a fleet can start before its server")
 	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy; only its client-side hook applies here (fedprox:mu=0.1 adds the proximal term), server optimizers run on fedserver")
 	fs.BoolVar(&cfg.tiers, "tiers", false, "device-tier mode: derive this client's capability tier from the shared seed, train and ship only the layer groups it affords (must match the server)")
 	fs.StringVar(&cfg.tierDistSpec, "tier-dist", "", "tier distribution \"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+" (implies -tiers; default "+defaultTierSpec+"; must match the server)")
@@ -142,6 +144,9 @@ func parseFlags(args []string) (clientConfig, error) {
 	}
 	if cfg.timeout <= 0 {
 		return clientConfig{}, fmt.Errorf("-timeout %v must be positive", cfg.timeout)
+	}
+	if cfg.dialRetries < 0 {
+		return clientConfig{}, fmt.Errorf("-dial-retries %d is negative", cfg.dialRetries)
 	}
 	return cfg, nil
 }
@@ -231,7 +236,7 @@ func run(args []string) error {
 		log.Printf("client %d: tier %s, trainable groups %v", cfg.id, tier, tierMask)
 	}
 
-	conn, err := comm.DialTCP(cfg.addr, cfg.timeout)
+	conn, err := comm.DialTCPRetry(cfg.addr, cfg.timeout, cfg.dialRetries)
 	if err != nil {
 		return err
 	}
@@ -303,8 +308,12 @@ func run(args []string) error {
 			return err
 		}
 		if err := sess.SendUpdate(comm.ClientUpdate{
-			ClientID:     cfg.id,
-			Round:        rs.Round,
+			ClientID: cfg.id,
+			Round:    rs.Round,
+			// Version echoes the model version of an async server's dispatch,
+			// letting it measure this update's staleness; synchronous servers
+			// send the zero value and ignore the echo.
+			Version:      rs.Version,
 			State:        blob,
 			Groups:       mask,
 			NumSelected:  out.NumSelected,

@@ -108,3 +108,65 @@ func TestClassifyDropEviction(t *testing.T) {
 		t.Fatalf("timeout desync must pass through, got %v", got)
 	}
 }
+
+// TestParseFlagsDialRetries pins the -dial-retries surface: off by default
+// (a refused dial fails immediately, matching the pre-flag behavior),
+// accepted as a non-negative attempt budget, rejected when negative.
+func TestParseFlagsDialRetries(t *testing.T) {
+	cfg, err := parseFlags([]string{"-dial-retries", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.dialRetries != 5 {
+		t.Fatalf("dialRetries %d", cfg.dialRetries)
+	}
+	if _, err := parseFlags([]string{"-dial-retries", "-1"}); err == nil {
+		t.Fatal("negative -dial-retries accepted")
+	} else if !strings.Contains(err.Error(), "-dial-retries") {
+		t.Fatalf("error %q does not mention the flag", err)
+	}
+}
+
+// TestDialRetriesSurvivesLateServer is the client half of the any-order
+// startup contract: a fedclient launched before its server listens must
+// connect once the listener appears within the backoff schedule, using the
+// same retry dialer run() uses.
+func TestDialRetriesSurvivesLateServer(t *testing.T) {
+	cfg, err := parseFlags([]string{"-dial-retries", "10", "-timeout", "1s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a port, then free it so the first attempts are refused.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	accepted := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		l, err := comm.ListenTCP(addr)
+		if err != nil {
+			accepted <- err
+			return
+		}
+		defer l.Close()
+		conn, err := l.Accept()
+		if err == nil {
+			_ = conn.Close()
+		}
+		accepted <- err
+	}()
+
+	conn, err := comm.DialTCPRetry(addr, cfg.timeout, cfg.dialRetries)
+	if err != nil {
+		t.Fatalf("retry dial never connected: %v", err)
+	}
+	_ = conn.Close()
+	if err := <-accepted; err != nil {
+		t.Fatalf("late server: %v", err)
+	}
+}

@@ -40,6 +40,22 @@
 // quorum larger than the clients a round can contact (-cohort, or -clients)
 // is rejected at startup, since no round could ever succeed.
 //
+// With -relays R the federation is hierarchical: R fedrelay processes join
+// in place of leaf clients, each folding its own region's updates into one
+// weighted delta per round, and the server composes region deltas through
+// the same strategy machinery — the flat federation's weighted average is
+// reproduced exactly because every region reports its weight mass. A crashed
+// relay may re-register and rejoins at the next round boundary.
+//
+// With -buffer M the server switches from synchronous rounds to buffered
+// asynchronous (FedBuff-style) aggregation: clients train continuously
+// against the newest model they have seen, and the server aggregates as soon
+// as M version-tagged updates arrive, discounting each by the -staleness
+// weigher (default invsqrt, λ(s) = 1/sqrt(1+s)) and discarding updates
+// staler than -max-staleness. -rounds then counts aggregations, and
+// -round-deadline bounds each aggregation's wait. -buffer equal to -clients
+// with -staleness identity reproduces the synchronous server exactly.
+//
 // Clients regenerate their local partitions deterministically from the
 // shared -seed, so server and clients agree on data without moving it —
 // the whole point of federated learning.
@@ -107,6 +123,11 @@ type serverConfig struct {
 	tiers         bool
 	tierDistSpec  string
 	tierDist      *device.Distribution // nil when untiered
+	relays        int                  // hierarchical mode: regions to accept; 0 = flat
+	buffer        int                  // async mode: aggregation buffer M; 0 = synchronous
+	maxStaleness  int
+	stalenessSpec string
+	weigher       strategy.StalenessWeigher // nil outside async mode
 }
 
 // tierSpec is the canonical tier-distribution rendering checkpoints record
@@ -148,6 +169,10 @@ func parseFlags(args []string) (serverConfig, error) {
 	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy: fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters (fedadam:lr=0.05,beta1=0.9)")
 	fs.BoolVar(&cfg.tiers, "tiers", false, "device-tier mode: clients train and ship only the layer groups their capability tier affords, aggregated per layer")
 	fs.StringVar(&cfg.tierDistSpec, "tier-dist", "", "tier distribution \"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+" (implies -tiers; default "+defaultTierSpec+")")
+	fs.IntVar(&cfg.relays, "relays", 0, "hierarchical mode: this many fedrelay regions join instead of leaf clients (-clients still names the total leaf count the regions cover)")
+	fs.IntVar(&cfg.buffer, "buffer", 0, "buffered-async (FedBuff) mode: aggregate as soon as this many updates arrive instead of running synchronous rounds")
+	fs.IntVar(&cfg.maxStaleness, "max-staleness", -1, "async mode: discard updates staler than this many model versions (negative keeps all; needs -buffer)")
+	fs.StringVar(&cfg.stalenessSpec, "staleness", "", "async mode: staleness discount "+strings.Join(strategy.StalenessNames(), "/")+" with optional parameters, e.g. poly:alpha=1 (default invsqrt; needs -buffer)")
 	if err := fs.Parse(args); err != nil {
 		return serverConfig{}, err
 	}
@@ -188,6 +213,51 @@ func parseFlags(args []string) (serverConfig, error) {
 	if cfg.cohort > cfg.numClients {
 		return serverConfig{}, fmt.Errorf("-cohort %d exceeds the federation size %d", cfg.cohort, cfg.numClients)
 	}
+	if cfg.relays < 0 {
+		return serverConfig{}, fmt.Errorf("-relays %d is negative", cfg.relays)
+	}
+	if cfg.buffer < 0 {
+		return serverConfig{}, fmt.Errorf("-buffer %d is negative", cfg.buffer)
+	}
+	if cfg.relays > 0 && cfg.buffer > 0 {
+		return serverConfig{}, fmt.Errorf("-relays %d and -buffer %d are mutually exclusive: "+
+			"a relay tree runs synchronous region rounds; run the buffered-async server flat", cfg.relays, cfg.buffer)
+	}
+	if cfg.relays > 0 {
+		if cfg.relays > cfg.numClients {
+			return serverConfig{}, fmt.Errorf("-relays %d exceeds -clients %d: every region needs at least one leaf client",
+				cfg.relays, cfg.numClients)
+		}
+		if cfg.cohort > cfg.relays {
+			return serverConfig{}, fmt.Errorf("-cohort %d exceeds the %d relay regions a round can contact", cfg.cohort, cfg.relays)
+		}
+	}
+	if cfg.buffer > 0 {
+		if cfg.buffer > cfg.numClients {
+			return serverConfig{}, fmt.Errorf("-buffer %d exceeds -clients %d: each client holds at most one "+
+				"outstanding update, so the buffer could never fill", cfg.buffer, cfg.numClients)
+		}
+		if cfg.cohort > 0 {
+			return serverConfig{}, fmt.Errorf("-cohort %d schedules synchronous rounds and cannot combine with -buffer %d: "+
+				"the async engine dispatches to every idle client at each aggregation; drop -cohort or -buffer", cfg.cohort, cfg.buffer)
+		}
+		if cfg.tiers || cfg.tierDistSpec != "" {
+			return serverConfig{}, fmt.Errorf("-tiers cannot combine with -buffer: masked per-layer aggregation assumes synchronous rounds")
+		}
+	}
+	if cfg.maxStaleness >= 0 && cfg.buffer == 0 {
+		return serverConfig{}, fmt.Errorf("-max-staleness %d needs -buffer: staleness only exists in buffered-async mode", cfg.maxStaleness)
+	}
+	if cfg.stalenessSpec != "" && cfg.buffer == 0 {
+		return serverConfig{}, fmt.Errorf("-staleness %q needs -buffer: staleness only exists in buffered-async mode", cfg.stalenessSpec)
+	}
+	if cfg.buffer > 0 {
+		weigher, err := strategy.ParseStaleness(cfg.stalenessSpec)
+		if err != nil {
+			return serverConfig{}, fmt.Errorf("-staleness: %w", err)
+		}
+		cfg.weigher = weigher
+	}
 	// A -quorum above 1 is an absolute update count. It must be an integer,
 	// and it must be reachable: a quorum no round can ever meet — more
 	// updates than the clients a round contacts — is rejected now, not
@@ -198,14 +268,30 @@ func parseFlags(args []string) (serverConfig, error) {
 		}
 		cfg.minUpdates, cfg.quorum = int(cfg.quorum), 0
 		roundSize := cfg.numClients
+		if cfg.relays > 0 {
+			roundSize = cfg.relays
+		}
 		if cfg.cohort > 0 {
 			roundSize = cfg.cohort
 		}
 		if cfg.minUpdates > roundSize {
-			return serverConfig{}, fmt.Errorf("-quorum %d exceeds the %d clients a round can contact "+
-				"(-cohort %d, -clients %d): no round could ever succeed",
-				cfg.minUpdates, roundSize, cfg.cohort, cfg.numClients)
+			return serverConfig{}, fmt.Errorf("-quorum %d exceeds the %d participants a round can contact "+
+				"(-cohort %d, -relays %d, -clients %d): no round could ever succeed",
+				cfg.minUpdates, roundSize, cfg.cohort, cfg.relays, cfg.numClients)
 		}
+	}
+	// In async mode there is no round for a quorum to gate: admission is the
+	// buffer itself. Any explicit quorum alongside -buffer is a configuration
+	// contradiction, named as such.
+	if cfg.buffer > 0 && (cfg.minUpdates > 0 || cfg.quorum != 1) {
+		if cfg.minUpdates > 0 {
+			return serverConfig{}, fmt.Errorf("-quorum %d is an absolute synchronous-round update count and -buffer %d "+
+				"is the async aggregation trigger: the two admission rules are mutually exclusive; drop -quorum "+
+				"(async aggregates whenever -buffer updates arrive) or -buffer (synchronous rounds gate on -quorum)",
+				cfg.minUpdates, cfg.buffer)
+		}
+		return serverConfig{}, fmt.Errorf("-quorum %v gates synchronous rounds and cannot combine with -buffer %d: "+
+			"async aggregation triggers on the buffer itself; drop -quorum or -buffer", cfg.quorum, cfg.buffer)
 	}
 	if cfg.tierDistSpec != "" {
 		cfg.tiers = true
@@ -269,48 +355,65 @@ func (c serverConfig) configTag() uint64 {
 	if c.tierDist != nil {
 		parts = append(parts, "tiers:"+c.tierDist.String())
 	}
+	// Hierarchical and async parts follow the same append-only rule: a relay
+	// tree changes which peers the round contacts, and buffer/staleness decide
+	// which updates enter each aggregate at what weight, so a checkpoint never
+	// silently crosses the flat/relay or sync/async boundary.
+	if c.relays > 0 {
+		parts = append(parts, fmt.Sprintf("relays:%d", c.relays))
+	}
+	if c.buffer > 0 {
+		parts = append(parts, fmt.Sprintf("buffer:%d", c.buffer), "staleness:"+c.weigher.Name())
+		if c.maxStaleness >= 0 {
+			parts = append(parts, fmt.Sprintf("maxstale:%d", c.maxStaleness))
+		}
+	}
 	return core.TagConfig(parts...)
 }
 
 // restoreFederation warm-starts the server from the newest checkpoint in
 // cfg.ckptDir, installing the saved global model, history, accounting and
-// scheduler feedback. It returns the last completed round, or 0 (and no
-// changes) when the directory holds no checkpoint yet. Validation is the
-// shared core.RunState rule set, so the server refuses exactly what the
-// simulator refuses: wrong seed, different configuration, a round beyond
-// -rounds, an inconsistent history, or a mismatched scheduler.
+// scheduler feedback. It returns the last completed round plus the saved
+// async engine state (nil outside buffered mode), or 0 (and no changes) when
+// the directory holds no checkpoint yet. Validation is the shared
+// core.RunState rule set, so the server refuses exactly what the simulator
+// refuses: wrong seed, different configuration, a round beyond -rounds, an
+// inconsistent history, or a mismatched scheduler.
 func restoreFederation(cfg serverConfig, global *models.Model, hist *core.History,
-	cumTrainSeconds *float64, tracker *sched.Tracker) (int, error) {
+	cumTrainSeconds *float64, tracker *sched.Tracker) (int, *core.AsyncState, error) {
 	snap, err := core.LoadLatestRunState(cfg.ckptDir)
 	if errors.Is(err, ckpt.ErrNoCheckpoint) {
-		return 0, nil
+		return 0, nil, nil
 	}
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy(), cfg.tierSpec()); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := snap.RestoreScheduler(cfg.scheduler); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := snap.RestoreStrategy(cfg.taggedStrategy()); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := core.RestoreModelState(global, snap.Model); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	*hist = snap.Hist
 	*cumTrainSeconds = snap.Acct.TrainSeconds
 	tracker.Restore(snap.TrackerUtil, snap.TrackerSeconds)
-	return snap.Round, nil
+	return snap.Round, snap.Async, nil
 }
 
 // snapshotFederation writes the post-aggregation state of one round into
 // cfg.ckptDir, so a crashed server warm-starts from here instead of
-// discarding the federation's progress.
+// discarding the federation's progress. async carries the buffered-mode
+// engine state (version counter plus not-yet-aggregated updates); nil in
+// synchronous mode keeps the checkpoint bytes identical to pre-async
+// servers.
 func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist core.History,
-	cumTrainSeconds float64, tracker *sched.Tracker) error {
+	cumTrainSeconds float64, tracker *sched.Tracker, async *core.AsyncState) error {
 	snap := &core.RunState{
 		Seed:      cfg.seed,
 		ConfigTag: cfg.configTag(),
@@ -318,6 +421,7 @@ func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist 
 		Model:     core.SnapshotModelState(global),
 		Hist:      hist,
 		Acct:      simtime.AccountantState{TrainSeconds: cumTrainSeconds},
+		Async:     async,
 	}
 	snap.TrackerUtil, snap.TrackerSeconds = tracker.Export()
 	if err := snap.CaptureScheduler(cfg.scheduler); err != nil {
@@ -328,11 +432,62 @@ func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist 
 	return core.SaveRunState(ckpt.Path(cfg.ckptDir, round), snap)
 }
 
+// coreBuffered converts the async engine's pending wire updates into their
+// checkpoint representation, field for field.
+func coreBuffered(ups []comm.ClientUpdate) []core.BufferedUpdate {
+	out := make([]core.BufferedUpdate, len(ups))
+	for i, u := range ups {
+		out[i] = core.BufferedUpdate{
+			ClientID: u.ClientID, Round: u.Round, Version: u.Version,
+			State: u.State, Groups: u.Groups, NumSelected: u.NumSelected,
+			TrainSeconds: u.TrainSeconds, TrainLoss: u.TrainLoss, MeanEntropy: u.MeanEntropy,
+		}
+	}
+	return out
+}
+
+// wireBuffered is the inverse of coreBuffered, for warm-starting the engine.
+func wireBuffered(ups []core.BufferedUpdate) []comm.ClientUpdate {
+	out := make([]comm.ClientUpdate, len(ups))
+	for i, u := range ups {
+		out[i] = comm.ClientUpdate{
+			ClientID: u.ClientID, Round: u.Round, Version: u.Version,
+			State: u.State, Groups: u.Groups, NumSelected: u.NumSelected,
+			TrainSeconds: u.TrainSeconds, TrainLoss: u.TrainLoss, MeanEntropy: u.MeanEntropy,
+		}
+	}
+	return out
+}
+
+// regionAsUpdate reshapes a relay's folded delta into the ClientUpdate the
+// aggregation and strategy layers already understand: the region is one
+// heavyweight participant whose selected-sample mass is the sum over its
+// reporting leaves, which reproduces the flat federation's weighted average
+// exactly under the default selected-size weighting.
+func regionAsUpdate(ru comm.RegionUpdate) comm.ClientUpdate {
+	return comm.ClientUpdate{
+		ClientID:     ru.RelayID,
+		Round:        ru.Round,
+		Version:      ru.Version,
+		State:        ru.State,
+		NumSelected:  ru.NumSelected,
+		TrainSeconds: ru.TrainSeconds,
+		TrainLoss:    ru.TrainLoss,
+		MeanEntropy:  ru.MeanEntropy,
+	}
+}
+
 // serve drives one federation on an established listener. With -ckpt-dir it
 // snapshots after every aggregated round and warm-starts from the latest
 // checkpoint, so a crashed-and-restarted server resumes the federation where
 // it stopped (clients reconnect and follow the server's round numbering).
+// With -relays the round's participants are fedrelay regions instead of leaf
+// clients; with -buffer the synchronous round loop is replaced by buffered
+// asynchronous aggregation (serveAsync).
 func serve(cfg serverConfig, l comm.Listener) error {
+	if cfg.buffer > 0 {
+		return serveAsync(cfg, l)
+	}
 	engineCfg := comm.EngineConfig{RoundDeadline: cfg.roundDeadline, Quorum: cfg.quorum,
 		MinUpdates: cfg.minUpdates}
 	if err := engineCfg.Validate(); err != nil {
@@ -354,7 +509,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 	tracker := sched.NewTracker()
 	startRound := 0
 	if cfg.ckptDir != "" {
-		startRound, err = restoreFederation(cfg, global, &hist, &cumTrainSeconds, tracker)
+		startRound, _, err = restoreFederation(cfg, global, &hist, &cumTrainSeconds, tracker)
 		if err != nil {
 			return fmt.Errorf("warm-start from %s: %w", cfg.ckptDir, err)
 		}
@@ -363,8 +518,16 @@ func serve(cfg serverConfig, l comm.Listener) error {
 		}
 	}
 
-	log.Printf("listening on %s, waiting for %d clients", l.Addr(), cfg.numClients)
-	sess, err := comm.AcceptClients(l, cfg.numClients, cfg.rounds)
+	// In hierarchical mode the direct participants are the relay regions, not
+	// the leaf clients they cover.
+	participants := cfg.numClients
+	if cfg.relays > 0 {
+		participants = cfg.relays
+		log.Printf("listening on %s, waiting for %d relay regions covering %d clients", l.Addr(), cfg.relays, cfg.numClients)
+	} else {
+		log.Printf("listening on %s, waiting for %d clients", l.Addr(), cfg.numClients)
+	}
+	sess, err := comm.AcceptClients(l, participants, cfg.rounds)
 	if err != nil {
 		return err
 	}
@@ -378,6 +541,17 @@ func serve(cfg serverConfig, l comm.Listener) error {
 	engine, err := comm.NewRoundEngine(sess, engineCfg)
 	if err != nil {
 		return err
+	}
+
+	// A relay region is a process worth restarting: keep the listener
+	// admitting behind the round loop so a crashed relay re-registers and
+	// rejoins at the next round boundary instead of shrinking the tree for
+	// good.
+	var admitter *comm.Admitter
+	if cfg.relays > 0 {
+		if admitter, err = comm.NewAdmitter(l, participants, cfg.rounds); err != nil {
+			return err
+		}
 	}
 
 	// The strategy weighs each streamed update (absorbing the fixed
@@ -406,18 +580,32 @@ func serve(cfg serverConfig, l comm.Listener) error {
 	// global state. Finish resets the aggregator, so one instance serves every
 	// round. Untiered federations keep the legacy whole-state aggregator and
 	// its exact semantics.
+	// In relay mode the per-layer work happens one tier down: each relay
+	// resolves its region's masks against the broadcast Layout and forwards a
+	// full-layout delta, so the root composes whole states even when the
+	// leaves are tiered.
 	var maskedAgg *comm.MaskedStreamAggregator
+	var bcastLayout []string
 	if cfg.tierDist != nil {
 		layout, err := global.GroupStateLayout(commGroups)
 		if err != nil {
 			return err
 		}
-		if maskedAgg, err = comm.NewMaskedStreamAggregator(weigh, commGroups, layout); err != nil {
+		if cfg.relays > 0 {
+			bcastLayout = layout
+		} else if maskedAgg, err = comm.NewMaskedStreamAggregator(weigh, commGroups, layout); err != nil {
 			return err
 		}
 	}
 
 	for round := startRound + 1; round <= cfg.rounds; round++ {
+		// Fold in crashed-and-restarted relays at the round boundary, never
+		// mid-round: the session map stays single-writer.
+		if admitter != nil {
+			if ids := admitter.Drain(sess); len(ids) > 0 {
+				log.Printf("round %d: re-admitted relays %v", round, ids)
+			}
+		}
 		stateTs, err := global.GroupStateTensors(commGroups)
 		if err != nil {
 			return err
@@ -444,13 +632,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 			fold = maskedAgg.Add
 		}
 		var roundTrainSeconds, lossSum float64
-		out, err := engine.RunCohort(comm.RoundStart{
-			Round:          round,
-			State:          blob,
-			Groups:         commGroups,
-			SelectFraction: cfg.fraction,
-			LocalEpochs:    cfg.epochs,
-		}, cohort, func(u comm.ClientUpdate) error {
+		foldOne := func(u comm.ClientUpdate) error {
 			if err := fold(u); err != nil {
 				return err
 			}
@@ -458,7 +640,23 @@ func serve(cfg serverConfig, l comm.Listener) error {
 			lossSum += u.TrainLoss
 			tracker.ObserveUpdate(u.ClientID, u.MeanEntropy, u.TrainLoss, u.TrainSeconds)
 			return nil
-		})
+		}
+		rs := comm.RoundStart{
+			Round:          round,
+			State:          blob,
+			Groups:         commGroups,
+			SelectFraction: cfg.fraction,
+			LocalEpochs:    cfg.epochs,
+			Layout:         bcastLayout,
+		}
+		var out comm.RoundOutcome
+		if cfg.relays > 0 {
+			out, err = engine.RunRegionRound(rs, cohort, func(ru comm.RegionUpdate) error {
+				return foldOne(regionAsUpdate(ru))
+			})
+		} else {
+			out, err = engine.RunCohort(rs, cohort, foldOne)
+		}
 		logFailures(out)
 		if err != nil {
 			return err
@@ -507,7 +705,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 			len(out.Reported), len(out.TimedOut), len(out.Dropped), out.LateDiscarded, 100*acc)
 
 		if cfg.ckptDir != "" {
-			if err := snapshotFederation(cfg, round, global, hist, cumTrainSeconds, tracker); err != nil {
+			if err := snapshotFederation(cfg, round, global, hist, cumTrainSeconds, tracker, nil); err != nil {
 				return fmt.Errorf("checkpoint round %d: %w", round, err)
 			}
 		}
@@ -520,6 +718,182 @@ func serve(cfg serverConfig, l comm.Listener) error {
 		log.Printf("run complete: best accuracy %.2f%%", 100*hist.BestAccuracy)
 	}
 	return nil
+}
+
+// serveAsync drives buffered asynchronous (FedBuff-style) aggregation: every
+// client trains continuously against the newest model it has seen, the
+// server aggregates whenever -buffer updates accumulated, and stale
+// contributions are discounted by the -staleness weigher (or discarded past
+// -max-staleness). -rounds counts aggregations. With -buffer equal to
+// -clients and the identity weigher the loop reproduces the synchronous
+// serve arithmetic exactly; checkpoints additionally carry the engine's
+// version counter and mid-buffer updates, so a restarted server resumes
+// without losing work that had already arrived.
+func serveAsync(cfg serverConfig, l comm.Listener) error {
+	world, err := NewWorld(cfg.seed, cfg.numClients)
+	if err != nil {
+		return err
+	}
+	global := world.Global
+	commGroups := global.TrainableGroupNames()
+
+	var hist core.History
+	var cumTrainSeconds float64
+	tracker := sched.NewTracker()
+	startAgg := 0
+	var restored *core.AsyncState
+	if cfg.ckptDir != "" {
+		startAgg, restored, err = restoreFederation(cfg, global, &hist, &cumTrainSeconds, tracker)
+		if err != nil {
+			return fmt.Errorf("warm-start from %s: %w", cfg.ckptDir, err)
+		}
+		if startAgg > 0 {
+			buffered := 0
+			if restored != nil {
+				buffered = len(restored.Buffer)
+			}
+			log.Printf("warm-start: resuming after aggregation %d (%d buffered updates) from %s",
+				startAgg, buffered, cfg.ckptDir)
+		}
+	}
+
+	log.Printf("listening on %s, waiting for %d clients (async, buffer %d)", l.Addr(), cfg.numClients, cfg.buffer)
+	sess, err := comm.AcceptClients(l, cfg.numClients, cfg.rounds)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := sess.Shutdown("done"); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("federation ready: clients %v, strategy %s, staleness %s",
+		sess.ClientIDs(), cfg.strat.Fingerprint(), cfg.weigher.Name())
+
+	engine, err := comm.NewAsyncEngine(sess, comm.AsyncConfig{
+		Buffer:       cfg.buffer,
+		MaxStaleness: cfg.maxStaleness,
+		Weigh:        cfg.weigher.Weight,
+		AggDeadline:  cfg.roundDeadline,
+	})
+	if err != nil {
+		return err
+	}
+	if restored != nil {
+		if err := engine.Restore(restored.Version, wireBuffered(restored.Buffer)); err != nil {
+			return err
+		}
+	}
+
+	// The strategy weighs each update as in the synchronous path; the async
+	// engine's staleness discount multiplies on top. curLambda is set by the
+	// fold immediately before the aggregator calls weigh (both run on this
+	// goroutine, never concurrently). A fresh update's lambda is exactly 1.0,
+	// so the multiplication is a float no-op and the synchronous special case
+	// stays bit-identical.
+	curLambda := 1.0
+	var (
+		upScratch [1]strategy.Update
+		wScratch  [1]float64
+	)
+	weigh := func(u comm.ClientUpdate) (float64, error) {
+		upScratch[0] = strategy.Update{
+			ClientID:    u.ClientID,
+			NumSelected: u.NumSelected,
+			LocalSize:   sess.LocalSize(u.ClientID),
+		}
+		if err := cfg.strat.WeighUpdates(upScratch[:], wScratch[:]); err != nil {
+			return 0, err
+		}
+		return wScratch[0] * curLambda, nil
+	}
+
+	for agg := startAgg + 1; agg <= cfg.rounds; agg++ {
+		stateTs, err := global.GroupStateTensors(commGroups)
+		if err != nil {
+			return err
+		}
+		blob, err := comm.EncodeTensors(stateTs)
+		if err != nil {
+			return err
+		}
+		aggStream := comm.NewWeightedStreamAggregator(weigh)
+		var roundTrainSeconds, lossSum float64
+		out, err := engine.RunAggregation(agg, comm.RoundStart{
+			State:          blob,
+			Groups:         commGroups,
+			SelectFraction: cfg.fraction,
+			LocalEpochs:    cfg.epochs,
+		}, func(u comm.ClientUpdate, lambda float64) error {
+			curLambda = lambda
+			if err := aggStream.Add(u); err != nil {
+				return err
+			}
+			roundTrainSeconds += u.TrainSeconds
+			lossSum += u.TrainLoss
+			tracker.ObserveUpdate(u.ClientID, u.MeanEntropy, u.TrainLoss, u.TrainSeconds)
+			return nil
+		})
+		logAggFailures(out)
+		if err != nil {
+			return err
+		}
+		fused, err := aggStream.Finish()
+		if err != nil {
+			return err
+		}
+		if err := cfg.strat.ApplyAggregate(stateTs, fused); err != nil {
+			return fmt.Errorf("strategy %s: aggregation %d: %w", cfg.strat.Name(), agg, err)
+		}
+
+		acc, err := metrics.Accuracy(global, world.Test)
+		if err != nil {
+			return err
+		}
+		cumTrainSeconds += roundTrainSeconds
+		hist.Records = append(hist.Records, core.RoundRecord{
+			Round:           agg,
+			CohortSize:      len(out.Reported) + out.Discarded,
+			Participants:    len(out.Reported),
+			TestAccuracy:    acc,
+			MeanTrainLoss:   lossSum / float64(len(out.Reported)),
+			CumTrainSeconds: cumTrainSeconds,
+		})
+		if acc > hist.BestAccuracy {
+			hist.BestAccuracy = acc
+		}
+		hist.FinalAccuracy = acc
+		log.Printf("aggregation %d/%d: model v%d, %d folded (%d stale discarded, %d dropped), test accuracy %.2f%%",
+			agg, cfg.rounds, out.Version, len(out.Reported), out.Discarded, len(out.Dropped), 100*acc)
+
+		if cfg.ckptDir != "" {
+			async := &core.AsyncState{Version: engine.Version(), Buffer: coreBuffered(engine.Buffered())}
+			if err := snapshotFederation(cfg, agg, global, hist, cumTrainSeconds, tracker, async); err != nil {
+				return fmt.Errorf("checkpoint aggregation %d: %w", agg, err)
+			}
+		}
+	}
+	hist.TotalTrainSeconds = cumTrainSeconds
+	if eff, err := hist.LearningEfficiency(); err == nil {
+		log.Printf("run complete: best accuracy %.2f%%, total client time %.1fs, learning efficiency %.2f %%/s",
+			100*hist.BestAccuracy, hist.TotalTrainSeconds, eff)
+	} else {
+		log.Printf("run complete: best accuracy %.2f%%", 100*hist.BestAccuracy)
+	}
+	return nil
+}
+
+// logAggFailures reports an aggregation's dropped clients in deterministic
+// order, the async counterpart of logFailures.
+func logAggFailures(out comm.AggOutcome) {
+	ids := make([]int, 0, len(out.Failures))
+	for id := range out.Failures {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		log.Printf("aggregation %d: client %d: %v", out.Agg, id, out.Failures[id])
+	}
 }
 
 // scheduleCohort builds the candidate descriptors for the live clients and
@@ -535,6 +909,7 @@ func scheduleCohort(cfg serverConfig, tracker *sched.Tracker, sess *comm.ServerS
 			ProjectedSeconds: tracker.Seconds(id),
 			Available:        true,
 			Tier:             sess.Tier(id),
+			Clients:          sess.DownstreamClients(id),
 		}
 	}
 	tracker.Stamp(cands)

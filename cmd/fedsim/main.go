@@ -14,8 +14,8 @@
 // runs continue mid-run, bit-identical to an uninterrupted sweep.
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
-// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies tiers all.
-// See DESIGN.md for the experiment index.
+// fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies tiers async
+// all. See DESIGN.md for the experiment index.
 //
 // The sched experiment compares cohort-scheduling policies (accuracy vs
 // cumulative client-seconds at a fixed cohort size K). -sched narrows it to
@@ -33,6 +33,13 @@
 // row's accuracy, simulated client-seconds, and the uplink bytes per-client
 // partial training saves. -tier-dist narrows it to one distribution spec
 // ("low:1,mid:2,full:1"), the same format fedserver and fedclient accept.
+//
+// The async experiment compares the synchronous engine against buffered
+// asynchronous (FedBuff-style) aggregation over a simulated-time event
+// queue: the server aggregates as soon as -buffer updates arrive, stale
+// updates are discounted by the -staleness weigher (identity, invsqrt,
+// poly:alpha=A — the same specs fedserver accepts) and optionally discarded
+// past -max-staleness versions.
 package main
 
 import (
@@ -64,6 +71,9 @@ func run(args []string) error {
 	seedFlag := fs.Int64("seed", 1, "run seed")
 	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
 	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
+	bufferFlag := fs.Int("buffer", 0, "async experiment: aggregation buffer M, 0 = scale default (about a third of the pool)")
+	maxStaleFlag := fs.Int("max-staleness", -1, "async experiment: discard updates staler than this many versions (negative keeps all)")
+	stalenessFlag := fs.String("staleness", "all", "async experiment: one staleness weigher ("+strings.Join(strategy.StalenessNames(), ", ")+", with optional parameters) or all")
 	strategyFlag := fs.String("strategy", "all", "strategies experiment: one strategy spec (fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters) or all")
 	tierDistFlag := fs.String("tier-dist", "all", "tiers experiment: one tier distribution spec (\"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+") or all")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -130,6 +140,16 @@ func run(args []string) error {
 	if *cohortFlag < 0 {
 		return fmt.Errorf("-cohort %d is negative", *cohortFlag)
 	}
+	asyncOpts := asyncOptions{buffer: *bufferFlag, maxStaleness: *maxStaleFlag}
+	if *bufferFlag < 0 {
+		return fmt.Errorf("-buffer %d is negative", *bufferFlag)
+	}
+	if *stalenessFlag != "all" {
+		if _, err := strategy.ParseStaleness(*stalenessFlag); err != nil {
+			return err
+		}
+		asyncOpts.weighers = []string{*stalenessFlag}
+	}
 	var strategySpecs []string
 	if *strategyFlag != "all" {
 		if _, err := strategy.Parse(*strategyFlag); err != nil {
@@ -160,11 +180,11 @@ func run(args []string) error {
 		// underlying experiment once and render every artifact from it.
 		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
 			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations",
-			"sched", "strategies", "tiers"}
+			"sched", "strategies", "tiers", "async"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, strategySpecs, tierSpecs)
+		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, asyncOpts, strategySpecs, tierSpecs)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -182,12 +202,28 @@ type schedOptions struct {
 	cohort int
 }
 
+// asyncOptions parameterizes the buffered-async comparison experiment.
+type asyncOptions struct {
+	// buffer is the aggregation trigger M; 0 picks the scale default.
+	buffer int
+	// maxStaleness is the discard cap; negative keeps every update.
+	maxStaleness int
+	// weighers narrows the comparison; nil runs the standard lineup.
+	weighers []string
+}
+
 // runExperiment dispatches one experiment id. Figure ids that share a run
 // with a table (fig5..fig9) re-run the underlying table at this scale.
-func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, strategySpecs, tierSpecs []string) (string, error) {
+func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, asyncOpts asyncOptions, strategySpecs, tierSpecs []string) (string, error) {
 	switch id {
 	case "sched":
 		res, err := experiments.RunSchedCompare(env, schedOpts.policies, schedOpts.cohort)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "async":
+		res, err := experiments.RunAsyncCompare(env, asyncOpts.buffer, asyncOpts.maxStaleness, asyncOpts.weighers)
 		if err != nil {
 			return "", err
 		}

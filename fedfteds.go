@@ -25,6 +25,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/opt"
 	"fedfteds/internal/partition"
+	"fedfteds/internal/relay"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
@@ -272,6 +273,47 @@ var (
 	ListenTCP = comm.ListenTCP
 	// DialTCP connects to a fedserver.
 	DialTCP = comm.DialTCP
+	// DialTCPRetry re-dials a refused connection with exponential backoff.
+	DialTCPRetry = comm.DialTCPRetry
+)
+
+// Hierarchical & buffered-async aggregation (internal/relay, internal/comm):
+// fedrelay-style mid-tier region folds and the FedBuff-style AsyncEngine.
+type (
+	// RegionUpdate carries one relay region's folded delta upstream.
+	RegionUpdate = comm.RegionUpdate
+	// RelayConfig shapes one relay process.
+	RelayConfig = relay.Config
+	// AsyncEngine aggregates version-stamped updates FedBuff-style.
+	AsyncEngine = comm.AsyncEngine
+	// AsyncEngineConfig tunes the buffered-async engine.
+	AsyncEngineConfig = comm.AsyncConfig
+	// AggOutcome reports one asynchronous aggregation's participation.
+	AggOutcome = comm.AggOutcome
+	// Admitter re-admits reconnecting peers at round boundaries.
+	Admitter = comm.Admitter
+	// StalenessWeigher discounts an update by its staleness in versions.
+	StalenessWeigher = strategy.StalenessWeigher
+)
+
+// Hierarchical/async constructors and helpers.
+var (
+	// RunRelay drives one relay region to completion.
+	RunRelay = relay.Run
+	// JoinRelay registers a relay (not a leaf) with the root server.
+	JoinRelay = comm.JoinRelay
+	// NewAsyncEngine wraps a server session in buffered-async aggregation.
+	NewAsyncEngine = comm.NewAsyncEngine
+	// NewAdmitter accepts and handshakes reconnecting peers in the background.
+	NewAdmitter = comm.NewAdmitter
+	// ParseStaleness parses a staleness-weigher spec (e.g. "poly:alpha=1").
+	ParseStaleness = strategy.ParseStaleness
+	// StalenessNames lists the staleness-weigher vocabulary.
+	StalenessNames = strategy.StalenessNames
+	// IdentityStaleness keeps every update at full weight.
+	IdentityStaleness = strategy.IdentityStaleness
+	// InvSqrtStaleness is the canonical FedBuff 1/sqrt(1+s) discount.
+	InvSqrtStaleness = strategy.InvSqrtStaleness
 )
 
 // Cohort scheduling (internal/sched): per round the server samples K

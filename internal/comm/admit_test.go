@@ -1,0 +1,204 @@
+package comm
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdmitterReadmitsDroppedClient covers the relay-rejoin path: a peer
+// whose connection died re-registers through the background Admitter and is
+// folded back into the session at the next Drain, with its registration
+// metadata (relay role, leaf count, local size) intact.
+func TestAdmitterReadmitsDroppedClient(t *testing.T) {
+	lst := NewPipeListener(2)
+	go func() {
+		if _, _, err := Join(lst.ClientSide(0), 0, 5); err != nil {
+			t.Error(err)
+		}
+	}()
+	sess, err := AcceptClients(lst, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err := NewAdmitter(lst, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: the server loses client 0's connection.
+	_ = sess.conns[0].Close()
+	delete(sess.conns, 0)
+	delete(sess.relays, 0)
+	delete(sess.leaves, 0)
+
+	// The peer comes back as a relay this time, on a fresh connection.
+	joined := make(chan error, 1)
+	go func() {
+		_, w, err := JoinRelay(lst.ClientSide(1), 0, 40, 4)
+		if err == nil && w.Rounds != 7 {
+			t.Errorf("re-admission welcome advertises %d rounds, want 7", w.Rounds)
+		}
+		joined <- err
+	}()
+	if err := <-joined; err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+
+	// The handshake runs in a background goroutine; poll the round-boundary
+	// drain until the admission lands.
+	deadline := time.Now().Add(5 * time.Second)
+	var ids []int
+	for len(ids) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-admission never drained")
+		}
+		ids = adm.Drain(sess)
+		time.Sleep(time.Millisecond)
+	}
+	if !reflect.DeepEqual(ids, []int{0}) {
+		t.Fatalf("drained %v, want [0]", ids)
+	}
+	if !sess.IsRelay(0) || sess.DownstreamClients(0) != 4 || sess.LocalSize(0) != 40 {
+		t.Fatalf("re-admitted metadata lost: relay=%v leaves=%d size=%d",
+			sess.IsRelay(0), sess.DownstreamClients(0), sess.LocalSize(0))
+	}
+	if err := sess.Shutdown("done"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmitterRejectsLiveDuplicate: an impostor registering under a
+// still-connected ID is refused at Drain and its connection closed; the
+// original connection stays in the session.
+func TestAdmitterRejectsLiveDuplicate(t *testing.T) {
+	lst := NewPipeListener(2)
+	go func() {
+		if _, _, err := Join(lst.ClientSide(0), 0, 5); err != nil {
+			t.Error(err)
+		}
+	}()
+	sess, err := AcceptClients(lst, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err := NewAdmitter(lst, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := sess.conns[0]
+
+	// The duplicate handshake itself succeeds (the Admitter cannot know
+	// liveness); rejection happens at Drain, which closes the connection.
+	dup, _, err := Join(lst.ClientSide(1), 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() {
+		_, _, err := dup.NextRound()
+		closed <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ids := adm.Drain(sess); len(ids) != 0 {
+			t.Fatalf("live duplicate admitted: %v", ids)
+		}
+		select {
+		case err := <-closed:
+			if err == nil {
+				t.Fatal("duplicate connection served a round instead of closing")
+			}
+			if sess.conns[0] != original {
+				t.Fatal("original connection replaced by the duplicate")
+			}
+			if err := sess.Shutdown("done"); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate connection never closed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDialTCPRetryConnectsLateListener pins the startup-race contract: a
+// dialer launched before its server listens succeeds once the listener
+// appears within the backoff schedule.
+func TestDialTCPRetryConnectsLateListener(t *testing.T) {
+	restoreBase, restoreCap := dialRetryBase, dialRetryCap
+	dialRetryBase, dialRetryCap = 5*time.Millisecond, 20*time.Millisecond
+	defer func() { dialRetryBase, dialRetryCap = restoreBase, restoreCap }()
+
+	// Reserve a port, then free it so the first dial attempts are refused.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	ready := make(chan Listener, 1)
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		l, err := ListenTCP(addr)
+		if err != nil {
+			t.Error(err)
+			close(ready)
+			return
+		}
+		ready <- l
+		// Complete the dialer's handshake so the TCP connect is accepted.
+		conn, err := l.Accept()
+		if err == nil {
+			_ = conn.Close()
+		}
+	}()
+
+	conn, err := DialTCPRetry(addr, time.Second, 10)
+	if err != nil {
+		t.Fatalf("retry dial never connected: %v", err)
+	}
+	_ = conn.Close()
+	if l, ok := <-ready; ok {
+		_ = l.Close()
+	}
+}
+
+// TestDialTCPRetryExhaustsAttempts: with no listener ever appearing, the
+// loop reports the attempt count and the final cause.
+func TestDialTCPRetryExhaustsAttempts(t *testing.T) {
+	restoreBase, restoreCap := dialRetryBase, dialRetryCap
+	dialRetryBase, dialRetryCap = time.Millisecond, 2*time.Millisecond
+	defer func() { dialRetryBase, dialRetryCap = restoreBase, restoreCap }()
+
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	if _, err := DialTCPRetry(addr, 100*time.Millisecond, 3); err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	} else if !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Fatalf("error %q does not report the attempt count", err)
+	}
+
+	// retries <= 0 must behave exactly like a single DialTCP: no backoff
+	// sleep, and the error is the bare dial error without the retry wrapper.
+	start := time.Now()
+	if _, err := DialTCPRetry(addr, 100*time.Millisecond, 0); err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	} else if strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("zero-retry dial wrapped its error: %q", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("zero-retry dial took %v", elapsed)
+	}
+}

@@ -126,8 +126,35 @@ func (e *RoundEngine) RunCohort(rs RoundStart, cohort []int, fold func(ClientUpd
 	return e.sess.runRound(rs, cohort, e.cfg, fold)
 }
 
+// RunRegionRound executes one round against mid-tier relays instead of leaf
+// clients: the broadcast is identical, but each participant answers with a
+// pre-folded RegionUpdate rather than a ClientUpdate. Straggler and crash
+// semantics match RunRound, with quorum counted over regions.
+func (e *RoundEngine) RunRegionRound(rs RoundStart, relayIDs []int, fold func(RegionUpdate) error) (RoundOutcome, error) {
+	return runEngineRound(e.sess, rs, relayIDs, e.cfg, MsgRegionUpdate, fold)
+}
+
+// roundReply is implemented by the per-round answer frames — ClientUpdate
+// from leaf clients, RegionUpdate from relays — so one engine core drives
+// both tiers of a relay tree.
+type roundReply interface {
+	senderID() int
+	roundIndex() int
+}
+
+func (u ClientUpdate) senderID() int   { return u.ClientID }
+func (u ClientUpdate) roundIndex() int { return u.Round }
+func (u RegionUpdate) senderID() int   { return u.RelayID }
+func (u RegionUpdate) roundIndex() int { return u.Round }
+
 // runRound is the shared engine core; see RoundEngine.RunRound.
 func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfig, fold func(ClientUpdate) error) (RoundOutcome, error) {
+	return runEngineRound(s, rs, clientIDs, cfg, MsgClientUpdate, fold)
+}
+
+// runEngineRound is the message-type-generic engine core; see
+// RoundEngine.RunRound for the contract.
+func runEngineRound[T roundReply](s *ServerSession, rs RoundStart, clientIDs []int, cfg EngineConfig, expect MsgType, fold func(T) error) (RoundOutcome, error) {
 	out := RoundOutcome{Round: rs.Round, Failures: make(map[int]error)}
 	if len(clientIDs) == 0 {
 		return out, fmt.Errorf("%w: round %d: no clients remain", ErrQuorum, rs.Round)
@@ -167,7 +194,7 @@ func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfi
 	// conn — the conns map stays single-writer (this goroutine).
 	type result struct {
 		id  int
-		u   ClientUpdate
+		u   T
 		err error
 	}
 	results := make(chan result, len(conns))
@@ -184,24 +211,24 @@ func (s *ServerSession) runRound(rs RoundStart, clientIDs []int, cfg EngineConfi
 					results <- result{id: id, err: fmt.Errorf("comm: update from client %d: %w", id, err)}
 					return
 				}
-				if env.Type != MsgClientUpdate {
-					results <- result{id: id, err: fmt.Errorf("%w: expected update from %d, got %v", ErrProtocol, id, env.Type)}
+				if env.Type != expect {
+					results <- result{id: id, err: fmt.Errorf("%w: expected %v from %d, got %v", ErrProtocol, expect, id, env.Type)}
 					return
 				}
-				var u ClientUpdate
+				var u T
 				if err := DecodeBody(env, &u); err != nil {
 					results <- result{id: id, err: err}
 					return
 				}
-				if u.Round < rs.Round {
+				if u.roundIndex() < rs.Round {
 					// Stale work from a round this client missed: discard
 					// it and keep waiting for the current round's update.
 					late.Add(1)
 					continue
 				}
-				if u.Round != rs.Round || u.ClientID != id {
+				if u.roundIndex() != rs.Round || u.senderID() != id {
 					results <- result{id: id, err: fmt.Errorf("%w: client %d answered round %d as client %d during round %d",
-						ErrProtocol, id, u.Round, u.ClientID, rs.Round)}
+						ErrProtocol, id, u.roundIndex(), u.senderID(), rs.Round)}
 					return
 				}
 				results <- result{id: id, u: u}
@@ -376,6 +403,11 @@ func (a *StreamAggregator) Add(u ClientUpdate) error {
 
 // Updates returns how many updates have been folded so far.
 func (a *StreamAggregator) Updates() int { return a.count }
+
+// Total returns the summed aggregation weight folded so far. A relay reads
+// it before Finish to stamp the outgoing RegionUpdate with the region's
+// weight mass.
+func (a *StreamAggregator) Total() float64 { return a.total }
 
 // Finish normalizes the sum into the aggregated state and resets the
 // aggregator. It fails when no update was folded.

@@ -21,6 +21,7 @@ type MaskedStreamAggregator struct {
 	layout []string       // group owning each tensor of the full layout
 	acc    []*tensor.Tensor
 	totals []float64
+	sumW   float64
 	count  int
 }
 
@@ -152,12 +153,18 @@ func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 		a.totals[ti] += w64
 		ci++
 	}
+	a.sumW += w64
 	a.count++
 	return nil
 }
 
 // Updates returns how many updates have been folded so far.
 func (a *MaskedStreamAggregator) Updates() int { return a.count }
+
+// Total returns the summed per-client aggregation weight folded so far
+// (each client counted once, regardless of how many layers it covered). A
+// relay reads it before Finish to stamp the outgoing RegionUpdate.
+func (a *MaskedStreamAggregator) Total() float64 { return a.sumW }
 
 // Finish normalizes each tensor by its own weight total and resets the
 // aggregator. Tensors no reporting client covered fall back to the current
@@ -182,6 +189,7 @@ func (a *MaskedStreamAggregator) Finish(fallback []*tensor.Tensor) ([]*tensor.Te
 	}
 	a.acc = make([]*tensor.Tensor, len(a.layout))
 	a.totals = make([]float64, len(a.layout))
+	a.sumW = 0
 	a.count = 0
 	return out, nil
 }

@@ -34,6 +34,8 @@ const (
 	MsgClientUpdate
 	// MsgShutdown ends the session.
 	MsgShutdown
+	// MsgRegionUpdate carries a relay's folded regional delta upstream.
+	MsgRegionUpdate
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +51,8 @@ func (t MsgType) String() string {
 		return "client-update"
 	case MsgShutdown:
 		return "shutdown"
+	case MsgRegionUpdate:
+		return "region-update"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -64,6 +68,15 @@ type Hello struct {
 	// empty on untiered federations. Gob omits empty strings, so legacy
 	// clients and servers interoperate unchanged.
 	Tier string
+	// Relay marks a mid-tier aggregator registering on behalf of a region
+	// rather than a single device. Relays answer RoundStarts with
+	// RegionUpdate frames instead of ClientUpdates. Gob omits false, so
+	// legacy peers interoperate unchanged.
+	Relay bool
+	// Clients is the number of downstream leaf clients a relay speaks for
+	// (zero for plain clients). The root's scheduler uses it to weigh a
+	// region candidate by its population rather than as a single device.
+	Clients int
 }
 
 // Welcome acknowledges registration and shares run parameters.
@@ -87,6 +100,17 @@ type RoundStart struct {
 	SelectFraction float64
 	// LocalEpochs is E.
 	LocalEpochs int
+	// Version stamps the global model state with the number of aggregations
+	// applied since run start. Synchronous servers leave it zero (gob omits
+	// it); the buffered asynchronous engine uses the echo to measure an
+	// update's staleness.
+	Version int
+	// Layout names, per tensor of State, the group it belongs to (the
+	// models.GroupStateLayout of the broadcast). The root sets it in relay
+	// mode so a relay — which has no model of its own — can aggregate
+	// masked tier updates per layer. Empty otherwise; gob omits it, so
+	// legacy peers interoperate unchanged.
+	Layout []string
 }
 
 // ClientUpdate returns a client's trained state.
@@ -113,6 +137,46 @@ type ClientUpdate struct {
 	// MeanEntropy is the mean EDS entropy over the client's full local
 	// dataset (NaN when the client's selector has no utility signal). The
 	// server feeds it to the cohort scheduler as the client-level utility.
+	MeanEntropy float64
+	// Version echoes RoundStart.Version — the model version this update was
+	// trained against. The buffered asynchronous engine discounts the update
+	// by its staleness (current version minus Version); synchronous peers
+	// leave it zero.
+	Version int
+}
+
+// RegionUpdate is a relay's pre-folded aggregate of its region's client
+// updates, sent upstream in place of the individual ClientUpdates. The root
+// treats a region like one heavyweight client: State already holds the
+// weighted average over the region's reporting leaves, and the summary
+// fields let the root's strategy weigh the region by its population.
+type RegionUpdate struct {
+	// RelayID identifies the sending relay in the root's ID space.
+	RelayID int
+	// Round echoes the round index.
+	Round int
+	// Version echoes RoundStart.Version (see ClientUpdate.Version).
+	Version int
+	// State is the encoded weighted-average state over the region's
+	// reporting leaves, covering every group the root broadcast (a relay
+	// resolves leaf layer masks locally, falling back to the broadcast
+	// state for uncovered layers).
+	State []byte
+	// Weight is the summed aggregation weight the relay folded, so the root
+	// can reproduce the flat federation's arithmetic exactly:
+	// sum_r W_r * regionAvg_r / sum_r W_r == the flat weighted average.
+	Weight float64
+	// Clients is how many leaf clients reported into this delta.
+	Clients int
+	// NumSelected is the summed |D_select| over reporting leaves; under the
+	// default selected-size weighting it equals Weight.
+	NumSelected int
+	// TrainSeconds is the summed local compute time across the region.
+	TrainSeconds float64
+	// TrainLoss is the weight-averaged training loss across the region.
+	TrainLoss float64
+	// MeanEntropy is the weight-averaged EDS entropy over the leaves that
+	// reported one (NaN when none did), the region-level scheduler utility.
 	MeanEntropy float64
 }
 

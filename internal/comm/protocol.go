@@ -15,9 +15,11 @@ const shutdownTimeout = 10 * time.Second
 // ServerSession coordinates a registered set of federated clients over any
 // Transport. It implements the server half of the wire protocol.
 type ServerSession struct {
-	conns map[int]Conn   // by client ID
-	sizes map[int]int    // local dataset sizes reported at Hello, by client ID
-	tiers map[int]string // device tiers reported at Hello, by client ID
+	conns  map[int]Conn   // by client ID
+	sizes  map[int]int    // local dataset sizes reported at Hello, by client ID
+	tiers  map[int]string // device tiers reported at Hello, by client ID
+	relays map[int]bool   // relay role reported at Hello, by client ID
+	leaves map[int]int    // downstream leaf counts reported at Hello, by client ID
 }
 
 // AcceptClients blocks until numClients clients have registered, answering
@@ -29,9 +31,11 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 		return nil, fmt.Errorf("%w: numClients %d", ErrProtocol, numClients)
 	}
 	s := &ServerSession{
-		conns: make(map[int]Conn, numClients),
-		sizes: make(map[int]int, numClients),
-		tiers: make(map[int]string, numClients),
+		conns:  make(map[int]Conn, numClients),
+		sizes:  make(map[int]int, numClients),
+		tiers:  make(map[int]string, numClients),
+		relays: make(map[int]bool, numClients),
+		leaves: make(map[int]int, numClients),
 	}
 	fail := func(conn Conn, err error) (*ServerSession, error) {
 		if conn != nil {
@@ -68,11 +72,31 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 		if err := conn.Send(welcome); err != nil {
 			return fail(conn, fmt.Errorf("comm: sending welcome to %d: %w", hello.ClientID, err))
 		}
-		s.conns[hello.ClientID] = conn
-		s.sizes[hello.ClientID] = hello.LocalSize
-		s.tiers[hello.ClientID] = hello.Tier
+		s.admit(hello, conn)
 	}
 	return s, nil
+}
+
+// admit registers one handshaked connection.
+func (s *ServerSession) admit(hello Hello, conn Conn) {
+	s.conns[hello.ClientID] = conn
+	s.sizes[hello.ClientID] = hello.LocalSize
+	s.tiers[hello.ClientID] = hello.Tier
+	s.relays[hello.ClientID] = hello.Relay
+	s.leaves[hello.ClientID] = hello.Clients
+}
+
+// Admit registers a handshaked connection after the initial accept phase —
+// the re-admission path for a crashed-and-restarted relay or client. The
+// Welcome must already have been sent (the Admitter does). A duplicate of a
+// still-live ID is rejected; the caller keeps ownership of the rejected
+// connection.
+func (s *ServerSession) Admit(hello Hello, conn Conn) error {
+	if _, dup := s.conns[hello.ClientID]; dup {
+		return fmt.Errorf("%w: duplicate client id %d", ErrProtocol, hello.ClientID)
+	}
+	s.admit(hello, conn)
+	return nil
 }
 
 // LocalSize returns the local dataset size the client reported at
@@ -82,6 +106,15 @@ func (s *ServerSession) LocalSize(id int) int { return s.sizes[id] }
 // Tier returns the device tier the client reported at registration (empty
 // for untiered or unknown clients) — the scheduler's tier signal.
 func (s *ServerSession) Tier(id int) string { return s.tiers[id] }
+
+// IsRelay reports whether the registered peer declared itself a mid-tier
+// relay (it answers rounds with RegionUpdate frames).
+func (s *ServerSession) IsRelay(id int) bool { return s.relays[id] }
+
+// DownstreamClients returns the number of leaf clients a registered relay
+// speaks for (zero for plain clients and unknown IDs) — the scheduler's
+// region-population signal.
+func (s *ServerSession) DownstreamClients(id int) int { return s.leaves[id] }
 
 // ClientIDs returns the registered client IDs in ascending order.
 func (s *ServerSession) ClientIDs() []int {
@@ -160,7 +193,19 @@ func Join(conn Conn, clientID, localSize int) (*ClientSession, Welcome, error) {
 // their capability class so the server can balance cohorts and expect
 // masked updates.
 func JoinTiered(conn Conn, clientID, localSize int, tier string) (*ClientSession, Welcome, error) {
-	env, err := EncodeBody(MsgHello, Hello{ClientID: clientID, LocalSize: localSize, Tier: tier})
+	return join(conn, Hello{ClientID: clientID, LocalSize: localSize, Tier: tier})
+}
+
+// JoinRelay registers a mid-tier relay with the root: localSize is the
+// summed leaf dataset size and clients the region's leaf count, so the root
+// can schedule and weigh the region by its population.
+func JoinRelay(conn Conn, relayID, localSize, clients int) (*ClientSession, Welcome, error) {
+	return join(conn, Hello{ClientID: relayID, LocalSize: localSize, Relay: true, Clients: clients})
+}
+
+// join performs the Hello/Welcome handshake for any registration role.
+func join(conn Conn, hello Hello) (*ClientSession, Welcome, error) {
+	env, err := EncodeBody(MsgHello, hello)
 	if err != nil {
 		return nil, Welcome{}, err
 	}
@@ -178,7 +223,7 @@ func JoinTiered(conn Conn, clientID, localSize int, tier string) (*ClientSession
 	if err := DecodeBody(reply, &w); err != nil {
 		return nil, Welcome{}, err
 	}
-	return &ClientSession{conn: conn, ID: clientID}, w, nil
+	return &ClientSession{conn: conn, ID: hello.ClientID}, w, nil
 }
 
 // NextRound blocks for the next instruction. ok is false when the server
@@ -204,6 +249,15 @@ func (c *ClientSession) NextRound() (rs RoundStart, ok bool, err error) {
 // SendUpdate returns the client's trained state to the server.
 func (c *ClientSession) SendUpdate(u ClientUpdate) error {
 	env, err := EncodeBody(MsgClientUpdate, u)
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(env)
+}
+
+// SendRegion returns a relay's folded regional delta to the root.
+func (c *ClientSession) SendRegion(ru RegionUpdate) error {
+	env, err := EncodeBody(MsgRegionUpdate, ru)
 	if err != nil {
 		return err
 	}

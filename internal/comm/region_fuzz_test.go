@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"net"
+	"reflect"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+// regionEqual compares RegionUpdates with a NaN-tolerant MeanEntropy (NaN
+// is the wire value for "no leaf reported an entropy").
+func regionEqual(a, b RegionUpdate) bool {
+	ea, eb := a.MeanEntropy, b.MeanEntropy
+	a.MeanEntropy, b.MeanEntropy = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	if math.IsNaN(ea) || math.IsNaN(eb) {
+		return math.IsNaN(ea) && math.IsNaN(eb)
+	}
+	return ea == eb
+}
+
+// FuzzRegionUpdateRoundTrip round-trips the hierarchical tier's upstream
+// frame through the gob envelope: every field — including the NaN entropy
+// sentinel and the version stamp — must survive byte-exact, and every strict
+// prefix of the encoded body must be rejected by DecodeBody rather than
+// decode into a silently-truncated region delta.
+func FuzzRegionUpdateRoundTrip(f *testing.F) {
+	f.Add(0, 1, 0, 48.0, 3, 48, 1.5, 0.25, 0.9, false, 10)
+	f.Add(7, 12, 11, 0.5, 1, 1, 0.0, 4.0, 0.0, true, 1)    // stale + NaN entropy
+	f.Add(1, 1, 1, 16.0, 2, 16, 2.25, 1.0, 1.25, false, 0) // zero-length prefix
+
+	f.Fuzz(func(t *testing.T, relayID, round, version int, weight float64,
+		clients, nsel int, secs, loss, entropy float64, nanEntropy bool, cut int) {
+		if nanEntropy {
+			entropy = math.NaN()
+		}
+		if math.IsNaN(weight) || math.IsNaN(secs) || math.IsNaN(loss) {
+			t.Skip("NaN is only meaningful in MeanEntropy")
+		}
+		ru := RegionUpdate{
+			RelayID: relayID, Round: round, Version: version,
+			State:  mustEncode(t, []*tensor.Tensor{tensor.New(2, 2), tensor.New(3)}),
+			Weight: weight, Clients: clients, NumSelected: nsel,
+			TrainSeconds: secs, TrainLoss: loss, MeanEntropy: entropy,
+		}
+		env, err := EncodeBody(MsgRegionUpdate, ru)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var got RegionUpdate
+		if err := DecodeBody(env, &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !regionEqual(ru, got) {
+			t.Fatalf("round-trip: sent %+v, got %+v", ru, got)
+		}
+
+		// A strict prefix is a torn frame: gob's internal length delimiting
+		// must reject it, never hand back a partially-filled struct.
+		if n := len(env.Body); n > 0 {
+			idx := cut % n
+			if idx < 0 {
+				idx += n
+			}
+			var cutGot RegionUpdate
+			if err := DecodeBody(Envelope{Type: env.Type, Body: env.Body[:idx]}, &cutGot); err == nil {
+				t.Fatalf("truncated body (%d of %d bytes) decoded silently", idx, n)
+			}
+		}
+	})
+}
+
+// TestRegionFrameTruncationRejected sweeps every strict prefix of one
+// encoded RegionUpdate — the deterministic CI companion to the fuzz target.
+func TestRegionFrameTruncationRejected(t *testing.T) {
+	ru := RegionUpdate{
+		RelayID: 1, Round: 3, Version: 2,
+		State:  mustEncode(t, []*tensor.Tensor{tensor.New(4)}),
+		Weight: 32, Clients: 2, NumSelected: 32,
+		TrainSeconds: 1.5, TrainLoss: 0.75, MeanEntropy: 1.25,
+	}
+	env, err := EncodeBody(MsgRegionUpdate, ru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(env.Body); cut++ {
+		var got RegionUpdate
+		if err := DecodeBody(Envelope{Type: env.Type, Body: env.Body[:cut]}, &got); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded silently", cut, len(env.Body))
+		}
+	}
+}
+
+// TestVersionStampedFramesRoundTrip pins the async additions to the legacy
+// frames: RoundStart's version stamp and relay layout, and ClientUpdate's
+// version echo, round-trip exactly — including the zero values legacy peers
+// send, which gob omits from the wire entirely.
+func TestVersionStampedFramesRoundTrip(t *testing.T) {
+	for _, rs := range []RoundStart{
+		{Round: 1, SelectFraction: 0.5, LocalEpochs: 1},                               // legacy sync frame
+		{Round: 4, SelectFraction: 0.5, LocalEpochs: 2, Version: 3},                   // async dispatch
+		{Round: 2, SelectFraction: 1, LocalEpochs: 1, Layout: []string{"low", "mid"}}, // relay broadcast
+		{Round: 9, SelectFraction: 0.25, LocalEpochs: 1, Version: 8, Layout: []string{"up"}},
+	} {
+		env, err := EncodeBody(MsgRoundStart, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got RoundStart
+		if err := DecodeBody(env, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Version != rs.Version || !reflect.DeepEqual(got.Layout, rs.Layout) {
+			t.Fatalf("sent %+v, got %+v", rs, got)
+		}
+	}
+	for _, version := range []int{0, 1, 41} {
+		u := ClientUpdate{ClientID: 2, Round: 5, NumSelected: 7, Version: version,
+			State: mustEncode(t, []*tensor.Tensor{tensor.New(1)})}
+		env, err := EncodeBody(MsgClientUpdate, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ClientUpdate
+		if err := DecodeBody(env, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Version != version {
+			t.Fatalf("version %d decoded as %d", version, got.Version)
+		}
+	}
+}
+
+// TestTCPFrameLengthCorruptionRejected corrupts the transport-level length
+// prefix: a frame claiming more than the 64 MiB cap must be refused before
+// any allocation, classified as a protocol error.
+func TestTCPFrameLengthCorruptionRejected(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		// 5-byte header: little-endian length (cap + 1), then the type tag.
+		header := []byte{0x01, 0x00, 0x00, 0x04, byte(MsgRegionUpdate)}
+		_, _ = client.Write(header)
+	}()
+	if _, err := NewTCPConn(server).Recv(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized frame length: got %v, want ErrProtocol", err)
+	}
+}

@@ -241,6 +241,38 @@ func DialTCP(addr string, timeout time.Duration) (*TCPConn, error) {
 	return NewTCPConn(c), nil
 }
 
+// dialRetryBase is the first backoff delay of DialTCPRetry; each further
+// attempt doubles it, capped at dialRetryCap. Package variables so tests
+// can compress the schedule.
+var (
+	dialRetryBase = 100 * time.Millisecond
+	dialRetryCap  = 5 * time.Second
+)
+
+// DialTCPRetry is DialTCP with a bounded exponential-backoff retry loop for
+// transient startup races (a client or relay launched moments before its
+// server listens): after a failed dial it sleeps base, 2·base, 4·base, ...
+// (capped) and redials, up to retries additional attempts. retries <= 0
+// behaves exactly like DialTCP. The last dial error is returned, wrapped
+// with the attempt count.
+func DialTCPRetry(addr string, timeout time.Duration, retries int) (*TCPConn, error) {
+	conn, err := DialTCP(addr, timeout)
+	if err == nil || retries <= 0 {
+		return conn, err
+	}
+	backoff := dialRetryBase
+	for attempt := 1; attempt <= retries; attempt++ {
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > dialRetryCap {
+			backoff = dialRetryCap
+		}
+		if conn, err = DialTCP(addr, timeout); err == nil {
+			return conn, nil
+		}
+	}
+	return nil, fmt.Errorf("comm: dial %s failed after %d attempts: %w", addr, retries+1, err)
+}
+
 // Pipe returns a connected in-process transport pair, used by tests and the
 // single-process distributed example. Each side's Send delivers to the other
 // side's Recv through a buffered channel.

@@ -99,7 +99,7 @@ func TestAggregateSteadyStateAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 			allocs := testing.AllocsPerRun(20, func() {
-				if err := r.aggregate(results, commState); err != nil {
+				if err := r.aggregate(results, commState, nil); err != nil {
 					t.Fatal(err)
 				}
 			})

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fedfteds/internal/metrics"
+	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
+	"fedfteds/internal/tensor"
+)
+
+// AsyncConfig shapes the buffered-asynchronous (FedBuff-style) simulator:
+// every client trains continuously against the model version it last
+// received, the server buffers finished updates as they arrive in simulated
+// time, and aggregates as soon as Buffer of them are in hand — discounting
+// each update by its staleness (how many aggregations the global model has
+// advanced since the update's base version was dispatched).
+type AsyncConfig struct {
+	// Buffer is M, the number of buffered updates that triggers an
+	// aggregation. Buffer = pool size with the identity weigher degenerates
+	// to the synchronous engine (bit for bit — see RunAsync).
+	Buffer int
+	// MaxStaleness discards updates staler than this many versions instead
+	// of folding them; the discarded client immediately receives the current
+	// model. Negative means unlimited (nothing is discarded).
+	MaxStaleness int
+	// Weigher maps staleness to the discount multiplied into the strategy's
+	// aggregation weight. Nil means identity (no discount).
+	Weigher strategy.StalenessWeigher
+}
+
+func (c AsyncConfig) validate(numClients int) error {
+	if c.Buffer < 1 {
+		return fmt.Errorf("%w: async buffer %d, need at least 1", ErrConfig, c.Buffer)
+	}
+	if c.Buffer > numClients {
+		return fmt.Errorf("%w: async buffer %d exceeds the %d-client pool — it could never fill",
+			ErrConfig, c.Buffer, numClients)
+	}
+	return nil
+}
+
+// RunAsync executes Config.Rounds buffered-asynchronous aggregations over a
+// simulated-time event queue and returns the history (one record per
+// aggregation). Clients overlap: each trains for its projected round cost in
+// simulated seconds, reports, and is handed the then-current model at the
+// next aggregation boundary (or immediately, when its update was discarded
+// as too stale). Updates fold in ascending client order within each buffer,
+// the synchronous engine's participant order, so Buffer = pool size with the
+// identity weigher replays Run bit for bit: every client then trains each
+// version exactly once and the buffer fills exactly when the round would
+// have ended.
+//
+// Async mode replaces the admission machinery wholesale, so RunAsync rejects
+// cohort scheduling, straggler policies, tiered partial training and
+// in-simulator checkpointing (warm restarts of async state live in the
+// distributed server).
+func (r *Runner) RunAsync(acfg AsyncConfig) (History, error) {
+	if err := acfg.validate(len(r.clients)); err != nil {
+		return History{}, err
+	}
+	switch {
+	case r.restored:
+		return History{}, fmt.Errorf("%w: the async simulator does not resume from checkpoints; "+
+			"warm restarts of async state live in the distributed server", ErrConfig)
+	case r.cfg.Scheduler != nil || r.cfg.CohortSize > 0:
+		return History{}, fmt.Errorf("%w: cohort scheduling and buffered-async dispatch are mutually "+
+			"exclusive — the buffer is the admission policy", ErrConfig)
+	case r.cfg.TierDist != nil:
+		return History{}, fmt.Errorf("%w: tiered partial training is synchronous-only; drop TierDist "+
+			"for async runs", ErrConfig)
+	case r.cfg.CheckpointEvery > 0:
+		return History{}, fmt.Errorf("%w: the async simulator does not checkpoint; use the distributed "+
+			"server for resumable async runs", ErrConfig)
+	}
+	if _, ok := r.cfg.Straggler.(simtime.FullParticipation); !ok {
+		return History{}, fmt.Errorf("%w: straggler policies do not apply in async mode — slow clients "+
+			"go stale instead of dropping out", ErrConfig)
+	}
+	if r.maskProvider() != nil {
+		return History{}, fmt.Errorf("%w: strategy %s provides per-client masks, which are "+
+			"synchronous-only", ErrConfig, r.strat.Name())
+	}
+	weigher := acfg.Weigher
+	if weigher == nil {
+		weigher = strategy.IdentityStaleness()
+	}
+
+	r.hist = History{}
+	r.acct = simtime.Accountant{}
+	r.startRound, r.doneRound = 0, 0
+
+	// Same preamble as Run: freeze the non-finetuned part, resolve the
+	// communicated groups/tensors once, project every client's round cost.
+	if err := r.global.SetFinetunePart(r.cfg.FinetunePart); err != nil {
+		return r.hist, err
+	}
+	commGroups := r.global.TrainableGroupNames()
+	commState, err := r.global.GroupStateTensors(commGroups)
+	if err != nil {
+		return r.hist, err
+	}
+	stateSize, err := r.stateBytes(commGroups)
+	if err != nil {
+		return r.hist, err
+	}
+	r.commGroups, r.commState = commGroups, commState
+	if err := r.setupTiers(); err != nil {
+		return r.hist, err
+	}
+	if err := r.cacheProjectedCosts(); err != nil {
+		return r.hist, err
+	}
+	r.maskActive = false
+
+	n := len(r.clients)
+	// Per-pool-position in-flight state: the finished update waiting in the
+	// event queue (each client has at most one), the version it trained
+	// against, and the owned state buffers the scratch results are copied
+	// into (trainParticipants reuses its buffers across calls).
+	pend := make([]clientResult, n)
+	pendVersion := make([]int, n)
+	pendBufs := make([][]*tensor.Tensor, n)
+	var q simtime.EventQueue
+	now := 0.0
+	version := 0
+
+	dispatch := func(positions []int, round int, at float64) error {
+		if len(positions) == 0 {
+			return nil
+		}
+		sort.Ints(positions)
+		if cap(r.partScratch) < len(positions) {
+			r.partScratch = make([]*Client, len(positions))
+		}
+		parts := r.partScratch[:len(positions)]
+		for i, pos := range positions {
+			parts[i] = r.clients[pos]
+		}
+		results, err := r.trainParticipants(parts, round)
+		if err != nil {
+			return err
+		}
+		for i, pos := range positions {
+			res := results[i]
+			bufs := pendBufs[pos]
+			if cap(bufs) < len(res.state) {
+				bufs = append(bufs[:len(bufs)], make([]*tensor.Tensor, len(res.state)-len(bufs))...)
+			}
+			bufs = bufs[:len(res.state)]
+			for ti, src := range res.state {
+				if bufs[ti] == nil || !bufs[ti].SameShape(src) {
+					bufs[ti] = tensor.Ensure(bufs[ti], src.Shape()...)
+				}
+				if err := bufs[ti].CopyFrom(src); err != nil {
+					return fmt.Errorf("core: buffering update from client %d: %w", res.clientID, err)
+				}
+			}
+			pendBufs[pos] = bufs
+			res.state = bufs
+			pend[pos] = res
+			pendVersion[pos] = version
+			q.Push(simtime.Event{Time: at + r.projCost[pos], ID: pos})
+		}
+		return nil
+	}
+
+	initial := make([]int, n)
+	copy(initial, r.allIDs)
+	if err := dispatch(initial, 1, now); err != nil {
+		return r.hist, err
+	}
+
+	var (
+		folded    []clientResult
+		foldedPos []int
+		lambdas   []float64
+		order     []int
+		aggRes    []clientResult
+		aggPos    []int
+		aggLam    []float64
+	)
+	for agg := 1; agg <= r.cfg.Rounds; agg++ {
+		folded, foldedPos, lambdas = folded[:0], foldedPos[:0], lambdas[:0]
+		discarded := 0
+		for len(folded) < acfg.Buffer {
+			ev, ok := q.Pop()
+			if !ok {
+				return r.hist, fmt.Errorf("core: async aggregation %d starved with %d/%d updates buffered",
+					agg, len(folded), acfg.Buffer)
+			}
+			now = ev.Time
+			s := version - pendVersion[ev.ID]
+			if acfg.MaxStaleness >= 0 && s > acfg.MaxStaleness {
+				// The client computed and uplinked regardless; count the work,
+				// drop the update, and hand it the current model right away.
+				r.acct.AddRound(pend[ev.ID].cost)
+				r.acct.AddCommunication(stateSize, stateSize)
+				discarded++
+				if err := dispatch([]int{ev.ID}, agg, now); err != nil {
+					return r.hist, err
+				}
+				continue
+			}
+			lam := weigher.Weight(s)
+			if lam <= 0 || math.IsNaN(lam) || math.IsInf(lam, 0) {
+				return r.hist, fmt.Errorf("core: staleness weigher %s returned %v for staleness %d",
+					weigher.Name(), lam, s)
+			}
+			folded = append(folded, pend[ev.ID])
+			foldedPos = append(foldedPos, ev.ID)
+			lambdas = append(lambdas, lam)
+		}
+
+		// Fold in ascending client order — the synchronous engine's
+		// participant order — not arrival order, so the degenerate full-buffer
+		// configuration reproduces Run's arithmetic exactly.
+		order = order[:0]
+		for i := range foldedPos {
+			order = append(order, i)
+		}
+		sort.Slice(order, func(a, b int) bool { return foldedPos[order[a]] < foldedPos[order[b]] })
+		aggRes, aggPos, aggLam = aggRes[:0], aggPos[:0], aggLam[:0]
+		for _, i := range order {
+			aggRes = append(aggRes, folded[i])
+			aggPos = append(aggPos, foldedPos[i])
+			aggLam = append(aggLam, lambdas[i])
+		}
+		if err := r.aggregate(aggRes, commState, aggLam); err != nil {
+			return r.hist, err
+		}
+		version++
+
+		var lossSum float64
+		for i, res := range aggRes {
+			r.acct.AddRound(res.cost)
+			r.acct.AddCommunication(stateSize, stateSize)
+			lossSum += res.trainLoss
+			r.utility.ObserveUpdate(aggPos[i], res.meanEntropy, res.trainLoss, res.cost.Total())
+		}
+
+		rec := RoundRecord{
+			Round:           agg,
+			CohortSize:      len(aggRes) + discarded,
+			Participants:    len(aggRes),
+			TestAccuracy:    math.NaN(),
+			MeanTrainLoss:   lossSum / float64(len(aggRes)),
+			CumTrainSeconds: r.acct.TotalSeconds(),
+			CumUplinkBytes:  r.acct.UplinkBytes(),
+		}
+		if r.cfg.EvalEvery > 0 && (agg%r.cfg.EvalEvery == 0 || agg == r.cfg.Rounds) {
+			acc, err := metrics.Accuracy(r.global, r.test)
+			if err != nil {
+				return r.hist, fmt.Errorf("core: eval aggregation %d: %w", agg, err)
+			}
+			rec.TestAccuracy = acc
+			if acc > r.hist.BestAccuracy {
+				r.hist.BestAccuracy = acc
+			}
+			r.hist.FinalAccuracy = acc
+		}
+		r.hist.Records = append(r.hist.Records, rec)
+		r.doneRound = agg
+
+		// The consumed clients receive the freshly aggregated model and start
+		// training it; after the final aggregation there is nothing left to
+		// train for.
+		if agg < r.cfg.Rounds {
+			if err := dispatch(aggPos, agg+1, now); err != nil {
+				return r.hist, err
+			}
+			// dispatch sorts its argument in place; aggPos is already sorted,
+			// aggRes/aggLam stay aligned.
+		}
+	}
+	r.hist.TotalTrainSeconds = r.acct.TotalSeconds()
+	r.hist.TotalUplinkBytes = r.acct.UplinkBytes()
+	r.hist.TotalDownlinkBytes = r.acct.DownlinkBytes()
+	return r.hist, nil
+}

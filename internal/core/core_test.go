@@ -331,7 +331,7 @@ func TestAggregateWeighting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, live); err != nil {
+	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, live, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, ts := range live {
@@ -374,7 +374,7 @@ func TestAggregateUniformWeighting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, live); err != nil {
+	if err := r.aggregate([]clientResult{mk(0, 1), mk(1, 3)}, live, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, ts := range live {

@@ -105,7 +105,7 @@ func TestAggregateRejectsShortClientState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.aggregate([]clientResult{{state: nil, numSelected: 1}}, live); err == nil {
+	if err := r.aggregate([]clientResult{{state: nil, numSelected: 1}}, live, nil); err == nil {
 		t.Fatal("expected error for truncated client state")
 	}
 }
@@ -124,7 +124,7 @@ func TestAggregateRejectsZeroWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.aggregate([]clientResult{{numSelected: 0}}, live); err == nil {
+	if err := r.aggregate([]clientResult{{numSelected: 0}}, live, nil); err == nil {
 		t.Fatal("expected error for zero total weight")
 	}
 }

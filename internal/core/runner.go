@@ -254,7 +254,7 @@ func (r *Runner) Run() (History, error) {
 		if err != nil {
 			return r.hist, err
 		}
-		if err := r.aggregate(results, commState); err != nil {
+		if err := r.aggregate(results, commState, nil); err != nil {
 			return r.hist, err
 		}
 
@@ -693,8 +693,10 @@ func (r *Runner) trainParticipants(participants []*Client, round int) ([]clientR
 // reused runner scratch tensors in participant order, so the arithmetic —
 // and therefore every result bit — is independent of the strategy applying
 // it. globalState holds the live communicated tensors, resolved once per
-// Run.
-func (r *Runner) aggregate(results []clientResult, globalState []*tensor.Tensor) error {
+// Run. lambdas, when non-nil, multiplies each strategy weight by that
+// update's staleness discount (buffered-async runs); nil keeps the
+// synchronous arithmetic untouched.
+func (r *Runner) aggregate(results []clientResult, globalState []*tensor.Tensor, lambdas []float64) error {
 	if len(results) == 0 {
 		return fmt.Errorf("core: aggregate with no results")
 	}
@@ -713,6 +715,14 @@ func (r *Runner) aggregate(results []clientResult, globalState []*tensor.Tensor)
 	}
 	if err := r.strat.WeighUpdates(ups, weights); err != nil {
 		return fmt.Errorf("core: weighting updates: %w", err)
+	}
+	if lambdas != nil {
+		if len(lambdas) != n {
+			return fmt.Errorf("core: %d staleness discounts for %d updates", len(lambdas), n)
+		}
+		for i := range weights {
+			weights[i] *= lambdas[i]
+		}
 	}
 	var total float64
 	for i, w := range weights {

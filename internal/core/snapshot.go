@@ -37,7 +37,47 @@ const (
 	// (Config.TierDist set), so untiered checkpoints keep their exact
 	// pre-tier byte layout.
 	sectionTiers = "tiers"
+	// sectionAsync is optional: it is written only by buffered-asynchronous
+	// (FedBuff) servers, carrying the model version counter and the updates
+	// buffered but not yet aggregated, so a warm start resumes mid-buffer.
+	// Synchronous checkpoints keep their exact pre-async byte layout.
+	sectionAsync = "async"
 )
+
+// BufferedUpdate is one received-but-not-yet-aggregated client update of a
+// buffered-asynchronous server, the checkpoint rendering of the wire-level
+// ClientUpdate (the encoded state blob is carried opaquely).
+type BufferedUpdate struct {
+	// ClientID identifies the sender.
+	ClientID int
+	// Round is the aggregation index the update was dispatched under.
+	Round int
+	// Version is the model version the update was trained against; its
+	// staleness is re-measured against the restored version at fold time.
+	Version int
+	// State is the encoded updated state for the communicated groups.
+	State []byte
+	// Groups names the model groups State covers (empty for whole-state
+	// updates, mirroring the wire contract).
+	Groups []string
+	// NumSelected, TrainSeconds, TrainLoss and MeanEntropy mirror the wire
+	// update's reporting fields.
+	NumSelected  int
+	TrainSeconds float64
+	TrainLoss    float64
+	MeanEntropy  float64
+}
+
+// AsyncState is a buffered-asynchronous (FedBuff) server's resumable state
+// at a checkpoint boundary: the model version counter and the buffer of
+// updates that arrived but were not yet aggregated. Nil on synchronous
+// runs, whose checkpoints keep their exact legacy byte layout.
+type AsyncState struct {
+	// Version is the number of aggregations applied since run start.
+	Version int
+	// Buffer holds the pending updates in arrival order.
+	Buffer []BufferedUpdate
+}
 
 // RunState is the complete resumable state of a federated run at a round
 // boundary: everything that survives from one round to the next. Per-round
@@ -95,6 +135,11 @@ type RunState struct {
 	// tier mix — one set of per-client layer masks — is never continued
 	// under an edited one.
 	TierSpec string
+	// Async is the buffered-asynchronous server state (nil for synchronous
+	// runs). The async mode contributes its buffer/staleness flags to the
+	// config tag, so ValidateFor already refuses crossing a checkpoint
+	// between the two modes.
+	Async *AsyncState
 }
 
 // SnapshotModelState clones a model's full state tensors (params and buffers
@@ -481,6 +526,28 @@ func (s *RunState) Sections() ([]ckpt.Section, error) {
 		tiers.PutString(s.TierSpec)
 		sections = append(sections, ckpt.Section{Name: sectionTiers, Body: tiers.Bytes()})
 	}
+	// The async section is written only for buffered-asynchronous runs:
+	// synchronous checkpoints keep their exact pre-async byte layout.
+	if s.Async != nil {
+		var async ckpt.Encoder
+		async.PutInt(s.Async.Version)
+		async.PutUint64(uint64(len(s.Async.Buffer)))
+		for _, u := range s.Async.Buffer {
+			async.PutInt(u.ClientID)
+			async.PutInt(u.Round)
+			async.PutInt(u.Version)
+			async.PutBytes(u.State)
+			async.PutUint64(uint64(len(u.Groups)))
+			for _, g := range u.Groups {
+				async.PutString(g)
+			}
+			async.PutInt(u.NumSelected)
+			async.PutFloat64(u.TrainSeconds)
+			async.PutFloat64(u.TrainLoss)
+			async.PutFloat64(u.MeanEntropy)
+		}
+		sections = append(sections, ckpt.Section{Name: sectionAsync, Body: async.Bytes()})
+	}
 	return sections, nil
 }
 
@@ -596,6 +663,40 @@ func RunStateFromSections(sections []ckpt.Section) (*RunState, error) {
 		if err := tiers.Done(); err != nil {
 			return nil, fmt.Errorf("tiers section: %w", err)
 		}
+	}
+
+	// The async section is optional (absent for synchronous runs).
+	if body, ok := bodies[sectionAsync]; ok {
+		async := ckpt.NewDecoder(body)
+		st := &AsyncState{Version: async.Int()}
+		n := async.Uint64()
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: async section claims %d buffered updates", ckpt.ErrCorrupt, n)
+		}
+		for i := uint64(0); i < n && async.Err() == nil; i++ {
+			u := BufferedUpdate{
+				ClientID: async.Int(),
+				Round:    async.Int(),
+				Version:  async.Int(),
+				State:    async.Bytes(),
+			}
+			gn := async.Uint64()
+			if gn > uint64(len(body)) {
+				return nil, fmt.Errorf("%w: buffered update claims %d groups", ckpt.ErrCorrupt, gn)
+			}
+			for g := uint64(0); g < gn && async.Err() == nil; g++ {
+				u.Groups = append(u.Groups, async.String())
+			}
+			u.NumSelected = async.Int()
+			u.TrainSeconds = async.Float64()
+			u.TrainLoss = async.Float64()
+			u.MeanEntropy = async.Float64()
+			st.Buffer = append(st.Buffer, u)
+		}
+		if err := async.Done(); err != nil {
+			return nil, fmt.Errorf("async section: %w", err)
+		}
+		s.Async = st
 	}
 
 	return s, nil

@@ -1,0 +1,66 @@
+package simtime
+
+import "container/heap"
+
+// Event is one pending completion in simulated time: a client (or any
+// actor, keyed by ID) finishing its in-flight work at Time.
+type Event struct {
+	// Time is the simulated completion instant, in seconds.
+	Time float64
+	// ID keys the actor; ties on Time pop in ascending ID order, so the
+	// queue is deterministic for identical push sequences.
+	ID int
+}
+
+// EventQueue is a deterministic min-queue over simulated time, the engine
+// behind overlapping in-flight client updates in the buffered-asynchronous
+// simulator: dispatches push completion events, the server loop pops the
+// earliest. Earlier Time pops first; equal Times pop in ascending ID order.
+// The zero value is an empty queue.
+type EventQueue struct {
+	h eventHeap
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Push adds one pending completion.
+func (q *EventQueue) Push(e Event) { heap.Push(&q.h, e) }
+
+// Pop removes and returns the earliest pending completion; ok is false on
+// an empty queue.
+func (q *EventQueue) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+// Peek returns the earliest pending completion without removing it; ok is
+// false on an empty queue.
+func (q *EventQueue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// eventHeap implements heap.Interface ordered by (Time, ID).
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].Time != h[b].Time {
+		return h[a].Time < h[b].Time
+	}
+	return h[a].ID < h[b].ID
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

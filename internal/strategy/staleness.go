@@ -1,0 +1,106 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// StalenessWeigher discounts a buffered-asynchronous update by its
+// staleness s — how many aggregations the global model advanced while the
+// client trained. Weight must return a multiplier in (0, 1] for every
+// s >= 0 and 1 at s == 0, so a fresh update is never discounted and the
+// synchronous special case (every staleness zero) is arithmetically exact.
+type StalenessWeigher interface {
+	// Name identifies the weigher for logs and config fingerprints.
+	Name() string
+	// Weight returns λ(s), the multiplicative discount for staleness s.
+	Weight(staleness int) float64
+}
+
+// StalenessNames lists the flag-constructible staleness weigher
+// identifiers in display order.
+func StalenessNames() []string {
+	return []string{"identity", "invsqrt", "poly"}
+}
+
+// identityWeigher never discounts: λ(s) = 1. It is the synchronous
+// equivalence anchor — buffered mode with a full-federation buffer and this
+// weigher reproduces the synchronous engine bit for bit.
+type identityWeigher struct{}
+
+func (identityWeigher) Name() string         { return "identity" }
+func (identityWeigher) Weight(_ int) float64 { return 1 }
+
+// IdentityStaleness returns the no-discount weigher.
+func IdentityStaleness() StalenessWeigher { return identityWeigher{} }
+
+// polyWeigher implements λ(s) = (1+s)^(-alpha), the polynomial family from
+// the FedBuff line of work; alpha = 0.5 is the canonical 1/sqrt(1+s).
+type polyWeigher struct {
+	name  string
+	alpha float64
+}
+
+func (p polyWeigher) Name() string { return p.name }
+func (p polyWeigher) Weight(s int) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return math.Pow(1+float64(s), -p.alpha)
+}
+
+// DefaultStalenessAlpha is the polynomial exponent of the default
+// inverse-square-root discount.
+const DefaultStalenessAlpha = 0.5
+
+// InvSqrtStaleness returns the default discount λ(s) = 1/sqrt(1+s).
+func InvSqrtStaleness() StalenessWeigher {
+	return polyWeigher{name: "invsqrt", alpha: DefaultStalenessAlpha}
+}
+
+// PolyStaleness returns λ(s) = (1+s)^(-alpha). alpha must be positive (use
+// IdentityStaleness for no discount).
+func PolyStaleness(alpha float64) (StalenessWeigher, error) {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("%w: poly staleness exponent alpha=%v, need > 0", ErrStrategy, alpha)
+	}
+	return polyWeigher{name: fmt.Sprintf("poly:alpha=%v", alpha), alpha: alpha}, nil
+}
+
+// ParseStaleness maps a CLI staleness spec to a weigher, mirroring Parse:
+//
+//	identity
+//	invsqrt
+//	poly:alpha=1
+//
+// The empty spec means the default, invsqrt.
+func ParseStaleness(spec string) (StalenessWeigher, error) {
+	if spec == "" {
+		return InvSqrtStaleness(), nil
+	}
+	name, rest, _ := strings.Cut(spec, ":")
+	p, err := parseParams(name, rest)
+	if err != nil {
+		return nil, err
+	}
+	var w StalenessWeigher
+	switch name {
+	case "identity":
+		w = IdentityStaleness()
+	case "invsqrt":
+		w = InvSqrtStaleness()
+	case "poly":
+		w, err = PolyStaleness(p.take("alpha", DefaultStalenessAlpha))
+	default:
+		return nil, fmt.Errorf("%w: unknown staleness weigher %q (want one of %s)",
+			ErrStrategy, name, strings.Join(StalenessNames(), ", "))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.drained(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
