@@ -74,6 +74,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -128,6 +130,8 @@ type serverConfig struct {
 	maxStaleness  int
 	stalenessSpec string
 	weigher       strategy.StalenessWeigher // nil outside async mode
+	cpuProfile    string
+	memProfile    string
 }
 
 // tierSpec is the canonical tier-distribution rendering checkpoints record
@@ -173,6 +177,8 @@ func parseFlags(args []string) (serverConfig, error) {
 	fs.IntVar(&cfg.buffer, "buffer", 0, "buffered-async (FedBuff) mode: aggregate as soon as this many updates arrive instead of running synchronous rounds")
 	fs.IntVar(&cfg.maxStaleness, "max-staleness", -1, "async mode: discard updates staler than this many model versions (negative keeps all; needs -buffer)")
 	fs.StringVar(&cfg.stalenessSpec, "staleness", "", "async mode: staleness discount "+strings.Join(strategy.StalenessNames(), "/")+" with optional parameters, e.g. poly:alpha=1 (default invsqrt; needs -buffer)")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return serverConfig{}, err
 	}
@@ -323,6 +329,32 @@ func run(args []string) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	// Profiling mirrors fedsim: CPU profile over the whole serve, heap
+	// profile of the steady state at exit.
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		f, err := os.Create(cfg.memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fedserver: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	l, err := comm.ListenTCP(cfg.addr)
 	if err != nil {

@@ -14,6 +14,14 @@ import (
 // arrive; unlike it, every tensor carries its own weight total, and groups a
 // client's layer mask excluded simply never contribute (they also shipped
 // zero bytes — the update's State holds only the covered groups' tensors).
+//
+// The aggregator is built to be reused round after round with zero
+// steady-state allocations: decode buffers, accumulators, the coverage
+// mask and the result slice all persist across rounds. Consequently the
+// tensors returned by Finish are owned by the aggregator and stay valid
+// only until the next Add — callers copy them into the model (or encode
+// them onto the wire) before starting the next round, which every current
+// consumer already does.
 type MaskedStreamAggregator struct {
 	weigh  WeightFunc
 	groups []string       // canonical communicated group list, bottom to top
@@ -23,13 +31,18 @@ type MaskedStreamAggregator struct {
 	totals []float64
 	sumW   float64
 	count  int
+
+	covered []bool           // per-group coverage of the update being folded
+	scratch []*tensor.Tensor // decode buffer, reused across Adds
+	out     []*tensor.Tensor // Finish result slice, reused across rounds
+	fb      []*tensor.Tensor // fallback copies for uncovered tensors
 }
 
-// NewMaskedStreamAggregator builds an aggregator for one round over the
-// given full communicated layout: groups is the canonical communicated group
-// list (RoundStart.Groups) and layout names, per tensor of the full state
-// blob, the group it belongs to (models.GroupStateLayout). weigh may be nil
-// for the default selected-size weighting.
+// NewMaskedStreamAggregator builds an aggregator for one or more rounds over
+// the given full communicated layout: groups is the canonical communicated
+// group list (RoundStart.Groups) and layout names, per tensor of the full
+// state blob, the group it belongs to (models.GroupStateLayout). weigh may
+// be nil for the default selected-size weighting.
 func NewMaskedStreamAggregator(weigh WeightFunc, groups, layout []string) (*MaskedStreamAggregator, error) {
 	if len(groups) == 0 || len(layout) == 0 {
 		return nil, fmt.Errorf("%w: masked aggregator needs groups and a layout", ErrProtocol)
@@ -54,47 +67,52 @@ func NewMaskedStreamAggregator(weigh WeightFunc, groups, layout []string) (*Mask
 		}
 	}
 	return &MaskedStreamAggregator{
-		weigh:  weigh,
-		groups: append([]string(nil), groups...),
-		gIndex: gIndex,
-		layout: append([]string(nil), layout...),
-		acc:    make([]*tensor.Tensor, len(layout)),
-		totals: make([]float64, len(layout)),
+		weigh:   weigh,
+		groups:  append([]string(nil), groups...),
+		gIndex:  gIndex,
+		layout:  append([]string(nil), layout...),
+		acc:     make([]*tensor.Tensor, len(layout)),
+		totals:  make([]float64, len(layout)),
+		covered: make([]bool, len(groups)),
 	}, nil
 }
 
-// coveredSet validates an update's Groups declaration — non-empty, known
-// names only, no duplicates, canonical (ascending) order — and returns it
-// as a set. Order is enforced so a subset's tensor layout is exactly the
-// full layout filtered by membership.
-func (a *MaskedStreamAggregator) coveredSet(clientID int, declared []string) (map[string]bool, error) {
+// setCovered validates an update's Groups declaration — non-empty, known
+// names only, no duplicates, canonical (ascending) order — and records it in
+// the reusable a.covered mask, indexed by canonical group position. Order is
+// enforced so a subset's tensor layout is exactly the full layout filtered
+// by membership.
+func (a *MaskedStreamAggregator) setCovered(clientID int, declared []string) error {
 	if len(declared) == 0 {
-		return nil, fmt.Errorf("%w: client %d declared an empty group subset", ErrProtocol, clientID)
+		return fmt.Errorf("%w: client %d declared an empty group subset", ErrProtocol, clientID)
 	}
-	covered := make(map[string]bool, len(declared))
+	for i := range a.covered {
+		a.covered[i] = false
+	}
 	prev := -1
 	for _, g := range declared {
 		gi, ok := a.gIndex[g]
 		if !ok {
-			return nil, fmt.Errorf("%w: client %d declared unknown group %q", ErrProtocol, clientID, g)
+			return fmt.Errorf("%w: client %d declared unknown group %q", ErrProtocol, clientID, g)
 		}
-		if covered[g] {
-			return nil, fmt.Errorf("%w: client %d declared group %q twice", ErrProtocol, clientID, g)
+		if a.covered[gi] {
+			return fmt.Errorf("%w: client %d declared group %q twice", ErrProtocol, clientID, g)
 		}
 		if gi <= prev {
-			return nil, fmt.Errorf("%w: client %d declared groups out of canonical order", ErrProtocol, clientID)
+			return fmt.Errorf("%w: client %d declared groups out of canonical order", ErrProtocol, clientID)
 		}
 		prev = gi
-		covered[g] = true
+		a.covered[gi] = true
 	}
-	return covered, nil
+	return nil
 }
 
 // Add decodes one masked update and folds its covered tensors into the
 // per-layer sums. The fold is atomic: every validation (weight, group
 // declaration, tensor count, shapes) happens before any sum is touched, so
 // on error the aggregate is unchanged and the caller can drop the client
-// yet keep the round.
+// yet keep the round. Decoding reuses the aggregator's scratch tensors, so
+// a warmed-up aggregator folds without allocating.
 func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 	if u.NumSelected <= 0 {
 		return fmt.Errorf("%w: client %d reports %d selected samples", ErrProtocol, u.ClientID, u.NumSelected)
@@ -109,17 +127,17 @@ func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 			return fmt.Errorf("%w: client %d weighed %v", ErrProtocol, u.ClientID, w64)
 		}
 	}
-	covered, err := a.coveredSet(u.ClientID, u.Groups)
-	if err != nil {
+	if err := a.setCovered(u.ClientID, u.Groups); err != nil {
 		return err
 	}
-	ts, err := DecodeTensors(u.State)
+	ts, err := DecodeTensorsReuse(a.scratch, u.State)
 	if err != nil {
 		return fmt.Errorf("comm: aggregate client %d: %w", u.ClientID, err)
 	}
+	a.scratch = ts[:cap(ts)]
 	wantN := 0
 	for _, g := range a.layout {
-		if covered[g] {
+		if a.covered[a.gIndex[g]] {
 			wantN++
 		}
 	}
@@ -130,7 +148,7 @@ func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 	// Validate every shape before folding anything.
 	ci := 0
 	for ti, g := range a.layout {
-		if !covered[g] {
+		if !a.covered[a.gIndex[g]] {
 			continue
 		}
 		if a.acc[ti] != nil && !a.acc[ti].SameShape(ts[ci]) {
@@ -141,14 +159,25 @@ func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 	w := float32(w64)
 	ci = 0
 	for ti, g := range a.layout {
-		if !covered[g] {
+		if !a.covered[a.gIndex[g]] {
 			continue
 		}
-		if a.acc[ti] == nil {
-			ts[ci].Scale(w)
-			a.acc[ti] = ts[ci]
-		} else if err := a.acc[ti].Axpy(w, ts[ci]); err != nil {
-			return err
+		switch {
+		case a.acc[ti] == nil:
+			// First contribution ever: allocate the accumulator once for
+			// the aggregator's lifetime.
+			a.acc[ti] = ts[ci].Clone()
+			a.acc[ti].Scale(w)
+		case a.totals[ti] == 0:
+			// First contribution this round: overwrite the retained
+			// accumulator. Same bits as Clone-then-Scale.
+			if err := a.acc[ti].ScaleFrom(w, ts[ci]); err != nil {
+				return err
+			}
+		default:
+			if err := a.acc[ti].Axpy(w, ts[ci]); err != nil {
+				return err
+			}
 		}
 		a.totals[ti] += w64
 		ci++
@@ -167,10 +196,11 @@ func (a *MaskedStreamAggregator) Updates() int { return a.count }
 func (a *MaskedStreamAggregator) Total() float64 { return a.sumW }
 
 // Finish normalizes each tensor by its own weight total and resets the
-// aggregator. Tensors no reporting client covered fall back to the current
-// global state (fallback, parallel to the full layout, cloned) — averaging
-// nothing leaves the layer where it was. It fails when no update at all was
-// folded.
+// aggregator for the next round. Tensors no reporting client covered fall
+// back to a copy of the current global state (fallback, parallel to the
+// full layout) — averaging nothing leaves the layer where it was. It fails
+// when no update at all was folded. The returned tensors are owned by the
+// aggregator and valid only until the next Add.
 func (a *MaskedStreamAggregator) Finish(fallback []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if a.count == 0 {
 		return nil, fmt.Errorf("comm: masked aggregate: no client updates")
@@ -178,17 +208,26 @@ func (a *MaskedStreamAggregator) Finish(fallback []*tensor.Tensor) ([]*tensor.Te
 	if len(fallback) != len(a.layout) {
 		return nil, fmt.Errorf("%w: fallback has %d tensors, layout %d", ErrProtocol, len(fallback), len(a.layout))
 	}
-	out := make([]*tensor.Tensor, len(a.layout))
+	if cap(a.out) < len(a.layout) {
+		a.out = make([]*tensor.Tensor, len(a.layout))
+	}
+	out := a.out[:len(a.layout)]
 	for ti := range a.layout {
 		if a.totals[ti] > 0 {
 			a.acc[ti].Scale(float32(1 / a.totals[ti]))
 			out[ti] = a.acc[ti]
-		} else {
-			out[ti] = fallback[ti].Clone()
+			a.totals[ti] = 0
+			continue
 		}
+		if a.fb == nil {
+			a.fb = make([]*tensor.Tensor, len(a.layout))
+		}
+		a.fb[ti] = tensor.Ensure(a.fb[ti], fallback[ti].Shape()...)
+		if err := a.fb[ti].CopyFrom(fallback[ti]); err != nil {
+			return nil, err
+		}
+		out[ti] = a.fb[ti]
 	}
-	a.acc = make([]*tensor.Tensor, len(a.layout))
-	a.totals = make([]float64, len(a.layout))
 	a.sumW = 0
 	a.count = 0
 	return out, nil

@@ -202,24 +202,42 @@ func EncodeTensors(ts []*tensor.Tensor) ([]byte, error) {
 
 // DecodeTensors reverses EncodeTensors.
 func DecodeTensors(b []byte) ([]*tensor.Tensor, error) {
+	return DecodeTensorsReuse(nil, b)
+}
+
+// DecodeTensorsReuse decodes b like DecodeTensors but reuses scratch — the
+// slice and the storage of any tensors it holds — when capacities allow.
+// The streaming aggregators pass their previous round's decode buffer so
+// steady-state folds allocate nothing. The returned tensors alias scratch's;
+// the caller owns both and must not use them past the next reuse.
+func DecodeTensorsReuse(scratch []*tensor.Tensor, b []byte) ([]*tensor.Tensor, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("%w: tensor blob too short", ErrProtocol)
 	}
-	count := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	count := int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
 	if count > 1<<20 {
 		return nil, fmt.Errorf("%w: tensor count %d", ErrProtocol, count)
 	}
-	r := bytes.NewReader(b[4:])
-	out := make([]*tensor.Tensor, count)
+	out := scratch
+	if cap(out) >= count {
+		out = out[:count]
+	} else {
+		out = make([]*tensor.Tensor, count)
+		copy(out, scratch)
+	}
+	off := 4
 	for i := range out {
-		var t tensor.Tensor
-		if _, err := t.ReadFrom(r); err != nil {
+		if out[i] == nil {
+			out[i] = new(tensor.Tensor)
+		}
+		n, err := out[i].DecodeFrom(b[off:])
+		if err != nil {
 			return nil, fmt.Errorf("comm: decode tensor %d: %w", i, err)
 		}
-		out[i] = &t
+		off += n
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after tensors", ErrProtocol, r.Len())
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after tensors", ErrProtocol, len(b)-off)
 	}
 	return out, nil
 }

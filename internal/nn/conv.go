@@ -25,6 +25,17 @@ type Conv2D struct {
 
 	// Cached workspaces, reused across steps (see the package aliasing rule).
 	out, y, dout, dw, db, dcols, dx *tensor.Tensor
+
+	// Batch-parallel loop plumbing: the unpack/reorder/scatter loops run
+	// over samples through tensor.ParallelFor. Per-call arguments are staged
+	// in fields and the closures cached once per layer, so steady-state
+	// dispatch allocates nothing. Partitioning is by sample and every loop
+	// writes disjoint per-sample regions (col2im's += only touches its own
+	// sample's dx), so results are identical at any worker count.
+	px, pdy          []float32
+	ph, pw, poh, pow int
+
+	im2colFn, fwdReorderFn, bwdReorderFn, col2imFn func(lo, hi int)
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -97,7 +108,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	ck := c.inC * c.kernel * c.kernel
 	c.cols = tensor.Ensure(c.cols, n*oh*ow, ck)
-	im2col(x.Data(), c.cols.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
+	c.px, c.ph, c.pw, c.poh, c.pow = x.Data(), h, w, oh, ow
+	if c.im2colFn == nil {
+		c.im2colFn = func(lo, hi int) {
+			im2colRange(c.px, c.cols.Data(), lo, hi, c.inC, c.ph, c.pw, c.kernel, c.stride, c.padding, c.poh, c.pow)
+		}
+	}
+	tensor.ParallelFor(n, 1, c.im2colFn)
 
 	// out (N*OH*OW, outC) = cols @ Wᵀ.
 	c.out = tensor.Ensure(c.out, n*oh*ow, c.outC)
@@ -112,16 +129,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	// Reorder rows (n, oh, ow) × outC to (N, outC, OH, OW).
 	c.y = tensor.Ensure(c.y, n, c.outC, oh, ow)
-	od, yd := c.out.Data(), c.y.Data()
-	sp := oh * ow
-	for i := 0; i < n; i++ {
-		for s := 0; s < sp; s++ {
-			row := od[(i*sp+s)*c.outC : (i*sp+s+1)*c.outC]
-			for oc := 0; oc < c.outC; oc++ {
-				yd[(i*c.outC+oc)*sp+s] = row[oc]
+	if c.fwdReorderFn == nil {
+		c.fwdReorderFn = func(lo, hi int) {
+			od, yd := c.out.Data(), c.y.Data()
+			sp := c.poh * c.pow
+			for i := lo; i < hi; i++ {
+				for s := 0; s < sp; s++ {
+					row := od[(i*sp+s)*c.outC : (i*sp+s+1)*c.outC]
+					for oc := 0; oc < c.outC; oc++ {
+						yd[(i*c.outC+oc)*sp+s] = row[oc]
+					}
+				}
 			}
 		}
 	}
+	tensor.ParallelFor(n, 1, c.fwdReorderFn)
 
 	c.colsValid = train && !c.frozen
 	c.inShape = captureShape(c.inShape, x)
@@ -139,15 +161,21 @@ func (c *Conv2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 
 	// dOut (N*OH*OW, outC): reorder from (N, outC, OH, OW).
 	c.dout = tensor.Ensure(c.dout, n*sp, c.outC)
-	dd, dyd := c.dout.Data(), dy.Data()
-	for i := 0; i < n; i++ {
-		for oc := 0; oc < c.outC; oc++ {
-			src := dyd[(i*c.outC+oc)*sp : (i*c.outC+oc+1)*sp]
-			for s, v := range src {
-				dd[(i*sp+s)*c.outC+oc] = v
+	c.pdy, c.poh, c.pow = dy.Data(), oh, ow
+	if c.bwdReorderFn == nil {
+		c.bwdReorderFn = func(lo, hi int) {
+			dd, spp := c.dout.Data(), c.poh*c.pow
+			for i := lo; i < hi; i++ {
+				for oc := 0; oc < c.outC; oc++ {
+					src := c.pdy[(i*c.outC+oc)*spp : (i*c.outC+oc+1)*spp]
+					for s, v := range src {
+						dd[(i*spp+s)*c.outC+oc] = v
+					}
+				}
 			}
 		}
 	}
+	tensor.ParallelFor(n, 1, c.bwdReorderFn)
 
 	if !c.frozen {
 		if !c.colsValid {
@@ -182,7 +210,13 @@ func (c *Conv2D) Backward(dy *tensor.Tensor, needDx bool) *tensor.Tensor {
 	h, w := c.inShape[2], c.inShape[3]
 	c.dx = tensor.Ensure(c.dx, n, c.inC, h, w)
 	c.dx.Zero()
-	col2im(c.dcols.Data(), c.dx.Data(), n, c.inC, h, w, c.kernel, c.stride, c.padding, oh, ow)
+	c.ph, c.pw = h, w
+	if c.col2imFn == nil {
+		c.col2imFn = func(lo, hi int) {
+			col2imRange(c.dcols.Data(), c.dx.Data(), lo, hi, c.inC, c.ph, c.pw, c.kernel, c.stride, c.padding, c.poh, c.pow)
+		}
+	}
+	tensor.ParallelFor(n, 1, c.col2imFn)
 	return c.dx
 }
 
@@ -204,25 +238,74 @@ func (c *Conv2D) FLOPsPerSample(in []int) int64 {
 	return 2 * int64(c.inC*c.kernel*c.kernel) * int64(c.outC) * int64(oh*ow)
 }
 
-// im2col unpacks convolution windows of x (N,C,H,W) into rows of cols
-// ((N*OH*OW) × (C*K*K)), zero-padding out-of-range positions.
-func im2col(x, cols []float32, n, ch, h, w, k, stride, pad, oh, ow int) {
+// im2colRange unpacks convolution windows of samples [lo, hi) of x
+// (N,C,H,W) into rows of cols ((N*OH*OW) × (C*K*K)), zero-padding
+// out-of-range positions. Samples are independent, so the batch can be
+// partitioned freely across workers. A window row whose k source pixels
+// are all in bounds — every row of every interior pixel, the vast
+// majority — is one contiguous copy; only edge pixels take the scalar
+// bounds-checked path.
+func im2colRange(x, cols []float32, lo, hi, ch, h, w, k, stride, pad, oh, ow int) {
 	ck := ch * k * k
-	for i := 0; i < n; i++ {
+	kk := k * k
+	for i := lo; i < hi; i++ {
+		rowOff := i * oh * ow * ck
 		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			inY := iy0 >= 0 && iy0+k <= h
 			for ox := 0; ox < ow; ox++ {
-				row := cols[((i*oh+oy)*ow+ox)*ck:]
+				row := cols[rowOff : rowOff+ck]
+				rowOff += ck
+				ix0 := ox*stride - pad
+				if inY && ix0 >= 0 && ix0+k <= w {
+					switch k {
+					case 3: // the dominant conv shape: nine direct moves
+						for cc := 0; cc < ch; cc++ {
+							p := (i*ch+cc)*h*w + iy0*w + ix0
+							s0 := x[p : p+3]
+							s1 := x[p+w : p+w+3]
+							s2 := x[p+2*w : p+2*w+3]
+							d := row[cc*9 : cc*9+9]
+							d[0], d[1], d[2] = s0[0], s0[1], s0[2]
+							d[3], d[4], d[5] = s1[0], s1[1], s1[2]
+							d[6], d[7], d[8] = s2[0], s2[1], s2[2]
+						}
+					case 1: // 1×1 shortcut convs: a channel gather
+						for cc := 0; cc < ch; cc++ {
+							row[cc] = x[(i*ch+cc)*h*w+iy0*w+ix0]
+						}
+					default:
+						for cc := 0; cc < ch; cc++ {
+							p := (i*ch+cc)*h*w + iy0*w + ix0
+							d := row[cc*kk : (cc+1)*kk]
+							for ky := 0; ky < k; ky++ {
+								copy(d[ky*k:ky*k+k], x[p+ky*w:p+ky*w+k])
+							}
+						}
+					}
+					continue
+				}
+				// Edge pixel: scalar taps with zero padding.
 				for cc := 0; cc < ch; cc++ {
 					base := (i*ch + cc) * h * w
+					dst := row[cc*kk : (cc+1)*kk]
 					for ky := 0; ky < k; ky++ {
-						iy := oy*stride - pad + ky
-						for kx := 0; kx < k; kx++ {
-							ix := ox*stride - pad + kx
-							var v float32
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								v = x[base+iy*w+ix]
+						iy := iy0 + ky
+						d := dst[ky*k : ky*k+k]
+						if iy < 0 || iy >= h {
+							for j := range d {
+								d[j] = 0
 							}
-							row[(cc*k+ky)*k+kx] = v
+							continue
+						}
+						src := x[base+iy*w : base+iy*w+w]
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							var v float32
+							if ix >= 0 && ix < w {
+								v = src[ix]
+							}
+							d[kx] = v
 						}
 					}
 				}
@@ -231,10 +314,13 @@ func im2col(x, cols []float32, n, ch, h, w, k, stride, pad, oh, ow int) {
 	}
 }
 
-// col2im scatter-adds gradient columns back into dx (N,C,H,W).
-func col2im(cols, dx []float32, n, ch, h, w, k, stride, pad, oh, ow int) {
+// col2imRange scatter-adds gradient columns of samples [lo, hi) back into
+// dx (N,C,H,W). Each sample's windows only touch that sample's dx plane and
+// the within-sample accumulation order is the serial one, so batch
+// partitioning changes no result bit.
+func col2imRange(cols, dx []float32, lo, hi, ch, h, w, k, stride, pad, oh, ow int) {
 	ck := ch * k * k
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				row := cols[((i*oh+oy)*ow+ox)*ck:]

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTiersOrderedBestFirst(t *testing.T) {
+	cases := []struct {
+		f    cpuFeatures
+		want []KernelTier
+	}{
+		{cpuFeatures{}, []KernelTier{TierPortable}},
+		{cpuFeatures{sse: true}, []KernelTier{TierSSE, TierPortable}},
+		{cpuFeatures{sse: true, avx2: true}, []KernelTier{TierAVX2, TierSSE, TierPortable}},
+		{cpuFeatures{sse: true, avx2: true, avx512: true},
+			[]KernelTier{TierAVX512, TierAVX2, TierSSE, TierPortable}},
+	}
+	for _, c := range cases {
+		got := c.f.tiers()
+		if len(got) != len(c.want) {
+			t.Fatalf("tiers(%+v) = %v, want %v", c.f, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("tiers(%+v) = %v, want %v", c.f, got, c.want)
+			}
+		}
+	}
+}
+
+func TestChooseTier(t *testing.T) {
+	full := cpuFeatures{sse: true, avx2: true, avx512: true}
+	avx2Only := cpuFeatures{sse: true, avx2: true}
+	sseOnly := cpuFeatures{sse: true}
+	none := cpuFeatures{}
+
+	ok := []struct {
+		f    cpuFeatures
+		env  string
+		want KernelTier
+	}{
+		{full, "", TierAVX512},
+		{full, "auto", TierAVX512},
+		{full, " AVX2 ", TierAVX2}, // case/space insensitive
+		{full, "sse", TierSSE},
+		{full, "portable", TierPortable},
+		{full, "go", TierPortable},
+		{avx2Only, "", TierAVX2},
+		{avx2Only, "avx2", TierAVX2},
+		{sseOnly, "", TierSSE},
+		{none, "", TierPortable}, // noasm / non-amd64 build
+		{none, "portable", TierPortable},
+	}
+	for _, c := range ok {
+		got, err := chooseTier(c.f, c.env)
+		if err != nil || got != c.want {
+			t.Fatalf("chooseTier(%+v, %q) = %v, %v; want %v", c.f, c.env, got, err, c.want)
+		}
+	}
+
+	bad := []struct {
+		f   cpuFeatures
+		env string
+	}{
+		{avx2Only, "avx512"}, // CPU lacks the tier
+		{sseOnly, "avx2"},
+		{none, "sse"}, // forced SSE on a noasm build must fail, not downgrade
+		{full, "avx-512"},
+		{full, "fast"},
+	}
+	for _, c := range bad {
+		if _, err := chooseTier(c.f, c.env); err == nil {
+			t.Fatalf("chooseTier(%+v, %q) should error", c.f, c.env)
+		}
+	}
+}
+
+func TestActiveKernelListed(t *testing.T) {
+	avail := AvailableKernels()
+	if len(avail) == 0 || avail[len(avail)-1] != "portable" {
+		t.Fatalf("AvailableKernels() = %v: portable must always be last", avail)
+	}
+	active := ActiveKernel()
+	for _, k := range avail {
+		if k == active {
+			return
+		}
+	}
+	t.Fatalf("active kernel %q not in available set %v", active, avail)
+}
+
+func TestParseKernelThreads(t *testing.T) {
+	for s, want := range map[string]int{"": 0, "1": 1, "4": 4, "64": 64} {
+		got, err := parseKernelThreads(s)
+		if err != nil || got != want {
+			t.Fatalf("parseKernelThreads(%q) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"0", "-2", "two", "4.5", " 4"} {
+		if _, err := parseKernelThreads(s); err == nil {
+			t.Fatalf("parseKernelThreads(%q) should error", s)
+		}
+	}
+}
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, cores := range []int{1, 4} {
+		withGOMAXPROCS(cores, func() {
+			for _, total := range []int{0, 1, 7, 100, 1023} {
+				hits := make([]int32, total)
+				var mu sync.Mutex
+				ranges := 0
+				ParallelFor(total, 8, func(lo, hi int) {
+					mu.Lock()
+					ranges++
+					mu.Unlock()
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("cores=%d total=%d: index %d covered %d times", cores, total, i, h)
+					}
+				}
+				if total > 0 && ranges == 0 {
+					t.Fatalf("cores=%d total=%d: fn never called", cores, total)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelForRespectsMinChunk(t *testing.T) {
+	withGOMAXPROCS(8, func() {
+		var mu sync.Mutex
+		min := 1 << 30
+		ParallelFor(100, 40, func(lo, hi int) {
+			mu.Lock()
+			if hi-lo < min {
+				min = hi - lo
+			}
+			mu.Unlock()
+		})
+		// The final chunk may be a remainder, but no chunk may be smaller
+		// than both minChunk and the remainder (100 = 2×40 + 20).
+		if min < 20 {
+			t.Fatalf("smallest chunk %d; minChunk 40 over total 100 allows no chunk under 20", min)
+		}
+	})
+}

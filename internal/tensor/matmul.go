@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-)
+import "fmt"
 
 // matmulParallelThreshold is the minimum number of result elements before the
 // matmul kernels fan work out to the worker pool. Below this, dispatch
@@ -86,30 +83,87 @@ func MatMulTransB(dst, a, b *Tensor) error {
 	return nil
 }
 
-// runGemm picks serial or pooled-parallel execution of gemmRows.
-func runGemm(dd, ad, bd []float32, m, n, k int) {
-	if m*n >= matmulParallelThreshold && m > 1 && runtime.GOMAXPROCS(0) > 1 {
-		parallelGemm(dd, ad, bd, m, n, k)
-		return
+// Cache blocking: when B (K, N) is far larger than a core's L2, the row
+// kernels re-stream it from L3/DRAM for every block of output rows. Past
+// gemmBlockBytes, runGemm instead packs B into column panels of at most
+// gemmPanelBytes (sized to sit in L2 with room for A rows and dst) and
+// reuses each packed panel across every output row before moving on.
+// Panels split only the output columns j — each dst element still
+// accumulates its full K reduction in one ascending-p pass — so blocking
+// never changes a single result bit. Both knobs are vars so tests can force
+// the blocked path on small shapes.
+var (
+	gemmBlockBytes = 2 << 20
+	gemmPanelBytes = 192 << 10
+)
+
+// gemmPanelCols returns the panel width for a blocked (k × n) B.
+func gemmPanelCols(n, k int) int {
+	nc := gemmPanelBytes / (4 * k)
+	nc &^= 15 // whole 16-lane chunks
+	if nc < 64 {
+		nc = 64 // below this, packing overhead dominates reuse
 	}
-	gemmRows(dd, ad, bd, 0, m, n, k)
+	if nc > n {
+		nc = n
+	}
+	return nc
 }
 
-// gemmRows computes rows [lo, hi) of dst (M, N) = a (M, K) @ b (K, N), all
-// row-major and contiguous. Each row is cleared and then accumulated by the
-// architecture's row kernel.
-func gemmRows(dd, ad, bd []float32, lo, hi, n, k int) {
-	if n == 0 {
+// runGemm computes dst (m, n) = a (m, k) @ b (k, n), picking between the
+// flat path (serial or row-parallel) and the cache-blocked panel path.
+func runGemm(dd, ad, bd []float32, m, n, k int) {
+	if n == 0 || m == 0 {
 		return
 	}
-	for i := lo; i < hi; i++ {
-		drow := dd[i*n : i*n+n]
-		clear(drow)
-		if k == 0 {
-			continue
-		}
-		gemmRowKernel(drow, ad[i*k:i*k+k], bd, k, n)
+	clear(dd[: m*n : m*n])
+	if k == 0 {
+		return
 	}
+	if 4*k*n > gemmBlockBytes && n > gemmPanelCols(n, k) {
+		gemmBlocked(dd, ad, bd, m, n, k)
+		return
+	}
+	if m*n >= matmulParallelThreshold && m > 1 {
+		parallelGemmAcc(dd, ad, bd, m, n, n, k)
+		return
+	}
+	gemmAccImpl(dd, ad, bd, m, n, n, k)
+}
+
+// gemmBlocked is the panel path of runGemm: dst is already cleared, k >= 1.
+func gemmBlocked(dd, ad, bd []float32, m, n, k int) {
+	nc := gemmPanelCols(n, k)
+	sp := getScratch(k * nc)
+	panel := *sp
+	for j0 := 0; j0 < n; j0 += nc {
+		w := nc
+		if j0+w > n {
+			w = n - j0
+		}
+		for p := 0; p < k; p++ {
+			copy(panel[p*w:p*w+w], bd[p*n+j0:p*n+j0+w])
+		}
+		if m*w >= matmulParallelThreshold && m > 1 {
+			parallelGemmAcc(dd[j0:], ad, panel[:k*w], m, w, n, k)
+		} else {
+			gemmAccImpl(dd[j0:], ad, panel[:k*w], m, w, n, k)
+		}
+	}
+	putScratch(sp)
+}
+
+// gemmRows clears and computes rows [lo, hi) of dst (M, N) = a (M, K) @
+// b (K, N), all row-major and contiguous, through the active dispatch tier.
+func gemmRows(dd, ad, bd []float32, lo, hi, n, k int) {
+	if n == 0 || hi <= lo {
+		return
+	}
+	clear(dd[lo*n : hi*n])
+	if k == 0 {
+		return
+	}
+	gemmAccImpl(dd[lo*n:], ad[lo*k:], bd, hi-lo, n, n, k)
 }
 
 // gemmRowGo is the portable row kernel: dst[j] += Σ_p a[p]·b[p*n+j], the

@@ -1,7 +1,9 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -56,70 +58,159 @@ func randT(rng *rand.Rand, shape ...int) *Tensor {
 	return t
 }
 
-// dims covers tile boundaries (multiples of 4), every tail combination, and
-// degenerate single-row/column cases, plus sizes past the parallel threshold.
+// forEachTier runs f once per dispatch tier available on this machine and
+// build (always at least portable; on amd64 also sse, and avx2/avx512 when
+// the CPU has them), restoring the configured tier afterwards. Swapping is
+// safe here because no matmul is in flight between operations and pool
+// workers synchronize on the task channel.
+func forEachTier(t *testing.T, f func(t *testing.T)) {
+	orig := activeTier
+	defer setTier(orig)
+	for _, tier := range detectedFeatures.tiers() {
+		setTier(tier)
+		t.Run("tier="+tier.String(), f)
+	}
+	setTier(orig)
+}
+
+// dims cover 4-row block boundaries, every lane-tail combination below and
+// across each tier's chunk widths (32/16/8/4/1), and degenerate single
+// row/column cases, plus sizes past the parallel threshold.
 var equivDims = [][3]int{
 	{1, 1, 1}, {1, 5, 3}, {4, 4, 4}, {5, 7, 9}, {8, 16, 12},
-	{3, 2, 31}, {17, 13, 6}, {32, 64, 1}, {1, 1, 128},
-	{64, 64, 10}, {70, 65, 33}, {128, 96, 17},
+	{3, 2, 31}, {17, 13, 6}, {32, 64, 1}, {1, 1, 128}, {6, 3, 5},
+	{7, 9, 23}, {9, 5, 37}, {64, 64, 10}, {70, 65, 33}, {128, 96, 17},
+	{66, 40, 130}, {5, 7, 100},
 }
 
 func TestMatMulBitIdenticalToReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
-	for _, d := range equivDims {
-		m, k, n := d[0], d[1], d[2]
-		a, b := randT(rng, m, k), randT(rng, k, n)
-		got, want := New(m, n), New(m, n)
-		if err := MatMul(got, a, b); err != nil {
-			t.Fatal(err)
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		for _, d := range equivDims {
+			m, k, n := d[0], d[1], d[2]
+			a, b := randT(rng, m, k), randT(rng, k, n)
+			got, want := New(m, n), New(m, n)
+			if err := MatMul(got, a, b); err != nil {
+				t.Fatal(err)
+			}
+			refMatMul(want, a, b)
+			if !got.Equal(want) {
+				t.Fatalf("MatMul %dx%dx%d differs from reference", m, k, n)
+			}
 		}
-		refMatMul(want, a, b)
-		if !got.Equal(want) {
-			t.Fatalf("MatMul %dx%dx%d differs from reference", m, k, n)
-		}
-	}
+	})
 }
 
 func TestMatMulTransABitIdenticalToReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
-	for _, d := range equivDims {
-		m, k, n := d[0], d[1], d[2]
-		a, b := randT(rng, k, m), randT(rng, k, n)
-		got, want := New(m, n), New(m, n)
-		if err := MatMulTransA(got, a, b); err != nil {
-			t.Fatal(err)
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(12))
+		for _, d := range equivDims {
+			m, k, n := d[0], d[1], d[2]
+			a, b := randT(rng, k, m), randT(rng, k, n)
+			got, want := New(m, n), New(m, n)
+			if err := MatMulTransA(got, a, b); err != nil {
+				t.Fatal(err)
+			}
+			refMatMulTransA(want, a, b)
+			if !got.Equal(want) {
+				t.Fatalf("MatMulTransA %dx%dx%d differs from reference", m, k, n)
+			}
 		}
-		refMatMulTransA(want, a, b)
-		if !got.Equal(want) {
-			t.Fatalf("MatMulTransA %dx%dx%d differs from reference", m, k, n)
-		}
-	}
+	})
 }
 
 func TestMatMulTransBBitIdenticalToReference(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
-	for _, d := range equivDims {
-		m, k, n := d[0], d[1], d[2]
-		a, b := randT(rng, m, k), randT(rng, n, k)
-		got, want := New(m, n), New(m, n)
-		if err := MatMulTransB(got, a, b); err != nil {
-			t.Fatal(err)
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(13))
+		for _, d := range equivDims {
+			m, k, n := d[0], d[1], d[2]
+			a, b := randT(rng, m, k), randT(rng, n, k)
+			got, want := New(m, n), New(m, n)
+			if err := MatMulTransB(got, a, b); err != nil {
+				t.Fatal(err)
+			}
+			refMatMulTransB(want, a, b)
+			if !got.Equal(want) {
+				t.Fatalf("MatMulTransB %dx%dx%d differs from reference", m, k, n)
+			}
 		}
-		refMatMulTransB(want, a, b)
-		if !got.Equal(want) {
-			t.Fatalf("MatMulTransB %dx%dx%d differs from reference", m, k, n)
+	})
+}
+
+// TestGemmAccMatchesPortableEveryTier drives each tier's row-block
+// accumulator directly (including the strided-dst form the blocked panel
+// path uses) against the portable kernel, on every row-remainder and
+// lane-tail combination.
+func TestGemmAccMatchesPortableEveryTier(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, tier := range detectedFeatures.tiers() {
+		acc := gemmAccForTier(tier)
+		for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
+			for _, k := range []int{1, 2, 3, 7, 32} {
+				for n := 1; n <= 70; n += 3 {
+					stride := n + 5 // strided dst: panel writes into a wider matrix
+					a := randT(rng, rows, k)
+					got := randT(rng, rows, stride)
+					want := got.Clone()
+					b := randT(rng, k, n)
+					acc(got.data, a.data, b.data, rows, n, stride, k)
+					gemmAccGo(want.data, a.data, b.data, rows, n, stride, k)
+					if !got.Equal(want) {
+						t.Fatalf("tier %v rows=%d k=%d n=%d differs from portable kernel", tier, rows, k, n)
+					}
+				}
+			}
 		}
 	}
 }
 
+// TestBlockedGemmBitIdentical forces the cache-blocked panel path on small
+// shapes (shrinking the thresholds) and checks it against the reference on
+// every tier, including a non-multiple-of-panel tail.
+func TestBlockedGemmBitIdentical(t *testing.T) {
+	origBlock, origPanel := gemmBlockBytes, gemmPanelBytes
+	gemmBlockBytes, gemmPanelBytes = 1<<10, 2400 // B > 1KiB blocks; panels near the 64-col floor
+	defer func() { gemmBlockBytes, gemmPanelBytes = origBlock, origPanel }()
+
+	forEachTier(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(16))
+		for _, d := range [][3]int{{5, 9, 70}, {33, 20, 150}, {64, 64, 192}, {3, 128, 65}} {
+			m, k, n := d[0], d[1], d[2]
+			if 4*k*n <= gemmBlockBytes || n <= gemmPanelCols(n, k) {
+				t.Fatalf("dims %v do not exercise the blocked path", d)
+			}
+			a, b := randT(rng, m, k), randT(rng, k, n)
+			got, want := New(m, n), New(m, n)
+			if err := MatMul(got, a, b); err != nil {
+				t.Fatal(err)
+			}
+			refMatMul(want, a, b)
+			if !got.Equal(want) {
+				t.Fatalf("blocked MatMul %dx%dx%d differs from reference", m, k, n)
+			}
+		}
+	})
+}
+
+// withGOMAXPROCS runs f under a temporary GOMAXPROCS so the worker pool
+// engages (and recruits workers) even on single-core machines.
+func withGOMAXPROCS(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
 func TestMatMulParallelMatchesSerial(t *testing.T) {
-	// Well past matmulParallelThreshold so the worker pool engages.
+	// Well past matmulParallelThreshold so the worker pool engages; forced
+	// GOMAXPROCS so parallel dispatch happens even on a 1-core machine.
 	rng := rand.New(rand.NewSource(14))
 	a, b := randT(rng, 200, 150), randT(rng, 150, 180)
 	par, ser := New(200, 180), New(200, 180)
-	if err := MatMul(par, a, b); err != nil {
-		t.Fatal(err)
-	}
+	withGOMAXPROCS(4, func() {
+		if err := MatMul(par, a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
 	refMatMul(ser, a, b)
 	if !par.Equal(ser) {
 		t.Fatal("parallel MatMul differs from serial reference")
@@ -151,25 +242,6 @@ func TestEnsureReusesStorage(t *testing.T) {
 	}
 }
 
-func TestGemmRowKernelMatchesPortable(t *testing.T) {
-	// The architecture row kernel (SSE on amd64) must agree bit for bit with
-	// the portable Go kernel on every chunk-width combination.
-	rng := rand.New(rand.NewSource(15))
-	for _, k := range []int{1, 2, 3, 7, 32} {
-		for n := 1; n <= 40; n++ {
-			a := randT(rng, k)
-			b := randT(rng, k, n)
-			got := randT(rng, n) // nonzero start: kernel accumulates
-			want := got.Clone()
-			gemmRowKernel(got.data, a.data, b.data, k, n)
-			gemmRowGo(want.data, a.data, b.data, k, n)
-			if !got.Equal(want) {
-				t.Fatalf("row kernel k=%d n=%d differs from portable kernel", k, n)
-			}
-		}
-	}
-}
-
 func BenchmarkGemmRows128(b *testing.B) {
 	rng := rand.New(rand.NewSource(15))
 	a, bb := randT(rng, 128, 128), randT(rng, 128, 128)
@@ -177,5 +249,27 @@ func BenchmarkGemmRows128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gemmRows(dst.data, a.data, bb.data, 0, 128, 128, 128)
+	}
+}
+
+// BenchmarkGemmRowsParallel measures worker-pool scaling of a 256³ matmul
+// at 1/2/4/8 cores (GOMAXPROCS; on machines with fewer physical cores the
+// extra lanes oversubscribe and the curve flattens — the recorded multicore
+// table in BENCH_perf.json names the core count it was measured on).
+func BenchmarkGemmRowsParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	a, bb := randT(rng, 256, 256), randT(rng, 256, 256)
+	dst := New(256, 256)
+	for _, cores := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			withGOMAXPROCS(cores, func() {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := MatMul(dst, a, bb); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }

@@ -2,10 +2,23 @@
 
 package tensor
 
-// gemmRowKernel falls back to the portable row kernel on architectures
-// without an assembly implementation, and under the noasm build tag — which
-// is how CI tests the portable path natively on amd64
-// (go test -tags noasm ./internal/tensor/ ./internal/nn/).
-func gemmRowKernel(dst, a, b []float32, k, n int) {
-	gemmRowGo(dst, a, b, k, n)
+import "os"
+
+// Builds without the assembly kernels (non-amd64, or the noasm tag CI uses
+// to exercise the portable path natively) have exactly one tier. The
+// FEDFTEDS_KERNEL override is still honoured so a forced-SSE run against a
+// noasm binary fails loudly instead of silently testing the wrong kernel.
+
+func init() {
+	// detectedFeatures stays the zero value: portable only.
+	t, err := chooseTier(detectedFeatures, os.Getenv("FEDFTEDS_KERNEL"))
+	if err != nil {
+		panic(err)
+	}
+	setTier(t)
+}
+
+// gemmAccForTier maps a tier to its accumulator; only portable exists here.
+func gemmAccForTier(KernelTier) func(dst, a, b []float32, rows, n, dstStride, k int) {
+	return gemmAccGo
 }

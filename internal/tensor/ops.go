@@ -45,6 +45,19 @@ func (t *Tensor) Scale(a float32) {
 	}
 }
 
+// ScaleFrom sets t = x*a element-wise, overwriting t. The multiplication
+// order matches Scale applied to a copy of x, so the result is bit-identical
+// to Clone-then-Scale without the allocation.
+func (t *Tensor) ScaleFrom(a float32, x *Tensor) error {
+	if len(t.data) != len(x.data) {
+		return fmt.Errorf("%w: scale %v into %v", ErrShape, x.shape, t.shape)
+	}
+	for i, v := range x.data {
+		t.data[i] = v * a
+	}
+	return nil
+}
+
 // AddScalar computes t += a element-wise.
 func (t *Tensor) AddScalar(a float32) {
 	for i := range t.data {

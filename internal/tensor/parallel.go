@@ -1,39 +1,84 @@
 package tensor
 
 import (
+	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
-// The kernel worker pool: a fixed set of long-lived goroutines that execute
-// row-range slices of the matmul kernels. Spawning goroutines per call (the
-// previous design) costs a closure allocation and scheduler churn on every
-// multiply; the pool makes parallel dispatch allocation-free in steady state
-// and naturally shares cores between concurrently-training clients instead of
-// oversubscribing them.
+// The kernel worker pool: long-lived goroutines that execute row-range
+// slices of the matmul kernels (and, via ParallelFor, other row-partitioned
+// hot loops such as conv's im2col). Three properties matter for the
+// training hot path:
 //
-// Tasks are plain values sent over a buffered channel, so enqueueing does not
-// allocate. Completion is tracked by a sync.WaitGroup drawn from a pool. The
-// caller always executes the first chunk inline, so the pool can never
-// deadlock even when every worker is busy with other callers' tasks.
+//   - Steady-state dispatch is allocation-free: tasks are plain values on a
+//     buffered channel and completion WaitGroups come from a sync.Pool.
+//   - The pool never deadlocks and callers never idle: a caller runs its
+//     first chunk inline, enqueues the rest (running them inline itself when
+//     the queue is full), then helps drain the queue — executing anyone's
+//     queued tasks — until its own WaitGroup clears. Concurrent client
+//     replicas therefore share cores instead of convoying behind one
+//     caller's tasks on the global queue.
+//   - Parallelism follows runtime.GOMAXPROCS(0) at every dispatch. Workers
+//     are started lazily up to the current target (they never exit; idle
+//     workers just block on the queue), so raising GOMAXPROCS mid-process —
+//     as the multicore benchmarks do — recruits more workers instead of
+//     being pinned to the value seen at first use. FEDFTEDS_KERNEL_THREADS
+//     overrides the target explicitly; it is read once, at the first
+//     parallel dispatch, and latched for the life of the process.
+//
+// Work is split into roughly gemmChunksPerWorker chunks per worker (not one)
+// so an OS-preempted worker stalls one small chunk, not 1/Wth of the matmul.
 
-// gemmTask is one row-range slice of dst = a @ b (see gemmRows).
+// gemmTask is one unit of pool work: a row-range accumulate through the
+// active dispatch tier (fn == nil), or an arbitrary row-range callback.
 type gemmTask struct {
-	dd, ad, bd []float32
-	lo, hi     int
-	n, k       int
-	wg         *sync.WaitGroup
+	// Accumulate form: dst/a are pre-offset to the task's first row.
+	dst, a, b []float32
+	rows      int
+	n         int
+	dstStride int
+	k         int
+	// Callback form (ParallelFor).
+	fn     func(lo, hi int)
+	lo, hi int
+
+	wg *sync.WaitGroup
 }
 
+func (t *gemmTask) run() {
+	if t.fn != nil {
+		t.fn(t.lo, t.hi)
+		return
+	}
+	gemmAccImpl(t.dst, t.a, t.b, t.rows, t.n, t.dstStride, t.k)
+}
+
+const (
+	// gemmChunksPerWorker over-decomposes row ranges for load balance.
+	gemmChunksPerWorker = 4
+	// minChunkDstElems keeps a chunk's output large enough to amortize
+	// dispatch (one channel send + one WaitGroup count) over real work.
+	minChunkDstElems = 1024
+	// taskQueueLen decouples queue capacity from worker count; a full
+	// queue degrades to inline execution by the caller, never blocks.
+	taskQueueLen = 256
+)
+
 var (
-	poolOnce sync.Once
-	taskCh   chan gemmTask
-	poolSize int
+	taskCh         = make(chan gemmTask, taskQueueLen)
+	workersStarted atomic.Int32
+
+	threadsOnce sync.Once
+	threadsEnv  int // 0 = follow GOMAXPROCS
 )
 
 var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 
-// scratchPool recycles the packing buffers used by MatMul/MatMulTransA.
+// scratchPool recycles packing buffers (transposes, B panels).
 var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
 
 func getScratch(n int) *[]float32 {
@@ -47,55 +92,150 @@ func getScratch(n int) *[]float32 {
 
 func putScratch(sp *[]float32) { scratchPool.Put(sp) }
 
-func startPool() {
-	poolSize = runtime.GOMAXPROCS(0)
-	taskCh = make(chan gemmTask, 4*poolSize)
-	for i := 0; i < poolSize; i++ {
-		go func() {
-			for t := range taskCh {
-				gemmRows(t.dd, t.ad, t.bd, t.lo, t.hi, t.n, t.k)
-				t.wg.Done()
-			}
-		}()
+// parseKernelThreads validates a FEDFTEDS_KERNEL_THREADS value: a positive
+// integer thread count, or empty to follow GOMAXPROCS.
+func parseKernelThreads(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("tensor: FEDFTEDS_KERNEL_THREADS=%q: want a positive integer thread count", s)
+	}
+	return v, nil
+}
+
+// maxWorkers returns the parallelism target for this dispatch: the latched
+// FEDFTEDS_KERNEL_THREADS override when set, else GOMAXPROCS right now.
+func maxWorkers() int {
+	threadsOnce.Do(func() {
+		v, err := parseKernelThreads(os.Getenv("FEDFTEDS_KERNEL_THREADS"))
+		if err != nil {
+			panic(err) // fail fast: a typoed thread count must not silently serialize
+		}
+		threadsEnv = v
+	})
+	if threadsEnv > 0 {
+		return threadsEnv
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ensureWorkers lazily brings the started-worker count up to want.
+func ensureWorkers(want int) {
+	for {
+		cur := workersStarted.Load()
+		if int(cur) >= want {
+			return
+		}
+		if workersStarted.CompareAndSwap(cur, cur+1) {
+			go func() {
+				for t := range taskCh {
+					t.run()
+					t.wg.Done()
+				}
+			}()
+		}
 	}
 }
 
-// parallelGemm computes dst rows [0, m) of dst = a @ b, splitting rows
-// across the worker pool. Row partitioning never changes the per-element
+// dispatch enqueues t for the pool, or runs it inline when the queue is
+// full. wg must already count it.
+func dispatch(t gemmTask) {
+	select {
+	case taskCh <- t:
+	default:
+		t.run()
+		t.wg.Done()
+	}
+}
+
+// helpUntilDone drains queued tasks — any caller's — until wg clears.
+func helpUntilDone(wg *sync.WaitGroup) {
+	for {
+		select {
+		case t := <-taskCh:
+			t.run()
+			t.wg.Done()
+		default:
+			wg.Wait()
+			wgPool.Put(wg)
+			return
+		}
+	}
+}
+
+// parallelGemmAcc accumulates rows [0, rows) of dst (+= a @ b) across the
+// pool: dst row r starts at dst[r*dstStride] and spans n lanes; b rows are
+// contiguous with stride n. Row partitioning never changes the per-element
 // accumulation order, so results are bit-identical to the serial kernel
-// regardless of worker count.
-func parallelGemm(dd, ad, bd []float32, m, n, k int) {
-	poolOnce.Do(startPool)
-	workers := poolSize
-	if w := runtime.GOMAXPROCS(0); w < workers {
-		workers = w
-	}
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 {
-		gemmRows(dd, ad, bd, 0, m, n, k)
+// regardless of worker count or chunk shape.
+func parallelGemmAcc(dst, a, b []float32, rows, n, dstStride, k int) {
+	w := maxWorkers()
+	if w <= 1 || rows < 2 {
+		gemmAccImpl(dst, a, b, rows, n, dstStride, k)
 		return
 	}
-	chunk := (m + workers - 1) / workers
+	chunk := (rows + w*gemmChunksPerWorker - 1) / (w * gemmChunksPerWorker)
+	chunk = (chunk + 3) &^ 3 // whole 4-row blocks keep the wide kernels full
+	if chunk*n < minChunkDstElems {
+		chunk = (minChunkDstElems/n + 4) &^ 3
+	}
+	if chunk >= rows {
+		gemmAccImpl(dst, a, b, rows, n, dstStride, k)
+		return
+	}
+	ensureWorkers(w - 1) // the caller is the w-th lane
 	wg := wgPool.Get().(*sync.WaitGroup)
-	for w := 1; w < workers; w++ {
-		lo := w * chunk
+	for lo := chunk; lo < rows; lo += chunk {
 		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
+		if hi > rows {
+			hi = rows
 		}
 		wg.Add(1)
-		taskCh <- gemmTask{dd: dd, ad: ad, bd: bd, lo: lo, hi: hi, n: n, k: k, wg: wg}
+		dispatch(gemmTask{
+			dst: dst[lo*dstStride:], a: a[lo*k:], b: b,
+			rows: hi - lo, n: n, dstStride: dstStride, k: k, wg: wg,
+		})
 	}
-	hi0 := chunk
-	if hi0 > m {
-		hi0 = m
+	gemmAccImpl(dst, a, b, chunk, n, dstStride, k)
+	helpUntilDone(wg)
+}
+
+// ParallelFor runs fn over [0, total) split into contiguous [lo, hi)
+// chunks of at least minChunk, using the kernel worker pool. fn is called
+// concurrently on disjoint ranges and must be safe for that; it must not
+// itself dispatch pool work (no nested ParallelFor or large matmuls).
+// Callers that need zero steady-state allocations should pass a cached
+// closure. Serial execution (one call covering everything) happens when
+// the pool has no parallelism or total is small; either way every index is
+// covered exactly once.
+func ParallelFor(total, minChunk int, fn func(lo, hi int)) {
+	if total <= 0 {
+		return
 	}
-	gemmRows(dd, ad, bd, 0, hi0, n, k)
-	wg.Wait()
-	wgPool.Put(wg)
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	w := maxWorkers()
+	chunk := (total + w*gemmChunksPerWorker - 1) / (w * gemmChunksPerWorker)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	if w <= 1 || chunk >= total {
+		fn(0, total)
+		return
+	}
+	ensureWorkers(w - 1)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := chunk; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		dispatch(gemmTask{fn: fn, lo: lo, hi: hi, wg: wg})
+	}
+	fn(0, chunk)
+	helpUntilDone(wg)
 }

@@ -90,6 +90,50 @@ func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
 	return n, nil
 }
 
+// DecodeFrom parses one wire-format tensor from the front of b into t,
+// reusing t's existing shape and data storage when large enough, and
+// returns the number of bytes consumed. It is the zero-allocation
+// steady-state decode used by the streaming aggregators: unlike ReadFrom it
+// needs no intermediate byte buffer and, after the first round, no fresh
+// tensor storage.
+func (t *Tensor) DecodeFrom(b []byte) (int, error) {
+	if len(b) < 1 {
+		return 0, fmt.Errorf("%w: missing rank", ErrCorrupt)
+	}
+	rank := int(b[0])
+	n := 1
+	if len(b) < n+4*rank {
+		return n, fmt.Errorf("%w: truncated dims", ErrCorrupt)
+	}
+	if cap(t.shape) >= rank {
+		t.shape = t.shape[:rank]
+	} else {
+		t.shape = make([]int, rank)
+	}
+	vol := 1
+	for i := range t.shape {
+		d := int(binary.LittleEndian.Uint32(b[n:]))
+		n += 4
+		t.shape[i] = d
+		vol *= d
+		if vol > maxSerializedVolume {
+			return n, fmt.Errorf("%w: volume exceeds limit", ErrCorrupt)
+		}
+	}
+	if len(b) < n+4*vol {
+		return n, fmt.Errorf("%w: truncated data", ErrCorrupt)
+	}
+	if cap(t.data) >= vol {
+		t.data = t.data[:vol]
+	} else {
+		t.data = make([]float32, vol)
+	}
+	for i := range t.data {
+		t.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[n+4*i:]))
+	}
+	return n + 4*vol, nil
+}
+
 // EncodedSize returns the number of bytes WriteTo will produce.
 func (t *Tensor) EncodedSize() int {
 	return 1 + 4*len(t.shape) + 4*len(t.data)
