@@ -25,6 +25,14 @@
 // members and the server must agree on -tiers/-tier-dist, exactly like
 // -seed.
 //
+// -codec selects the uplink codec. The default "auto" adopts whatever the
+// server's Welcome advertises (identity when it advertises nothing), so an
+// unmodified fleet follows the server's -codec; an explicit name pins the
+// expectation and fails fast at join when the server advertises something
+// else. Lossy codecs (float16, int8, topk:<fraction>) shrink every update
+// payload; topk additionally carries this client's error-feedback residual
+// from round to round, so below-threshold coordinates eventually ship.
+//
 // Exit status distinguishes how the session ended, so scripted fleets can
 // detect eviction: 0 after a clean server shutdown, 3 when the connection
 // was severed without a shutdown message — the server either removed this
@@ -55,6 +63,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/strategy"
+	"fedfteds/internal/tensor"
 )
 
 // defaultTierSpec mirrors fedserver's default -tiers distribution; the two
@@ -95,6 +104,7 @@ type clientConfig struct {
 	tiers        bool
 	tierDistSpec string
 	tierDist     *device.Distribution // nil when untiered
+	codecSpec    string
 }
 
 // parseFlags parses and fail-fast validates the command line.
@@ -111,8 +121,16 @@ func parseFlags(args []string) (clientConfig, error) {
 	fs.StringVar(&cfg.stratSpec, "strategy", "fedavg", "federated-optimization strategy; only its client-side hook applies here (fedprox:mu=0.1 adds the proximal term), server optimizers run on fedserver")
 	fs.BoolVar(&cfg.tiers, "tiers", false, "device-tier mode: derive this client's capability tier from the shared seed, train and ship only the layer groups it affords (must match the server)")
 	fs.StringVar(&cfg.tierDistSpec, "tier-dist", "", "tier distribution \"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+" (implies -tiers; default "+defaultTierSpec+"; must match the server)")
+	fs.StringVar(&cfg.codecSpec, "codec", "auto", "uplink codec: auto (adopt the server's advertisement), or pin one of "+strings.Join(comm.CodecNames(), ", ")+" and fail fast on a mismatch")
 	if err := fs.Parse(args); err != nil {
 		return clientConfig{}, err
+	}
+	// An explicit codec spec is validated now so a typo fails before dialing;
+	// the actual instance is negotiated against the server's Welcome.
+	if cfg.codecSpec != "auto" && cfg.codecSpec != "" {
+		if _, err := comm.ParseCodec(cfg.codecSpec); err != nil {
+			return clientConfig{}, fmt.Errorf("-codec: %w", err)
+		}
 	}
 	strat, err := strategy.Parse(cfg.stratSpec)
 	if err != nil {
@@ -244,7 +262,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("joined federation of %d for %d rounds", welcome.NumClients, welcome.Rounds)
+	// Negotiate the uplink codec against the server's advertisement: "auto"
+	// adopts it, an explicit -codec must match it exactly. Identity stays
+	// nil so the legacy encode path (and its exact wire bytes) is untouched.
+	codec, err := comm.PickCodec(welcome.Codecs, cfg.codecSpec)
+	if err != nil {
+		return err
+	}
+	var wireCodec comm.Codec
+	codecEcho := ""
+	if codec.Name() != comm.CodecIdentity {
+		wireCodec, codecEcho = codec, codec.Name()
+	}
+	log.Printf("joined federation of %d for %d rounds (codec %s)", welcome.NumClients, welcome.Rounds, codec.Name())
 
 	lastRound := 0
 	for {
@@ -303,7 +333,25 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		blob, err := comm.EncodeTensors(out.State)
+		var blob []byte
+		if wireCodec == nil {
+			blob, err = comm.EncodeTensors(out.State)
+		} else {
+			// Encode against the broadcast reference this round trained from:
+			// stateTs still holds the decoded wire values (training mutated
+			// the model, not these copies), narrowed to the shipped tensors in
+			// tier mode — the same subset the server's aggregator rebuilds.
+			// The seed derivation matches the simulator's, so a distributed
+			// client and its simulated twin quantize identically.
+			ref := stateTs
+			if mask != nil {
+				if ref, err = coveredSubset(global, stateTs, rs.Groups, mask); err != nil {
+					return err
+				}
+			}
+			seed := comm.CodecSeed(uint64(cfg.seed), rs.Round, cfg.id)
+			blob, err = wireCodec.Encode(ref, out.State, seed)
+		}
 		if err != nil {
 			return err
 		}
@@ -315,6 +363,7 @@ func run(args []string) error {
 			// send the zero value and ignore the echo.
 			Version:      rs.Version,
 			State:        blob,
+			Codec:        codecEcho,
 			Groups:       mask,
 			NumSelected:  out.NumSelected,
 			TrainSeconds: out.Cost.Total(),
@@ -326,6 +375,32 @@ func run(args []string) error {
 		log.Printf("round %d: trained on %d selected samples (loss %.3f, mean entropy %.3f)",
 			rs.Round, out.NumSelected, out.TrainLoss, out.MeanEntropy)
 	}
+}
+
+// coveredSubset narrows the decoded broadcast tensors to the ones belonging
+// to this client's shipped groups, in broadcast order — the codec reference
+// for a tiered update. It mirrors the server aggregator's per-update
+// reference reconstruction, so both ends encode and decode against the same
+// tensor list.
+func coveredSubset(global *models.Model, stateTs []*tensor.Tensor, groups, mask []string) ([]*tensor.Tensor, error) {
+	layout, err := global.GroupStateLayout(groups)
+	if err != nil {
+		return nil, err
+	}
+	if len(layout) != len(stateTs) {
+		return nil, fmt.Errorf("broadcast carries %d tensors for a %d-tensor layout", len(stateTs), len(layout))
+	}
+	shipped := make(map[string]bool, len(mask))
+	for _, g := range mask {
+		shipped[g] = true
+	}
+	out := make([]*tensor.Tensor, 0, len(stateTs))
+	for i, g := range layout {
+		if shipped[g] {
+			out = append(out, stateTs[i])
+		}
+	}
+	return out, nil
 }
 
 // intersectGroups keeps the groups of mask that the server communicates,

@@ -18,6 +18,12 @@
 // a distinct one, as you would give clients distinct -id values. With
 // -dial-retries the relay survives starting before the root is listening.
 //
+// -codec sets the uplink codec advertised to this region's leaves (identity,
+// float16, int8, topk:<fraction>); the upstream hop independently adopts
+// whatever codec the root advertises, each hop re-encoding — so a tree can
+// compress the many leaf links aggressively and the single root link
+// differently, or not at all.
+//
 // Usage:
 //
 //	fedrelay -addr 127.0.0.1:7070 -listen 127.0.0.1:7171 \
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fedfteds/internal/comm"
@@ -52,6 +59,7 @@ type relayConfig struct {
 	quorum      float64
 	timeout     time.Duration
 	dialRetries int
+	codecSpec   string
 }
 
 // parseFlags parses and fail-fast validates the command line, mirroring the
@@ -68,8 +76,12 @@ func parseFlags(args []string) (relayConfig, error) {
 	fs.Float64Var(&cfg.quorum, "quorum", 1, "leaf updates a region round needs to succeed, as a fraction of the round's leaves in (0, 1]")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "root dial timeout")
 	fs.IntVar(&cfg.dialRetries, "dial-retries", 0, "re-dial a refused or timed-out root connection this many times with exponential backoff, so the tree can start in any order")
+	fs.StringVar(&cfg.codecSpec, "codec", "identity", "uplink codec advertised to this region's leaves: "+strings.Join(comm.CodecNames(), ", ")+" (the upstream hop adopts the root's advertisement instead)")
 	if err := fs.Parse(args); err != nil {
 		return relayConfig{}, err
+	}
+	if _, err := comm.ParseCodec(cfg.codecSpec); err != nil {
+		return relayConfig{}, fmt.Errorf("-codec: %w", err)
 	}
 	if cfg.relayID < 0 {
 		return relayConfig{}, fmt.Errorf("-relay-id %d is negative", cfg.relayID)
@@ -110,9 +122,10 @@ func run(args []string) error {
 	}
 	defer root.Close()
 	return relay.Run(root, l, relay.Config{
-		RelayID: cfg.relayID,
-		Leaves:  cfg.leaves,
-		Rounds:  cfg.rounds,
-		Engine:  comm.EngineConfig{RoundDeadline: cfg.deadline, Quorum: cfg.quorum},
+		RelayID:   cfg.relayID,
+		Leaves:    cfg.leaves,
+		Rounds:    cfg.rounds,
+		Engine:    comm.EngineConfig{RoundDeadline: cfg.deadline, Quorum: cfg.quorum},
+		LeafCodec: cfg.codecSpec,
 	})
 }

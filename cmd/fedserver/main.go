@@ -47,6 +47,16 @@
 // reproduced exactly because every region reports its weight mass. A crashed
 // relay may re-register and rejoins at the next round boundary.
 //
+// With -codec the server negotiates a lossy uplink codec at the handshake
+// (float16, int8, or topk:<fraction> sparsification with client-side error
+// feedback): the Welcome advertises it, every client encodes its update
+// under it, and the server decodes against the round's broadcast state
+// before folding. The default identity codec advertises nothing and keeps
+// every frame byte-identical to pre-codec servers. topk needs the broadcast
+// reference on both sides and therefore cannot combine with -buffer (a
+// buffered client may encode against a model version the server has already
+// replaced).
+//
 // With -buffer M the server switches from synchronous rounds to buffered
 // asynchronous (FedBuff-style) aggregation: clients train continuously
 // against the newest model they have seen, and the server aggregates as soon
@@ -130,6 +140,9 @@ type serverConfig struct {
 	maxStaleness  int
 	stalenessSpec string
 	weigher       strategy.StalenessWeigher // nil outside async mode
+	codecSpec     string
+	codecName     string     // canonical codec spec; "" for identity (legacy frames)
+	codec         comm.Codec // decode instance; nil for identity
 	cpuProfile    string
 	memProfile    string
 }
@@ -177,6 +190,7 @@ func parseFlags(args []string) (serverConfig, error) {
 	fs.IntVar(&cfg.buffer, "buffer", 0, "buffered-async (FedBuff) mode: aggregate as soon as this many updates arrive instead of running synchronous rounds")
 	fs.IntVar(&cfg.maxStaleness, "max-staleness", -1, "async mode: discard updates staler than this many model versions (negative keeps all; needs -buffer)")
 	fs.StringVar(&cfg.stalenessSpec, "staleness", "", "async mode: staleness discount "+strings.Join(strategy.StalenessNames(), "/")+" with optional parameters, e.g. poly:alpha=1 (default invsqrt; needs -buffer)")
+	fs.StringVar(&cfg.codecSpec, "codec", "identity", "uplink codec advertised to clients: "+strings.Join(comm.CodecNames(), ", ")+" (identity ships legacy bit-identical frames)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -263,6 +277,23 @@ func parseFlags(args []string) (serverConfig, error) {
 			return serverConfig{}, fmt.Errorf("-staleness: %w", err)
 		}
 		cfg.weigher = weigher
+	}
+	// The codec spec is validated here so a typo surfaces before any client
+	// joins; identity (the default) stays nil and keeps the legacy wire
+	// paths untouched. Reference-needing codecs (int8, topk) are refused in
+	// async mode: a buffered client may encode against a model version the
+	// server has already replaced, so the two sides would decode against
+	// different references.
+	codec, err := comm.ParseCodec(cfg.codecSpec)
+	if err != nil {
+		return serverConfig{}, fmt.Errorf("-codec: %w", err)
+	}
+	if codec.Name() != comm.CodecIdentity {
+		cfg.codec, cfg.codecName = codec, codec.Name()
+	}
+	if cfg.codec != nil && cfg.codec.NeedsReference() && cfg.buffer > 0 {
+		return serverConfig{}, fmt.Errorf("-codec %s cannot combine with -buffer: the codec decodes against "+
+			"the round's broadcast reference, which buffered-async clients no longer share; use float16", cfg.codecName)
 	}
 	// A -quorum above 1 is an absolute update count. It must be an integer,
 	// and it must be reachable: a quorum no round can ever meet — more
@@ -400,6 +431,11 @@ func (c serverConfig) configTag() uint64 {
 			parts = append(parts, fmt.Sprintf("maxstale:%d", c.maxStaleness))
 		}
 	}
+	// A lossy codec changes every update that enters the aggregate; identity
+	// contributes nothing, so pre-codec checkpoints stay resumable.
+	if c.codecName != "" {
+		parts = append(parts, "codec:"+c.codecName)
+	}
 	return core.TagConfig(parts...)
 }
 
@@ -420,7 +456,7 @@ func restoreFederation(cfg serverConfig, global *models.Model, hist *core.Histor
 	if err != nil {
 		return 0, nil, err
 	}
-	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy(), cfg.tierSpec()); err != nil {
+	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy(), cfg.tierSpec(), cfg.codecName); err != nil {
 		return 0, nil, err
 	}
 	if err := snap.RestoreScheduler(cfg.scheduler); err != nil {
@@ -461,6 +497,9 @@ func snapshotFederation(cfg serverConfig, round int, global *models.Model, hist 
 	}
 	snap.CaptureStrategy(cfg.taggedStrategy())
 	snap.TierSpec = cfg.tierSpec()
+	// The server never holds error-feedback residuals (they live client-side),
+	// so the codec section carries only the spec.
+	snap.CodecName = cfg.codecName
 	return core.SaveRunState(ckpt.Path(cfg.ckptDir, round), snap)
 }
 
@@ -502,6 +541,7 @@ func regionAsUpdate(ru comm.RegionUpdate) comm.ClientUpdate {
 		Round:        ru.Round,
 		Version:      ru.Version,
 		State:        ru.State,
+		Codec:        ru.Codec,
 		NumSelected:  ru.NumSelected,
 		TrainSeconds: ru.TrainSeconds,
 		TrainLoss:    ru.TrainLoss,
@@ -559,7 +599,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 	} else {
 		log.Printf("listening on %s, waiting for %d clients", l.Addr(), cfg.numClients)
 	}
-	sess, err := comm.AcceptClients(l, participants, cfg.rounds)
+	sess, err := comm.AcceptClientsCodec(l, participants, cfg.rounds, cfg.codecName)
 	if err != nil {
 		return err
 	}
@@ -568,7 +608,8 @@ func serve(cfg serverConfig, l comm.Listener) error {
 			log.Printf("shutdown: %v", err)
 		}
 	}()
-	log.Printf("federation ready: clients %v, strategy %s", sess.ClientIDs(), cfg.strat.Fingerprint())
+	log.Printf("federation ready: clients %v, strategy %s, codec %s",
+		sess.ClientIDs(), cfg.strat.Fingerprint(), cfg.codecSpec)
 
 	engine, err := comm.NewRoundEngine(sess, engineCfg)
 	if err != nil {
@@ -581,7 +622,7 @@ func serve(cfg serverConfig, l comm.Listener) error {
 	// good.
 	var admitter *comm.Admitter
 	if cfg.relays > 0 {
-		if admitter, err = comm.NewAdmitter(l, participants, cfg.rounds); err != nil {
+		if admitter, err = comm.NewAdmitterCodec(l, participants, cfg.rounds, cfg.codecName); err != nil {
 			return err
 		}
 	}
@@ -658,7 +699,20 @@ func serve(cfg serverConfig, l comm.Listener) error {
 
 		// Stream each update into the weighted sum as it arrives: the
 		// server holds one decoded state at a time, O(state) not O(N·state).
+		// With a lossy codec the aggregator decodes each payload against the
+		// round's broadcast tensors (stateTs, still holding the broadcast
+		// values until ApplyAggregate below); identity keeps the legacy
+		// decode path untouched.
 		agg := comm.NewWeightedStreamAggregator(weigh)
+		if cfg.codec != nil {
+			if maskedAgg != nil {
+				if err := maskedAgg.SetCodec(cfg.codec, stateTs); err != nil {
+					return err
+				}
+			} else {
+				agg.SetCodec(cfg.codec, stateTs)
+			}
+		}
 		fold := agg.Add
 		if maskedAgg != nil {
 			fold = maskedAgg.Add
@@ -790,7 +844,7 @@ func serveAsync(cfg serverConfig, l comm.Listener) error {
 	}
 
 	log.Printf("listening on %s, waiting for %d clients (async, buffer %d)", l.Addr(), cfg.numClients, cfg.buffer)
-	sess, err := comm.AcceptClients(l, cfg.numClients, cfg.rounds)
+	sess, err := comm.AcceptClientsCodec(l, cfg.numClients, cfg.rounds, cfg.codecName)
 	if err != nil {
 		return err
 	}
@@ -850,6 +904,11 @@ func serveAsync(cfg serverConfig, l comm.Listener) error {
 			return err
 		}
 		aggStream := comm.NewWeightedStreamAggregator(weigh)
+		if cfg.codec != nil {
+			// Only reference-free codecs reach async mode (parseFlags refused
+			// the rest), so no broadcast reference is needed for decoding.
+			aggStream.SetCodec(cfg.codec, nil)
+		}
 		var roundTrainSeconds, lossSum float64
 		out, err := engine.RunAggregation(agg, comm.RoundStart{
 			State:          blob,

@@ -15,7 +15,7 @@
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies tiers async
-// all. See DESIGN.md for the experiment index.
+// codecs all. See DESIGN.md for the experiment index.
 //
 // The sched experiment compares cohort-scheduling policies (accuracy vs
 // cumulative client-seconds at a fixed cohort size K). -sched narrows it to
@@ -34,6 +34,13 @@
 // partial training saves. -tier-dist narrows it to one distribution spec
 // ("low:1,mid:2,full:1"), the same format fedserver and fedclient accept.
 //
+// The codecs experiment sweeps uplink codecs (identity, float16, int8,
+// topk:0.05) on one federation, round-tripping every client update through
+// the codec exactly as the distributed wire path would, and reports each
+// row's compression ratio, uplink traffic and accuracy against the identity
+// baseline. -codec narrows it to one spec, the same names fedserver and
+// fedclient accept.
+//
 // The async experiment compares the synchronous engine against buffered
 // asynchronous (FedBuff-style) aggregation over a simulated-time event
 // queue: the server aggregates as soon as -buffer updates arrive, stale
@@ -51,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	"fedfteds/internal/comm"
 	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
 	"fedfteds/internal/sched"
@@ -66,7 +74,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, sched, all)")
+	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, sched, strategies, tiers, async, codecs, all)")
 	scaleFlag := fs.String("scale", "fast", "experiment scale: smoke, fast or full")
 	seedFlag := fs.Int64("seed", 1, "run seed")
 	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
@@ -76,6 +84,7 @@ func run(args []string) error {
 	stalenessFlag := fs.String("staleness", "all", "async experiment: one staleness weigher ("+strings.Join(strategy.StalenessNames(), ", ")+", with optional parameters) or all")
 	strategyFlag := fs.String("strategy", "all", "strategies experiment: one strategy spec (fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters) or all")
 	tierDistFlag := fs.String("tier-dist", "all", "tiers experiment: one tier distribution spec (\"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+") or all")
+	codecFlag := fs.String("codec", "all", "codecs experiment: one uplink codec spec ("+strings.Join(comm.CodecNames(), ", ")+") or all")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint artifact store: every federated run checkpoints into its own subdirectory")
@@ -164,6 +173,13 @@ func run(args []string) error {
 		}
 		tierSpecs = []string{*tierDistFlag}
 	}
+	var codecSpecs []string
+	if *codecFlag != "all" {
+		if _, err := comm.ParseCodec(*codecFlag); err != nil {
+			return err
+		}
+		codecSpecs = []string{*codecFlag}
+	}
 	env, err := experiments.NewEnv(scale, *seedFlag)
 	if err != nil {
 		return err
@@ -180,11 +196,11 @@ func run(args []string) error {
 		// underlying experiment once and render every artifact from it.
 		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
 			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations",
-			"sched", "strategies", "tiers", "async"}
+			"sched", "strategies", "tiers", "async", "codecs"}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, asyncOpts, strategySpecs, tierSpecs)
+		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, asyncOpts, strategySpecs, tierSpecs, codecSpecs)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -214,8 +230,14 @@ type asyncOptions struct {
 
 // runExperiment dispatches one experiment id. Figure ids that share a run
 // with a table (fig5..fig9) re-run the underlying table at this scale.
-func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, asyncOpts asyncOptions, strategySpecs, tierSpecs []string) (string, error) {
+func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, asyncOpts asyncOptions, strategySpecs, tierSpecs, codecSpecs []string) (string, error) {
 	switch id {
+	case "codecs":
+		res, err := experiments.RunCodecs(env, codecSpecs)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "sched":
 		res, err := experiments.RunSchedCompare(env, schedOpts.policies, schedOpts.cohort)
 		if err != nil {

@@ -253,6 +253,37 @@ type (
 	Welcome = comm.Welcome
 )
 
+// Uplink codecs (internal/comm): pluggable wire encodings for client
+// updates, negotiated at Hello time (the server advertises, the client
+// adopts or pins). The identity codec is bit-identical to legacy frames;
+// float16 and int8 quantize stochastically under a deterministic per-
+// (round, client) seed; topk sparsifies with client-side error feedback.
+type (
+	// Codec encodes and decodes tensor payloads for the uplink wire.
+	Codec = comm.Codec
+	// ResidualCarrier is implemented by codecs with checkpointable
+	// client-side state (topk's error-feedback residual).
+	ResidualCarrier = comm.ResidualCarrier
+)
+
+// CodecIdentity names the lossless legacy-frame codec.
+const CodecIdentity = comm.CodecIdentity
+
+// Codec constructors and helpers.
+var (
+	// ParseCodec maps a CLI spec ("int8", "topk:0.05") to a fresh codec;
+	// the names are shared by every binary's -codec flag.
+	ParseCodec = comm.ParseCodec
+	// CodecNames lists the flag-constructible codec identifiers.
+	CodecNames = comm.CodecNames
+	// PickCodec resolves a client's codec choice against the server's
+	// Welcome advertisement ("auto" adopts, explicit must match).
+	PickCodec = comm.PickCodec
+	// CodecSeed derives the deterministic quantization seed for one
+	// (round, client) encode from the federation seed.
+	CodecSeed = comm.CodecSeed
+)
+
 // Distributed-mode constructors and helpers.
 var (
 	// NewPipeListener creates n in-process protocol pipe pairs.

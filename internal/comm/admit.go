@@ -25,7 +25,14 @@ type Admitter struct {
 // fill the Welcome frame (matching the initial AcceptClients handshake).
 // Closing the listener stops the background acceptor.
 func NewAdmitter(l Listener, numClients, rounds int) (*Admitter, error) {
-	welcome, err := EncodeBody(MsgWelcome, Welcome{NumClients: numClients, Rounds: rounds})
+	return NewAdmitterCodec(l, numClients, rounds, "")
+}
+
+// NewAdmitterCodec is NewAdmitter with an uplink-codec advertisement, so a
+// re-registering peer negotiates the same session codec the initial accept
+// phase advertised.
+func NewAdmitterCodec(l Listener, numClients, rounds int, codec string) (*Admitter, error) {
+	welcome, err := EncodeBody(MsgWelcome, Welcome{NumClients: numClients, Rounds: rounds, Codecs: advertiseCodecs(codec)})
 	if err != nil {
 		return nil, err
 	}

@@ -139,3 +139,77 @@ func BenchmarkRegionDeltaEncode(b *testing.B) {
 		}
 	}
 }
+
+// codecBenchSpecs is the lineup the codec benchmarks and the
+// BENCH_comm.json regression gate cover.
+var codecBenchSpecs = []string{"identity", "float16", "int8", "topk:0.05"}
+
+// codecBenchState builds the ~80k-parameter state the other comm
+// benchmarks use, plus a broadcast reference for the delta codecs.
+func codecBenchState(b *testing.B) (ref, ts []*tensor.Tensor, denseBytes int64) {
+	b.Helper()
+	shapes := [][]int{{256, 256}, {256}, {256, 64}, {64}}
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range shapes {
+		r := tensor.New(sh...)
+		r.FillNormal(rng, 0, 1)
+		ref = append(ref, r)
+		t := tensor.New(sh...)
+		t.FillNormal(rng, 0, 1)
+		ts = append(ts, t)
+		denseBytes += int64(t.EncodedSize())
+	}
+	return ref, ts, denseBytes + 4
+}
+
+// BenchmarkCodecEncode measures one client's per-round uplink encode for
+// each codec on the standard ~80k-parameter state. SetBytes is the dense
+// state size, so mb_per_s reads as dense-state throughput and stays
+// comparable across codecs. Results feed BENCH_comm.json.
+func BenchmarkCodecEncode(b *testing.B) {
+	for _, spec := range codecBenchSpecs {
+		b.Run(spec, func(b *testing.B) {
+			c, err := ParseCodec(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref, ts, denseBytes := codecBenchState(b)
+			b.SetBytes(denseBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(ref, ts, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecDecode measures the server's per-update decode for each
+// codec, scratch reused across iterations like the streaming aggregators
+// do. Results feed BENCH_comm.json.
+func BenchmarkCodecDecode(b *testing.B) {
+	for _, spec := range codecBenchSpecs {
+		b.Run(spec, func(b *testing.B) {
+			c, err := ParseCodec(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref, ts, denseBytes := codecBenchState(b)
+			blob, err := c.Encode(ref, ts, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var scratch []*tensor.Tensor
+			b.SetBytes(denseBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := c.Decode(ref, scratch, blob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scratch = dec[:cap(dec)]
+			}
+		})
+	}
+}

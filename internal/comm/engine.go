@@ -339,6 +339,10 @@ type StreamAggregator struct {
 	acc   []*tensor.Tensor
 	total float64
 	count int
+
+	codec Codec            // session uplink codec; nil is the legacy identity path
+	ref   []*tensor.Tensor // broadcast state, the delta codecs' decode reference
+	dec   []*tensor.Tensor // codec decode scratch, reused across Adds
 }
 
 // NewStreamAggregator returns an empty aggregator for one round with the
@@ -351,6 +355,16 @@ func NewStreamAggregator() *StreamAggregator { return &StreamAggregator{} }
 // streaming path.
 func NewWeightedStreamAggregator(weigh WeightFunc) *StreamAggregator {
 	return &StreamAggregator{weigh: weigh}
+}
+
+// SetCodec routes the aggregator through the session's negotiated uplink
+// codec: updates decode via codec (against ref, the broadcast state the
+// round shipped, for delta codecs) and an update whose codec echo
+// disagrees with the session codec is rejected before its bytes are
+// touched. A nil codec is the legacy identity path, byte-for-byte
+// unchanged. Call before the round's first Add.
+func (a *StreamAggregator) SetCodec(c Codec, ref []*tensor.Tensor) {
+	a.codec, a.ref = c, ref
 }
 
 // Add decodes one update and folds it into the running sum under the
@@ -370,6 +384,12 @@ func (a *StreamAggregator) Add(u ClientUpdate) error {
 		if w64 <= 0 || math.IsNaN(w64) || math.IsInf(w64, 0) {
 			return fmt.Errorf("%w: client %d weighed %v", ErrProtocol, u.ClientID, w64)
 		}
+	}
+	if err := checkCodecEcho(a.codec, u.Codec, u.ClientID); err != nil {
+		return err
+	}
+	if a.codec != nil {
+		return a.addCodec(u, w64)
 	}
 	ts, err := DecodeTensors(u.State)
 	if err != nil {
@@ -398,6 +418,63 @@ func (a *StreamAggregator) Add(u ClientUpdate) error {
 	}
 	a.total += w64
 	a.count++
+	return nil
+}
+
+// addCodec is the codec decode-and-fold path of Add. The decode scratch
+// is owned by the aggregator and reused, so the accumulator holds clones
+// of the first update rather than taking ownership of its tensors.
+func (a *StreamAggregator) addCodec(u ClientUpdate, w64 float64) error {
+	ts, err := a.codec.Decode(a.ref, a.dec, u.State)
+	if err != nil {
+		return fmt.Errorf("comm: aggregate client %d: %w", u.ClientID, err)
+	}
+	a.dec = ts[:cap(ts)]
+	if a.acc != nil {
+		if len(ts) != len(a.acc) {
+			return fmt.Errorf("%w: client %d sent %d tensors, want %d", ErrProtocol, u.ClientID, len(ts), len(a.acc))
+		}
+		for i := range ts {
+			if !a.acc[i].SameShape(ts[i]) {
+				return fmt.Errorf("%w: client %d tensor %d shape mismatch", ErrProtocol, u.ClientID, i)
+			}
+		}
+	}
+	w := float32(w64)
+	if a.acc == nil {
+		a.acc = make([]*tensor.Tensor, len(ts))
+		for i, t := range ts {
+			a.acc[i] = t.Clone()
+			a.acc[i].Scale(w)
+		}
+	} else {
+		for i := range ts {
+			if err := a.acc[i].Axpy(w, ts[i]); err != nil {
+				return err
+			}
+		}
+	}
+	a.total += w64
+	a.count++
+	return nil
+}
+
+// checkCodecEcho rejects an update whose codec echo disagrees with the
+// session codec, before any payload byte is interpreted. Empty echoes and
+// a nil session codec both mean identity, so pre-codec peers and codec-
+// aware ones running identity validate interchangeably.
+func checkCodecEcho(codec Codec, echo string, clientID int) error {
+	want := CodecIdentity
+	if codec != nil {
+		want = codec.Name()
+	}
+	got := echo
+	if got == "" {
+		got = CodecIdentity
+	}
+	if got != want {
+		return fmt.Errorf("%w: client %d sent codec %q, session runs %q", ErrProtocol, clientID, got, want)
+	}
 	return nil
 }
 

@@ -36,6 +36,10 @@ type MaskedStreamAggregator struct {
 	scratch []*tensor.Tensor // decode buffer, reused across Adds
 	out     []*tensor.Tensor // Finish result slice, reused across rounds
 	fb      []*tensor.Tensor // fallback copies for uncovered tensors
+
+	codec      Codec            // session uplink codec; nil is the legacy identity path
+	ref        []*tensor.Tensor // broadcast state, parallel to the full layout
+	refScratch []*tensor.Tensor // covered subset of ref, rebuilt per Add without allocating
 }
 
 // NewMaskedStreamAggregator builds an aggregator for one or more rounds over
@@ -75,6 +79,26 @@ func NewMaskedStreamAggregator(weigh WeightFunc, groups, layout []string) (*Mask
 		totals:  make([]float64, len(layout)),
 		covered: make([]bool, len(groups)),
 	}, nil
+}
+
+// SetCodec routes the aggregator through the session's negotiated uplink
+// codec. ref is the broadcast state, tensor-parallel to the full layout;
+// delta codecs decode each masked update against the covered subset of it
+// (the exact reference the client encoded against). A nil codec is the
+// legacy identity path — DecodeTensorsReuse, byte-for-byte unchanged. The
+// codec decode reuses the same persistent scratch, so the zero-allocation
+// steady state survives. Call before the first Add; the ref tensors may be
+// live views into the server's model, which is safe because every consumer
+// applies the aggregate only after Finish.
+func (a *MaskedStreamAggregator) SetCodec(c Codec, ref []*tensor.Tensor) error {
+	if c != nil && ref != nil && len(ref) != len(a.layout) {
+		return fmt.Errorf("%w: codec reference has %d tensors, layout %d", ErrProtocol, len(ref), len(a.layout))
+	}
+	if c != nil && c.NeedsReference() && ref == nil {
+		return fmt.Errorf("%w: codec %s needs the broadcast reference", ErrProtocol, c.Name())
+	}
+	a.codec, a.ref = c, ref
+	return nil
 }
 
 // setCovered validates an update's Groups declaration — non-empty, known
@@ -130,7 +154,16 @@ func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 	if err := a.setCovered(u.ClientID, u.Groups); err != nil {
 		return err
 	}
-	ts, err := DecodeTensorsReuse(a.scratch, u.State)
+	if err := checkCodecEcho(a.codec, u.Codec, u.ClientID); err != nil {
+		return err
+	}
+	var ts []*tensor.Tensor
+	var err error
+	if a.codec != nil {
+		ts, err = a.codec.Decode(a.coveredRef(), a.scratch, u.State)
+	} else {
+		ts, err = DecodeTensorsReuse(a.scratch, u.State)
+	}
 	if err != nil {
 		return fmt.Errorf("comm: aggregate client %d: %w", u.ClientID, err)
 	}
@@ -185,6 +218,27 @@ func (a *MaskedStreamAggregator) Add(u ClientUpdate) error {
 	a.sumW += w64
 	a.count++
 	return nil
+}
+
+// coveredRef filters the codec reference down to the tensors the current
+// a.covered mask ships — exactly the subset the client encoded against.
+// The slice is reused across Adds; nil when no reference was set (the
+// reference-free codecs ignore it).
+func (a *MaskedStreamAggregator) coveredRef() []*tensor.Tensor {
+	if a.ref == nil {
+		return nil
+	}
+	if cap(a.refScratch) < len(a.layout) {
+		a.refScratch = make([]*tensor.Tensor, 0, len(a.layout))
+	}
+	rs := a.refScratch[:0]
+	for ti, g := range a.layout {
+		if a.covered[a.gIndex[g]] {
+			rs = append(rs, a.ref[ti])
+		}
+	}
+	a.refScratch = rs
+	return rs
 }
 
 // Updates returns how many updates have been folded so far.

@@ -85,6 +85,13 @@ type Welcome struct {
 	NumClients int
 	// Rounds is the planned number of communication rounds.
 	Rounds int
+	// Codecs advertises the uplink codec the session runs, by canonical
+	// name (see ParseCodec). A server running the identity codec
+	// advertises nothing — gob omits the empty slice, so identity
+	// handshakes are byte-identical to pre-codec ones and legacy clients
+	// interoperate unchanged. Clients adopt the advertisement (-codec
+	// auto) or fail fast on a mismatch (PickCodec).
+	Codecs []string
 }
 
 // RoundStart instructs a client to run one local round.
@@ -143,6 +150,12 @@ type ClientUpdate struct {
 	// by its staleness (current version minus Version); synchronous peers
 	// leave it zero.
 	Version int
+	// Codec names the codec State is encoded with, echoing the session
+	// codec negotiated at Hello/Welcome. Empty means identity — gob omits
+	// it, so identity updates are byte-identical to pre-codec frames. The
+	// server's aggregators reject an echo that disagrees with the session
+	// codec before touching State.
+	Codec string
 }
 
 // RegionUpdate is a relay's pre-folded aggregate of its region's client
@@ -178,6 +191,11 @@ type RegionUpdate struct {
 	// MeanEntropy is the weight-averaged EDS entropy over the leaves that
 	// reported one (NaN when none did), the region-level scheduler utility.
 	MeanEntropy float64
+	// Codec names the codec State is encoded with on the upstream leg
+	// (the root's session codec, which may differ from the codec the
+	// relay negotiated with its leaves). Empty means identity; gob omits
+	// it, keeping legacy relays compatible.
+	Codec string
 }
 
 // Shutdown ends the session.

@@ -27,9 +27,18 @@ type ServerSession struct {
 // the one mid-handshake — is closed before returning, so no descriptor
 // leaks.
 func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
+	return AcceptClientsCodec(l, numClients, rounds, "")
+}
+
+// AcceptClientsCodec is AcceptClients with an uplink-codec advertisement:
+// codec is the canonical name the Welcome carries (see advertiseCodecs —
+// identity advertises nothing, keeping the handshake byte-identical to
+// pre-codec sessions).
+func AcceptClientsCodec(l Listener, numClients, rounds int, codec string) (*ServerSession, error) {
 	if numClients <= 0 {
 		return nil, fmt.Errorf("%w: numClients %d", ErrProtocol, numClients)
 	}
+	adverts := advertiseCodecs(codec)
 	s := &ServerSession{
 		conns:  make(map[int]Conn, numClients),
 		sizes:  make(map[int]int, numClients),
@@ -65,7 +74,7 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 		if _, dup := s.conns[hello.ClientID]; dup {
 			return fail(conn, fmt.Errorf("%w: duplicate client id %d", ErrProtocol, hello.ClientID))
 		}
-		welcome, err := EncodeBody(MsgWelcome, Welcome{NumClients: numClients, Rounds: rounds})
+		welcome, err := EncodeBody(MsgWelcome, Welcome{NumClients: numClients, Rounds: rounds, Codecs: adverts})
 		if err != nil {
 			return fail(conn, err)
 		}
@@ -75,6 +84,17 @@ func AcceptClients(l Listener, numClients, rounds int) (*ServerSession, error) {
 		s.admit(hello, conn)
 	}
 	return s, nil
+}
+
+// advertiseCodecs renders a session codec name as the Welcome.Codecs
+// advertisement: identity (or empty) advertises nothing — gob then omits
+// the field and the Welcome stays byte-identical to pre-codec frames —
+// and anything else advertises exactly that one name.
+func advertiseCodecs(codec string) []string {
+	if codec == "" || codec == CodecIdentity {
+		return nil
+	}
+	return []string{codec}
 }
 
 // admit registers one handshaked connection.

@@ -74,6 +74,9 @@ func (r *Runner) RunAsync(acfg AsyncConfig) (History, error) {
 	case r.cfg.CheckpointEvery > 0:
 		return History{}, fmt.Errorf("%w: the async simulator does not checkpoint; use the distributed "+
 			"server for resumable async runs", ErrConfig)
+	case r.cfg.Codec != "":
+		return History{}, fmt.Errorf("%w: the async simulator does not simulate uplink codecs; drop "+
+			"Codec for async runs (the distributed server supports reference-free codecs with -buffer)", ErrConfig)
 	}
 	if _, ok := r.cfg.Straggler.(simtime.FullParticipation); !ok {
 		return History{}, fmt.Errorf("%w: straggler policies do not apply in async mode — slow clients "+

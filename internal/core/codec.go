@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"fedfteds/internal/comm"
+	"fedfteds/internal/tensor"
+)
+
+// The simulator's codec wire simulation: when Config.Codec is set, every
+// participant's trained state makes the same journey it would in the
+// distributed deployment — encoded under the session codec (against the
+// broadcast reference the client trained from), then decoded server-side —
+// before aggregation sees it. Quantization noise, topk's error-feedback
+// residuals and the real payload byte counts all land in the run exactly
+// as fedclient/fedserver would produce them, with per-client codec
+// instances keyed by client ID so residual state follows the client across
+// cohorts and checkpoints.
+
+// codecActive reports whether the codec wire simulation is on. An empty
+// Config.Codec keeps the legacy lossless path bit-identical to runs
+// predating codecs; "identity" runs the (lossless) round-trip and charges
+// honest wire bytes.
+func (r *Runner) codecActive() bool { return r.cfg.Codec != "" }
+
+// codecFor returns the client's codec instance, creating it on first use.
+// Instances are per client ID, never shared: topk carries error-feedback
+// residuals across rounds and those belong to one client.
+func (r *Runner) codecFor(clientID int) (comm.Codec, error) {
+	if r.codecs == nil {
+		r.codecs = make(map[int]comm.Codec)
+	}
+	if c, ok := r.codecs[clientID]; ok {
+		return c, nil
+	}
+	c, err := comm.ParseCodec(r.cfg.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: codec %q: %v", ErrConfig, r.cfg.Codec, err)
+	}
+	r.codecs[clientID] = c
+	return c, nil
+}
+
+// codecRoundTrip encodes and decodes every result's state through the
+// session codec, replacing res.state with what the server would decode and
+// recording the encoded payload size for the uplink accounting. The
+// reference is the live broadcast state (commState) — still holding the
+// broadcast values, because aggregation has not run yet — filtered to the
+// participant's covered tensors on masked rounds, exactly the subset the
+// client encoded against. The stochastic-rounding seed derives from (run
+// seed, round, client ID), the same derivation fedclient uses, so
+// simulated and distributed runs quantize identically.
+func (r *Runner) codecRoundTrip(results []clientResult, round int) error {
+	if !r.codecActive() {
+		return nil
+	}
+	n := len(results)
+	if cap(r.codecUplink) < n {
+		r.codecUplink = make([]int64, n)
+	}
+	r.codecUplink = r.codecUplink[:n]
+	if cap(r.codecDec) < n {
+		r.codecDec = append(r.codecDec[:len(r.codecDec)], make([][]*tensor.Tensor, n-len(r.codecDec))...)
+	}
+	dec := r.codecDec[:n]
+	for i := range results {
+		res := &results[i]
+		c, err := r.codecFor(res.clientID)
+		if err != nil {
+			return err
+		}
+		ref := r.commState
+		if r.maskActive {
+			ref = r.coveredState(r.coverScratch[i])
+		}
+		seed := comm.CodecSeed(uint64(r.cfg.Seed), round, res.clientID)
+		blob, err := c.Encode(ref, res.state, seed)
+		if err != nil {
+			return fmt.Errorf("core: round %d: encoding client %d under %s: %w",
+				round, res.clientID, c.Name(), err)
+		}
+		out, err := c.Decode(ref, dec[i], blob)
+		if err != nil {
+			return fmt.Errorf("core: round %d: decoding client %d under %s: %w",
+				round, res.clientID, c.Name(), err)
+		}
+		dec[i] = out[:cap(out)]
+		res.state = out
+		r.codecUplink[i] = int64(len(blob))
+	}
+	return nil
+}
+
+// coveredState filters the live broadcast tensors down to the ones a
+// participant's cover map ships, in shipped order — the masked codec
+// reference. The slice is runner scratch, valid until the next call.
+func (r *Runner) coveredState(cover []int) []*tensor.Tensor {
+	if cap(r.codecRefScratch) < len(r.commState) {
+		r.codecRefScratch = make([]*tensor.Tensor, 0, len(r.commState))
+	}
+	ref := r.codecRefScratch[:0]
+	for ti, ci := range cover {
+		if ci >= 0 {
+			ref = append(ref, r.commState[ti])
+		}
+	}
+	r.codecRefScratch = ref
+	return ref
+}
+
+// codecResiduals exports every client's carried error-feedback residuals
+// for checkpointing (nil when no client carries any). The returned tensors
+// are clones, safe to serialize while the run continues.
+func (r *Runner) codecResiduals() map[int][]*tensor.Tensor {
+	var out map[int][]*tensor.Tensor
+	for id, c := range r.codecs {
+		rc, ok := c.(comm.ResidualCarrier)
+		if !ok {
+			continue
+		}
+		res := rc.ResidualState()
+		if res == nil {
+			continue
+		}
+		cloned := make([]*tensor.Tensor, len(res))
+		for i, t := range res {
+			cloned[i] = t.Clone()
+		}
+		if out == nil {
+			out = make(map[int][]*tensor.Tensor)
+		}
+		out[id] = cloned
+	}
+	return out
+}
+
+// restoreCodecResiduals reinstalls checkpointed residual state: one codec
+// instance per client ID, each carrying its saved residuals, so the
+// resumed run's next Encode continues the error-feedback chain bit for
+// bit.
+func (r *Runner) restoreCodecResiduals(residuals map[int][]*tensor.Tensor) error {
+	for id, res := range residuals {
+		c, err := r.codecFor(id)
+		if err != nil {
+			return err
+		}
+		rc, ok := c.(comm.ResidualCarrier)
+		if !ok {
+			return fmt.Errorf("%w: checkpoint carries residuals for client %d but codec %q has none",
+				ErrConfig, id, r.cfg.Codec)
+		}
+		if err := rc.RestoreResidualState(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"fedfteds/internal/comm"
 	"fedfteds/internal/device"
 	"fedfteds/internal/models"
 	"fedfteds/internal/sched"
@@ -107,6 +108,16 @@ type Config struct {
 	CohortSize int
 	// Straggler decides which clients complete each round.
 	Straggler simtime.StragglerPolicy
+	// Codec, when set, simulates the distributed deployment's uplink codec
+	// (comm.ParseCodec spec, e.g. "int8" or "topk:0.05"): every client's
+	// trained state is encoded and decoded through the codec before
+	// aggregation — quantization noise, error-feedback residuals and all —
+	// and the communication accounting charges the real payload bytes.
+	// Empty keeps the legacy lossless path bit-identical to runs predating
+	// codecs. "identity" runs the full round-trip too (losslessly), so
+	// accounting then includes the blob's 4-byte count header that the
+	// legacy path's per-tensor sum omits.
+	Codec string
 	// AggWeighting selects the aggregation weights (default WeightBySelected).
 	AggWeighting AggWeighting
 	// EvalEvery evaluates the global model on the test set every this many
@@ -202,6 +213,11 @@ func (c Config) validate() error {
 	case c.TierDist != nil && len(c.TrainGroups) > 0:
 		return fmt.Errorf("%w: TrainGroups together with TierDist — tiered runs derive each "+
 			"client's mask from its tier", ErrConfig)
+	}
+	if c.Codec != "" {
+		if _, err := comm.ParseCodec(c.Codec); err != nil {
+			return fmt.Errorf("%w: codec %q: %v", ErrConfig, c.Codec, err)
+		}
 	}
 	return nil
 }

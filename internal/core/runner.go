@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fedfteds/internal/comm"
 	"fedfteds/internal/data"
 	"fedfteds/internal/device"
 	"fedfteds/internal/metrics"
@@ -146,6 +147,16 @@ type Runner struct {
 	coverCache   map[string][]int
 	bytesCache   map[string]int64
 
+	// Uplink-codec wire simulation (cfg.Codec non-empty; see codec.go).
+	// codecs holds one codec instance per client ID so topk's error-feedback
+	// residuals stay per-client; codecDec is per-result-slot decode scratch,
+	// codecRefScratch the reused masked-reference subset, and codecUplink the
+	// per-slot encoded payload sizes the accountant charges.
+	codecs          map[int]comm.Codec
+	codecDec        [][]*tensor.Tensor
+	codecRefScratch []*tensor.Tensor
+	codecUplink     []int64
+
 	// hist and acct live on the runner (not in Run) so that a checkpoint
 	// taken mid-run captures them and a restored runner continues them.
 	hist History
@@ -254,6 +265,9 @@ func (r *Runner) Run() (History, error) {
 		if err != nil {
 			return r.hist, err
 		}
+		if err := r.codecRoundTrip(results, round); err != nil {
+			return r.hist, err
+		}
 		if err := r.aggregate(results, commState, nil); err != nil {
 			return r.hist, err
 		}
@@ -263,6 +277,9 @@ func (r *Runner) Run() (History, error) {
 			uplink := stateSize
 			if r.maskActive {
 				uplink = r.bytesScratch[i]
+			}
+			if r.codecActive() {
+				uplink = r.codecUplink[i]
 			}
 			r.acct.AddRound(res.cost)
 			r.acct.AddCommunication(uplink, stateSize)

@@ -42,6 +42,12 @@ const (
 	// buffered but not yet aggregated, so a warm start resumes mid-buffer.
 	// Synchronous checkpoints keep their exact pre-async byte layout.
 	sectionAsync = "async"
+	// sectionCodec is optional: it is written only for runs with an uplink
+	// codec configured (Config.Codec / fedserver -codec), carrying the codec
+	// spec and any per-client error-feedback residuals (topk), so a resumed
+	// run continues the error-feedback chain bit for bit. Codec-free
+	// checkpoints keep their exact pre-codec byte layout.
+	sectionCodec = "codec"
 )
 
 // BufferedUpdate is one received-but-not-yet-aggregated client update of a
@@ -140,6 +146,15 @@ type RunState struct {
 	// config tag, so ValidateFor already refuses crossing a checkpoint
 	// between the two modes.
 	Async *AsyncState
+	// CodecName is the uplink-codec spec the state was produced under
+	// (comm.ParseCodec form; empty for codec-free runs). Restore refuses a
+	// mismatch: resuming under an edited codec would silently change every
+	// subsequent update's quantization — and for topk, orphan the carried
+	// residuals.
+	CodecName string
+	// CodecResiduals holds each client's carried error-feedback residual
+	// tensors (topk), keyed by client ID; nil when no client carries any.
+	CodecResiduals map[int][]*tensor.Tensor
 }
 
 // SnapshotModelState clones a model's full state tensors (params and buffers
@@ -211,6 +226,13 @@ func (c Config) trainingTag() uint64 {
 	}
 	if len(c.TrainGroups) > 0 {
 		parts = append(parts, fmt.Sprintf("mask:%v", c.TrainGroups))
+	}
+	// The codec is appended only when configured, keeping codec-free
+	// configs' tags — and their committed checkpoints — stable. "identity"
+	// contributes too: its accounting differs from the legacy lossless
+	// path (honest wire headers), so the two must not share checkpoints.
+	if c.Codec != "" {
+		parts = append(parts, "codec:"+c.Codec)
 	}
 	return TagConfig(parts...)
 }
@@ -294,6 +316,8 @@ func (r *Runner) Snapshot() (*RunState, error) {
 	}
 	s.CaptureStrategy(r.cfg.Strategy)
 	s.TierSpec = r.cfg.tierSpec()
+	s.CodecName = r.cfg.Codec
+	s.CodecResiduals = r.codecResiduals()
 	return s, nil
 }
 
@@ -303,10 +327,11 @@ func (r *Runner) Snapshot() (*RunState, error) {
 // matching scheduler, a matching strategy (nil strat means the legacy
 // default path; pass the explicitly configured strategy otherwise), and a
 // matching device-tier distribution (tierSpec is the configured
-// distribution's canonical String, empty for untiered runs). Both engines
-// (Runner.RestoreInto and fedserver's warm-start) share this check so their
-// refusal rules cannot drift.
-func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy, tierSpec string) error {
+// distribution's canonical String, empty for untiered runs), and a matching
+// uplink codec (codecName is the configured comm.ParseCodec spec, empty for
+// codec-free runs). Both engines (Runner.RestoreInto and fedserver's
+// warm-start) share this check so their refusal rules cannot drift.
+func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy, tierSpec, codecName string) error {
 	if s.Seed != seed {
 		return fmt.Errorf("%w: checkpoint seed %d does not match configured seed %d",
 			ErrConfig, s.Seed, seed)
@@ -361,6 +386,14 @@ func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, schedul
 			"under an edited tier mix would silently change every client's layer mask",
 			ErrConfig, s.TierSpec, tierSpec)
 	}
+	if s.CodecName != codecName {
+		return fmt.Errorf("%w: checkpoint codec %q does not match configured %q; resuming under an "+
+			"edited codec would silently change every subsequent update's wire encoding",
+			ErrConfig, s.CodecName, codecName)
+	}
+	if len(s.CodecResiduals) > 0 && codecName == "" {
+		return fmt.Errorf("%w: checkpoint carries codec residuals but no codec is configured", ErrConfig)
+	}
 	return nil
 }
 
@@ -397,13 +430,16 @@ func (s *RunState) RestoreStrategy(strat strategy.Strategy) error {
 // Run continues after s.Round and reproduces the uninterrupted run bit for
 // bit. Call before Run.
 func (s *RunState) RestoreInto(r *Runner) error {
-	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy, r.cfg.tierSpec()); err != nil {
+	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy, r.cfg.tierSpec(), r.cfg.Codec); err != nil {
 		return err
 	}
 	if err := s.RestoreScheduler(r.cfg.Scheduler); err != nil {
 		return err
 	}
 	if err := s.RestoreStrategy(r.cfg.Strategy); err != nil {
+		return err
+	}
+	if err := r.restoreCodecResiduals(s.CodecResiduals); err != nil {
 		return err
 	}
 	if err := RestoreModelState(r.global, s.Model); err != nil {
@@ -547,6 +583,26 @@ func (s *RunState) Sections() ([]ckpt.Section, error) {
 			async.PutFloat64(u.MeanEntropy)
 		}
 		sections = append(sections, ckpt.Section{Name: sectionAsync, Body: async.Bytes()})
+	}
+	// The codec section is written only for codec-configured runs:
+	// codec-free checkpoints keep their exact pre-codec byte layout.
+	// Residual clients are encoded in sorted ID order for determinism.
+	if s.CodecName != "" || len(s.CodecResiduals) > 0 {
+		var codec ckpt.Encoder
+		codec.PutString(s.CodecName)
+		resIDs := make([]int, 0, len(s.CodecResiduals))
+		for id := range s.CodecResiduals {
+			resIDs = append(resIDs, id)
+		}
+		sort.Ints(resIDs)
+		codec.PutUint64(uint64(len(resIDs)))
+		for _, id := range resIDs {
+			codec.PutInt(id)
+			if err := codec.PutTensors(s.CodecResiduals[id]); err != nil {
+				return nil, err
+			}
+		}
+		sections = append(sections, ckpt.Section{Name: sectionCodec, Body: codec.Bytes()})
 	}
 	return sections, nil
 }
@@ -697,6 +753,26 @@ func RunStateFromSections(sections []ckpt.Section) (*RunState, error) {
 			return nil, fmt.Errorf("async section: %w", err)
 		}
 		s.Async = st
+	}
+
+	// The codec section is optional (absent for codec-free runs).
+	if body, ok := bodies[sectionCodec]; ok {
+		codec := ckpt.NewDecoder(body)
+		s.CodecName = codec.String()
+		n := codec.Uint64()
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: codec section claims %d residual clients", ckpt.ErrCorrupt, n)
+		}
+		if n > 0 {
+			s.CodecResiduals = make(map[int][]*tensor.Tensor, n)
+		}
+		for i := uint64(0); i < n && codec.Err() == nil; i++ {
+			id := codec.Int()
+			s.CodecResiduals[id] = codec.Tensors()
+		}
+		if err := codec.Done(); err != nil {
+			return nil, fmt.Errorf("codec section: %w", err)
+		}
 	}
 
 	return s, nil

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fedfteds/internal/comm"
+	"fedfteds/internal/core"
+	"fedfteds/internal/models"
+	"fedfteds/internal/selection"
+	"fedfteds/internal/tensor"
+)
+
+// CodecSpecs is the codec-sweep lineup: the identity baseline (lossless,
+// honest wire accounting), the two quantizers, and topk sparsification with
+// error feedback at the default 5% density. The sweep reads as "what does
+// each compression level cost in accuracy per uplink byte saved".
+var CodecSpecs = []string{"identity", "float16", "int8", "topk:0.05"}
+
+// CodecRow is one codec's outcome on the shared federation.
+type CodecRow struct {
+	// Spec is the codec the row ran under (a comm.ParseCodec input,
+	// canonicalized).
+	Spec string
+	// Hist is the run's full history; TotalUplinkBytes counts the real
+	// encoded payload sizes, so rows are directly comparable.
+	Hist core.History
+}
+
+// CodecCompareResult compares uplink codecs on one federation: every row
+// sees the same clients, model initialization and seed; only the wire
+// encoding of each client update differs. Quantization noise and topk's
+// error-feedback dynamics flow into the accuracy columns, the encoded
+// payload sizes into the uplink columns.
+type CodecCompareResult struct {
+	// Rows holds one entry per codec, in input order.
+	Rows []CodecRow
+	// NumClients is the federation size.
+	NumClients int
+}
+
+// RunCodecs runs every codec spec in specs (nil means the standard
+// CodecSpecs lineup) on one shared federation with FedFT-EDS locals. The
+// identity row is the accuracy and bandwidth baseline: it round-trips
+// losslessly through the same wire path, so any accuracy gap in the other
+// rows is pure codec effect, not accounting drift.
+func RunCodecs(env *Env, specs []string) (*CodecCompareResult, error) {
+	if len(specs) == 0 {
+		specs = CodecSpecs
+	}
+	numClients := env.Dims.SmallClients
+	// Every row shares one seed: the comparison isolates the codec, not the
+	// run randomness.
+	seed := tensor.DeriveSeed(uint64(env.Seed), 0xC0DEC)
+	res := &CodecCompareResult{NumClients: numClients}
+	for _, spec := range specs {
+		codec, err := comm.ParseCodec(spec)
+		if err != nil {
+			return nil, err
+		}
+		fed, err := env.BuildFederation(env.Suite.Target10, numClients, 0.1, 7272)
+		if err != nil {
+			return nil, err
+		}
+		global, err := env.PretrainedModel(env.Suite.Target10, env.Suite.Source)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{
+			Rounds:         env.Dims.Rounds,
+			LocalEpochs:    env.Dims.LocalEpochs,
+			LR:             paperLR,
+			Momentum:       paperMomentum,
+			FinetunePart:   models.FinetuneModerate,
+			Selector:       selection.Entropy{Temperature: paperTemperature},
+			SelectFraction: 0.5,
+			Codec:          codec.Name(),
+			Seed:           seed,
+		}
+		hist, err := env.RunFL(fmt.Sprintf("codec-%s-c%d", codec.Name(), numClients),
+			cfg, global, fed.Clients, fed.Test)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, CodecRow{Spec: codec.Name(), Hist: hist})
+	}
+	return res, nil
+}
+
+// baseline returns the identity row's uplink bytes and final accuracy (ok
+// false without an identity row).
+func (r *CodecCompareResult) baseline() (int64, float64, bool) {
+	for _, row := range r.Rows {
+		if row.Spec == comm.CodecIdentity {
+			return row.Hist.TotalUplinkBytes, row.Hist.FinalAccuracy, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Render prints the sweep as a table: per codec the compression ratio over
+// the identity baseline, total uplink traffic and the share saved, best and
+// final accuracy, and the final-accuracy delta against identity — the
+// compression-vs-accuracy tradeoff curve in rows.
+func (r *CodecCompareResult) Render() string {
+	baseBytes, baseAcc, haveBase := r.baseline()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Codec sweep: %d clients, FedFT-EDS locals, uplink wire simulation\n", r.NumClients)
+	fmt.Fprintf(&b, "%-12s %8s %11s %9s %9s %9s %10s\n",
+		"codec", "ratio", "uplink KB", "saved", "best acc", "final acc", "Δfinal")
+	for _, row := range r.Rows {
+		ratio, saved, delta := "n/a", "n/a", "n/a"
+		if haveBase && row.Hist.TotalUplinkBytes > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(baseBytes)/float64(row.Hist.TotalUplinkBytes))
+			saved = fmt.Sprintf("%.1f%%", 100*(1-float64(row.Hist.TotalUplinkBytes)/float64(baseBytes)))
+			delta = fmt.Sprintf("%+.2fpt", 100*(row.Hist.FinalAccuracy-baseAcc))
+		}
+		fmt.Fprintf(&b, "%-12s %8s %11.1f %9s %8.2f%% %8.2f%% %10s\n",
+			row.Spec, ratio,
+			float64(row.Hist.TotalUplinkBytes)/1024, saved,
+			100*row.Hist.BestAccuracy, 100*row.Hist.FinalAccuracy,
+			delta)
+	}
+	return b.String()
+}

@@ -50,6 +50,12 @@ func TopKAccuracy(m *models.Model, ds *data.Dataset, k int) (float64, error) {
 		for i := 0; i < n; i++ {
 			row := logits.Data()[i*c : (i+1)*c]
 			trueScore := row[b.Y[i]]
+			// A NaN score compares false against everything, which would
+			// leave rank at 0 and count the sample as a top-1 hit; a model
+			// emitting NaN must score as wrong, not perfect.
+			if math.IsNaN(float64(trueScore)) {
+				continue
+			}
 			rank := 0
 			for j, v := range row {
 				if v > trueScore || (v == trueScore && j < b.Y[i]) {

@@ -193,7 +193,12 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	invStd := bn.invStd
 	rv := bn.runVar.Data()
 	for c := range invStd {
-		invStd[c] = 1.0 / math.Sqrt(float64(rv[c])+bn.eps)
+		// Aggregation noise (lossy uplink codecs, federated averaging of
+		// freshly restored buffers) can push a running variance slightly
+		// negative; clamping keeps invStd finite instead of poisoning every
+		// downstream activation with NaN. Locally computed variances are
+		// non-negative, so this never changes a lossless run.
+		invStd[c] = 1.0 / math.Sqrt(math.Max(float64(rv[c]), 0)+bn.eps)
 	}
 	trainDegenerate := train && !bn.frozen
 	rm := bn.runMean.Data()

@@ -19,7 +19,16 @@ import (
 	"math"
 
 	"fedfteds/internal/comm"
+	"fedfteds/internal/tensor"
 )
+
+// codecName renders a possibly-nil codec for logs.
+func codecName(c comm.Codec) string {
+	if c == nil {
+		return comm.CodecIdentity
+	}
+	return c.Name()
+}
 
 // Config shapes one relay process.
 type Config struct {
@@ -36,6 +45,12 @@ type Config struct {
 	// Engine tunes the leaf-side fault tolerance (deadline, quorum), the
 	// same knobs fedserver exposes for a flat federation.
 	Engine comm.EngineConfig
+	// LeafCodec is the uplink codec advertised to this region's leaves
+	// (comm.ParseCodec spec; empty or "identity" keeps legacy frames). It is
+	// independent of the upstream codec, which the relay adopts from the
+	// root's Welcome: a relay can decode int8 leaf updates and forward the
+	// folded region under topk, or vice versa — each hop re-encodes.
+	LeafCodec string
 }
 
 // Validate checks the configuration bounds.
@@ -48,6 +63,11 @@ func (c Config) Validate() error {
 	}
 	if c.Rounds <= 0 {
 		return fmt.Errorf("relay: %d rounds, need at least 1", c.Rounds)
+	}
+	if c.LeafCodec != "" {
+		if _, err := comm.ParseCodec(c.LeafCodec); err != nil {
+			return fmt.Errorf("relay: leaf codec: %w", err)
+		}
 	}
 	return c.Engine.Validate()
 }
@@ -63,9 +83,15 @@ func Run(root comm.Conn, leafListener comm.Listener, cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	sess, err := comm.AcceptClients(leafListener, cfg.Leaves, cfg.Rounds)
+	sess, err := comm.AcceptClientsCodec(leafListener, cfg.Leaves, cfg.Rounds, cfg.LeafCodec)
 	if err != nil {
 		return err
+	}
+	var leafCodec comm.Codec
+	if cfg.LeafCodec != "" && cfg.LeafCodec != comm.CodecIdentity {
+		// Validate ran in cfg.Validate; decoding is stateless, so one
+		// instance serves every leaf and every round.
+		leafCodec, _ = comm.ParseCodec(cfg.LeafCodec)
 	}
 	shutdown := func(reason string) {
 		if err := sess.Shutdown(reason); err != nil {
@@ -81,6 +107,20 @@ func Run(root comm.Conn, leafListener comm.Listener, cfg Config) error {
 		shutdown("relay failed to join root")
 		return err
 	}
+	// The upstream codec is whatever the root advertises (identity when it
+	// advertises nothing): the relay re-encodes the folded region under it,
+	// so the leaf and upstream hops compress independently. The instance
+	// lives for the whole session — topk carries the region's error-feedback
+	// residual across rounds, exactly like a client's.
+	upPick, err := comm.PickCodec(welcome.Codecs, "auto")
+	if err != nil {
+		shutdown("relay/root codec mismatch")
+		return fmt.Errorf("relay %d: %w", cfg.RelayID, err)
+	}
+	var upCodec comm.Codec
+	if upPick.Name() != comm.CodecIdentity {
+		upCodec = upPick
+	}
 	if welcome.Rounds != cfg.Rounds {
 		shutdown("relay/root round plan mismatch")
 		return fmt.Errorf("relay %d: root plans %d rounds, -rounds says %d — leaves were already promised %d",
@@ -91,8 +131,8 @@ func Run(root comm.Conn, leafListener comm.Listener, cfg Config) error {
 		shutdown("relay engine misconfigured")
 		return err
 	}
-	log.Printf("relay %d: region ready, %d leaves (size %d), root planned %d rounds",
-		cfg.RelayID, cfg.Leaves, size, welcome.Rounds)
+	log.Printf("relay %d: region ready, %d leaves (size %d), root planned %d rounds, codecs leaf=%s up=%s",
+		cfg.RelayID, cfg.Leaves, size, welcome.Rounds, codecName(leafCodec), codecName(upCodec))
 	for {
 		rs, ok, err := cs.NextRound()
 		if err != nil {
@@ -103,7 +143,7 @@ func Run(root comm.Conn, leafListener comm.Listener, cfg Config) error {
 			shutdown("root shut the federation down")
 			return nil
 		}
-		ru, out, err := FoldRound(engine, cfg.RelayID, rs)
+		ru, out, err := foldRound(engine, cfg.RelayID, rs, leafCodec, upCodec)
 		if err != nil {
 			shutdown("region round failed")
 			return fmt.Errorf("relay %d: round %d: %w", cfg.RelayID, rs.Round, err)
@@ -126,20 +166,46 @@ func Run(root comm.Conn, leafListener comm.Listener, cfg Config) error {
 // back to the broadcast state, so the forwarded delta always covers the
 // full broadcast layout.
 func FoldRound(engine *comm.RoundEngine, relayID int, rs comm.RoundStart) (comm.RegionUpdate, comm.RoundOutcome, error) {
+	return foldRound(engine, relayID, rs, nil, nil)
+}
+
+// foldRound is FoldRound with the relay's codecs: leafCodec decodes the
+// region's leaf payloads, upCodec re-encodes the folded state for the root
+// (nil keeps the respective hop on legacy lossless frames). Both decode and
+// re-encode reference the round's broadcast state, which each hop's peer
+// holds by construction.
+func foldRound(engine *comm.RoundEngine, relayID int, rs comm.RoundStart, leafCodec, upCodec comm.Codec) (comm.RegionUpdate, comm.RoundOutcome, error) {
 	var (
 		plain  *comm.StreamAggregator
 		masked *comm.MaskedStreamAggregator
 		fold   func(comm.ClientUpdate) error
 		err    error
 	)
+	// The broadcast state doubles as the codec reference on both hops (and
+	// as the masked aggregator's fallback); decode it once when any of the
+	// three needs it.
+	var bcast []*tensor.Tensor
+	if leafCodec != nil || upCodec != nil || len(rs.Layout) > 0 {
+		if bcast, err = comm.DecodeTensors(rs.State); err != nil {
+			return comm.RegionUpdate{}, comm.RoundOutcome{}, fmt.Errorf("relay %d: decoding broadcast: %w", relayID, err)
+		}
+	}
 	if len(rs.Layout) > 0 {
 		masked, err = comm.NewMaskedStreamAggregator(nil, rs.Groups, rs.Layout)
 		if err != nil {
 			return comm.RegionUpdate{}, comm.RoundOutcome{}, err
 		}
+		if leafCodec != nil {
+			if err := masked.SetCodec(leafCodec, bcast); err != nil {
+				return comm.RegionUpdate{}, comm.RoundOutcome{}, err
+			}
+		}
 		fold = masked.Add
 	} else {
 		plain = comm.NewStreamAggregator()
+		if leafCodec != nil {
+			plain.SetCodec(leafCodec, bcast)
+		}
 		fold = plain.Add
 	}
 
@@ -178,30 +244,32 @@ func FoldRound(engine *comm.RoundEngine, relayID int, rs comm.RoundStart) (comm.
 
 	var (
 		total float64
-		blob  []byte
+		fused []*tensor.Tensor
 	)
 	if masked != nil {
 		total = masked.Total()
-		fallback, err := comm.DecodeTensors(rs.State)
-		if err != nil {
-			return comm.RegionUpdate{}, out, fmt.Errorf("relay %d: decoding broadcast fallback: %w", relayID, err)
-		}
-		fused, err := masked.Finish(fallback)
-		if err != nil {
-			return comm.RegionUpdate{}, out, err
-		}
-		if blob, err = comm.EncodeTensors(fused); err != nil {
+		if fused, err = masked.Finish(bcast); err != nil {
 			return comm.RegionUpdate{}, out, err
 		}
 	} else {
 		total = plain.Total()
-		fused, err := plain.Finish()
-		if err != nil {
+		if fused, err = plain.Finish(); err != nil {
 			return comm.RegionUpdate{}, out, err
 		}
-		if blob, err = comm.EncodeTensors(fused); err != nil {
-			return comm.RegionUpdate{}, out, err
-		}
+	}
+	var blob []byte
+	codecEcho := ""
+	if upCodec == nil {
+		blob, err = comm.EncodeTensors(fused)
+	} else {
+		// The upstream seed derives from (round, relay ID) alone — the relay
+		// has no federation seed flag, and the root never re-derives these
+		// bits, so determinism across relay restarts is all that matters.
+		codecEcho = upCodec.Name()
+		blob, err = upCodec.Encode(bcast, fused, comm.CodecSeed(0, rs.Round, relayID))
+	}
+	if err != nil {
+		return comm.RegionUpdate{}, out, err
 	}
 
 	loss := 0.0
@@ -217,6 +285,7 @@ func FoldRound(engine *comm.RoundEngine, relayID int, rs comm.RoundStart) (comm.
 		Round:        rs.Round,
 		Version:      rs.Version,
 		State:        blob,
+		Codec:        codecEcho,
 		Weight:       total,
 		Clients:      len(out.Reported),
 		NumSelected:  numSelected,
