@@ -5,15 +5,18 @@ package fedfteds_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"fedfteds/internal/core"
 	"fedfteds/internal/data"
 	"fedfteds/internal/device"
+	"fedfteds/internal/fleet"
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
 	"fedfteds/internal/opt"
 	"fedfteds/internal/partition"
+	"fedfteds/internal/sched"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 	"fedfteds/internal/tensor"
@@ -195,6 +198,88 @@ func TestScheduledRoundAllocBudget(t *testing.T) {
 	if perRound > 800 {
 		t.Fatalf("scheduled round allocates %.1f times per round in steady state (short %v, long %v), want <= 800",
 			perRound, short, long)
+	}
+}
+
+// TestFleetRoundMemoryBounded guards the virtual fleet's headline property at
+// the whole-process level: running scheduled rounds over a 100k-client fleet
+// keeps resident heap bounded by the cohort and the reuse pool, a small
+// fraction of what materializing the population eagerly would cost. The
+// descriptors (per-client sketch, size, rate, cluster) are the only O(N)
+// state and weigh a few hundred bytes per client; the datasets themselves
+// only ever exist for the pool's residents.
+func TestFleetRoundMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 100k-client fleet")
+	}
+	const (
+		clients  = 100_000
+		cohort   = 32
+		poolSize = 64
+	)
+	suite, err := data.NewStandardSuite(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := suite.Target10.GenerateBalanced(200, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	f, err := fleet.New(fleet.Spec{
+		Clients: clients, Seed: 42, Domain: suite.Target10,
+		MinSamples: 10, MaxSamples: 30, Alpha: 0.3,
+		Clusters: 8, PoolSize: poolSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.Build(models.Spec{
+		Arch:       models.ArchMLP,
+		InputShape: []int{64},
+		NumClasses: 10,
+		Hidden:     32,
+		InitSeed:   13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := core.NewRunnerWithSource(core.Config{
+		Rounds: 2, LocalEpochs: 1, BatchSize: 16, LR: 0.1, Momentum: 0.5,
+		Selector: selection.All{}, Scheduler: sched.UniformRandom{},
+		CohortSize: cohort, EvalEvery: 2, Parallelism: 1, Seed: 9,
+	}, m, f, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	// Heap growth attributable to the fleet plus two full rounds. The eager
+	// estimate for this population is ~580 MB; the budget is under a sixth
+	// of that, so the guard trips long before anyone reintroduces O(N)
+	// dataset residency.
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	eager := fleet.EstimateEagerBytes(clients, 10, 30, 64)
+	const budget = 96 << 20
+	if budget*4 >= eager {
+		t.Fatalf("budget %d no longer meaningfully below eager estimate %d", int64(budget), eager)
+	}
+	if delta > budget {
+		t.Fatalf("fleet round retained %d heap bytes (budget %d, eager estimate %d)",
+			delta, int64(budget), eager)
+	}
+	if st := f.Stats(); st.PeakResident > poolSize+cohort {
+		t.Fatalf("peak residency %d exceeds pool %d + cohort %d", st.PeakResident, poolSize, cohort)
 	}
 }
 

@@ -456,7 +456,7 @@ func restoreFederation(cfg serverConfig, global *models.Model, hist *core.Histor
 	if err != nil {
 		return 0, nil, err
 	}
-	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy(), cfg.tierSpec(), cfg.codecName); err != nil {
+	if err := snap.ValidateFor(cfg.seed, cfg.rounds, cfg.configTag(), cfg.scheduler, cfg.taggedStrategy(), cfg.tierSpec(), cfg.codecName, ""); err != nil {
 		return 0, nil, err
 	}
 	if err := snap.RestoreScheduler(cfg.scheduler); err != nil {

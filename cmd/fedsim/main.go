@@ -15,7 +15,7 @@
 //
 // Experiment ids: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 fig10a fig10b fig10c ablations sched strategies tiers async
-// codecs all. See DESIGN.md for the experiment index.
+// codecs fleet fleetday all. See DESIGN.md for the experiment index.
 //
 // The sched experiment compares cohort-scheduling policies (accuracy vs
 // cumulative client-seconds at a fixed cohort size K). -sched narrows it to
@@ -47,6 +47,23 @@
 // updates are discounted by the -staleness weigher (identity, invsqrt,
 // poly:alpha=A — the same specs fedserver accepts) and optionally discarded
 // past -max-staleness versions.
+//
+// The fleet experiments simulate populations far beyond what fits in memory
+// by keeping clients virtual — per-client seeds plus descriptors — and
+// materializing datasets only while a client is in the cohort:
+//
+//	fedsim -exp fleet -scale fast                 policy sweep over a virtual fleet
+//	fedsim -fleet -clients 1000000                a 24-round simulated day, 1M clients
+//	fedsim -fleet -clients 1000000 -buffer 32     the same day, overlapping rounds
+//	fedsim -fleet -clients 50000 -trace day.trace replayed availability
+//
+// -clients sets the population (0 = scale default), -trace replays a
+// "fleettrace v1" availability file (default: a built-in diurnal day/night
+// pattern), and -sched sets the cohort policy (default cluster:uniform, the
+// similarity-aware scheduler). Without -fleet, a large -clients value that
+// would not fit in memory eagerly is refused up front with an estimate.
+// The synchronous day run honors -ckpt-dir/-resume like every experiment, so
+// a 1M-client day can be killed and resumed mid-day bit-identically.
 package main
 
 import (
@@ -61,6 +78,7 @@ import (
 	"fedfteds/internal/comm"
 	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
+	"fedfteds/internal/fleet"
 	"fedfteds/internal/sched"
 	"fedfteds/internal/strategy"
 )
@@ -74,10 +92,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
-	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, sched, strategies, tiers, async, codecs, all)")
+	expFlag := fs.String("exp", "all", "experiment id (table1..table4, fig1..fig10c, ablations, sched, strategies, tiers, async, codecs, fleet, fleetday, all)")
 	scaleFlag := fs.String("scale", "fast", "experiment scale: smoke, fast or full")
 	seedFlag := fs.Int64("seed", 1, "run seed")
-	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>) or all")
+	schedFlag := fs.String("sched", "all", "sched experiment: one policy (uniform, size, entropy, powerd, avail:<inner>, cluster:<inner>) or all; also the fleetday cohort policy")
 	cohortFlag := fs.Int("cohort", 0, "sched experiment: cohort size K, 0 = scale default")
 	bufferFlag := fs.Int("buffer", 0, "async experiment: aggregation buffer M, 0 = scale default (about a third of the pool)")
 	maxStaleFlag := fs.Int("max-staleness", -1, "async experiment: discard updates staler than this many versions (negative keeps all)")
@@ -85,6 +103,9 @@ func run(args []string) error {
 	strategyFlag := fs.String("strategy", "all", "strategies experiment: one strategy spec (fedavg, fedprox, fedavgm, fedadam, fedyogi, with optional parameters) or all")
 	tierDistFlag := fs.String("tier-dist", "all", "tiers experiment: one tier distribution spec (\"tier:weight,...\" over "+strings.Join(device.TierNames(), "/")+") or all")
 	codecFlag := fs.String("codec", "all", "codecs experiment: one uplink codec spec ("+strings.Join(comm.CodecNames(), ", ")+") or all")
+	clientsFlag := fs.Int("clients", 0, "fleet experiments: virtual fleet population (0 = scale default)")
+	fleetFlag := fs.Bool("fleet", false, "run the virtual-fleet simulated day (O(cohort) memory; default experiment becomes fleetday)")
+	traceFlag := fs.String("trace", "", "fleet experiments: replay availability from a fleettrace v1 file (default: built-in diurnal trace)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint artifact store: every federated run checkpoints into its own subdirectory")
@@ -180,6 +201,32 @@ func run(args []string) error {
 		}
 		codecSpecs = []string{*codecFlag}
 	}
+	if *clientsFlag < 0 {
+		return fmt.Errorf("-clients %d is negative", *clientsFlag)
+	}
+	if *traceFlag != "" {
+		// Parse failures surface now, not after an hour of other experiments.
+		if _, err := fleet.LoadTrace(*traceFlag); err != nil {
+			return err
+		}
+	}
+	// Without -fleet the day run materializes every client eagerly; refuse
+	// populations that cannot fit instead of letting the OOM killer explain.
+	const eagerClientBudget = 2 << 30
+	if !*fleetFlag && *clientsFlag > 0 {
+		if est := experiments.FleetEagerBytes(*clientsFlag); est > eagerClientBudget {
+			return fmt.Errorf("materializing %d clients eagerly needs ~%.1f GiB of client data "+
+				"(budget %d GiB); pass -fleet to keep them virtual with O(cohort) residency",
+				*clientsFlag, float64(est)/(1<<30), eagerClientBudget>>30)
+		}
+	}
+	fleetOpts := experiments.FleetOptions{
+		Clients: *clientsFlag, Cohort: *cohortFlag, TracePath: *traceFlag,
+		Buffer: *bufferFlag, MaxStaleness: *maxStaleFlag, Eager: !*fleetFlag,
+	}
+	if *schedFlag != "all" {
+		fleetOpts.Policy = *schedFlag
+	}
 	env, err := experiments.NewEnv(scale, *seedFlag)
 	if err != nil {
 		return err
@@ -196,11 +243,16 @@ func run(args []string) error {
 		// underlying experiment once and render every artifact from it.
 		ids = []string{"fig1", "table1", "fig2", "fig3", "table2+figs",
 			"table3+figs", "table4", "fig10a", "fig10b", "fig10c", "ablations",
-			"sched", "strategies", "tiers", "async", "codecs"}
+			"sched", "strategies", "tiers", "async", "codecs", "fleet"}
+		if *fleetFlag || *clientsFlag > 0 {
+			// -fleet (or an explicit population) asks for the simulated day,
+			// not the whole paper sweep.
+			ids = []string{"fleetday"}
+		}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, asyncOpts, strategySpecs, tierSpecs, codecSpecs)
+		out, err := runExperiment(env, strings.TrimSpace(id), schedOpts, asyncOpts, strategySpecs, tierSpecs, codecSpecs, fleetOpts)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -230,8 +282,24 @@ type asyncOptions struct {
 
 // runExperiment dispatches one experiment id. Figure ids that share a run
 // with a table (fig5..fig9) re-run the underlying table at this scale.
-func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, asyncOpts asyncOptions, strategySpecs, tierSpecs, codecSpecs []string) (string, error) {
+func runExperiment(env *experiments.Env, id string, schedOpts schedOptions, asyncOpts asyncOptions, strategySpecs, tierSpecs, codecSpecs []string, fleetOpts experiments.FleetOptions) (string, error) {
 	switch id {
+	case "fleet":
+		// The policy sweep is always fleet-backed (the eager baseline is
+		// fleetday's job) and sized by scale unless -clients overrides.
+		opts := fleetOpts
+		opts.Eager = false
+		res, err := experiments.RunFleetCompare(env, opts)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	case "fleetday":
+		res, err := experiments.RunFleetDay(env, fleetOpts)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
 	case "codecs":
 		res, err := experiments.RunCodecs(env, codecSpecs)
 		if err != nil {

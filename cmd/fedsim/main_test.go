@@ -35,7 +35,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 		{id: "strategies", want: "Strategy comparison"},
 	} {
 		t.Run(tt.id, func(t *testing.T) {
-			out, err := runExperiment(env, tt.id, schedOptions{}, asyncOptions{}, nil, nil, nil)
+			out, err := runExperiment(env, tt.id, schedOptions{}, asyncOptions{}, nil, nil, nil, experiments.FleetOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +48,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 
 func TestRunExperimentUnknownID(t *testing.T) {
 	env := testEnv(t)
-	if _, err := runExperiment(env, "table99", schedOptions{}, asyncOptions{}, nil, nil, nil); err == nil {
+	if _, err := runExperiment(env, "table99", schedOptions{}, asyncOptions{}, nil, nil, nil, experiments.FleetOptions{}); err == nil {
 		t.Fatal("expected error for unknown experiment id")
 	}
 }
@@ -80,6 +80,46 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "fig1", "-scale", "smoke", "-memprofile", "/nonexistent-dir/mem.out"}); err == nil {
 		t.Fatal("expected error for unwritable memprofile path")
+	}
+}
+
+// TestRunFleetFlags pins the virtual-fleet CLI surface: the eager capacity
+// fail-fast, trace validation, and the -fleet day run end to end.
+func TestRunFleetFlags(t *testing.T) {
+	// A million clients without -fleet must be refused with the actionable
+	// hint, before anything trains.
+	err := run([]string{"-scale", "smoke", "-clients", "1000000"})
+	if err == nil || !strings.Contains(err.Error(), "-fleet") {
+		t.Fatalf("oversized eager population: err %v, want a -fleet hint", err)
+	}
+	// Negative populations and malformed traces fail fast too.
+	if err := run([]string{"-scale", "smoke", "-clients", "-5"}); err == nil {
+		t.Fatal("expected error for negative -clients")
+	}
+	bad := t.TempDir() + "/bad.trace"
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fleet", "-scale", "smoke", "-clients", "64", "-trace", bad}); err == nil {
+		t.Fatal("expected error for malformed -trace")
+	}
+	// The real thing: -fleet selects the simulated day by default.
+	if err := run([]string{"-fleet", "-scale", "smoke", "-clients", "64", "-cohort", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFleetAsyncDay drives the buffered-async day through the CLI.
+func TestRunFleetAsyncDay(t *testing.T) {
+	if err := run([]string{"-fleet", "-scale", "smoke", "-clients", "64", "-cohort", "6", "-buffer", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFleetCompareExperiment runs the -exp fleet sweep through the CLI.
+func TestRunFleetCompareExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fleet", "-scale", "smoke", "-clients", "48", "-cohort", "4"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

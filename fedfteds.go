@@ -21,6 +21,7 @@ import (
 	"fedfteds/internal/data"
 	"fedfteds/internal/device"
 	"fedfteds/internal/experiments"
+	"fedfteds/internal/fleet"
 	"fedfteds/internal/metrics"
 	"fedfteds/internal/models"
 	"fedfteds/internal/opt"
@@ -170,6 +171,47 @@ var (
 // NewRunner validates a configuration and builds a runner.
 func NewRunner(cfg Config, global *Model, clients []*Client, test *Dataset) (*Runner, error) {
 	return core.NewRunner(cfg, global, clients, test)
+}
+
+// Virtual client fleet (internal/fleet): populations that exist as per-client
+// seeds plus cheap descriptors, with datasets materialized lazily when a round
+// selects a client and returned to a bounded reuse pool afterwards — resident
+// memory is O(cohort + pool), not O(population), so million-client simulated
+// days fit in one process (see DESIGN.md "Virtual fleet").
+type (
+	// ClientSource abstracts where a Runner's clients come from; a Fleet is
+	// one, and NewRunner's eager slice is adapted to another internally.
+	ClientSource = core.ClientSource
+	// ClientDesc is the cheap per-client metadata a source exposes without
+	// materializing the client's dataset.
+	ClientDesc = core.ClientDesc
+	// Fleet is a virtual client population with a bounded materialization pool.
+	Fleet = fleet.Fleet
+	// FleetSpec describes a virtual population (seed, sizes, non-IID alpha,
+	// device distribution, similarity clusters, pool capacity).
+	FleetSpec = fleet.Spec
+	// FleetStats counts the pool's materialization traffic.
+	FleetStats = fleet.Stats
+	// FleetTrace is a parsed fleettrace v1 availability trace.
+	FleetTrace = fleet.Trace
+)
+
+// Fleet constructors and helpers.
+var (
+	// NewFleet registers a virtual population from its spec.
+	NewFleet = fleet.New
+	// ParseFleetTrace parses fleettrace v1 text; LoadFleetTrace reads a file.
+	ParseFleetTrace = fleet.ParseTrace
+	LoadFleetTrace  = fleet.LoadTrace
+	// EstimateFleetEagerBytes estimates what materializing a population
+	// eagerly would cost (the fedsim -clients fail-fast uses it).
+	EstimateFleetEagerBytes = fleet.EstimateEagerBytes
+)
+
+// NewRunnerWithSource builds a runner whose clients come from a ClientSource
+// (e.g. a Fleet) instead of an in-memory slice.
+func NewRunnerWithSource(cfg Config, global *Model, src ClientSource, test *Dataset) (*Runner, error) {
+	return core.NewRunnerWithSource(cfg, global, src, test)
 }
 
 // Checkpoint/resume (internal/ckpt + core run state). A run with

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fedfteds/internal/seeds"
 	"fedfteds/internal/tensor"
 )
 
@@ -149,11 +150,11 @@ func PickCodec(advertised []string, want string) (Codec, error) {
 // CodecSeed derives the stochastic-rounding seed for one client's update
 // in one round. Every encoder — fedclient, the relay's upstream leg, the
 // simulator's wire round-trip — uses it so a run is reproducible from
-// (base seed, round, sender) alone.
+// (base seed, round, sender) alone. The derivation is the shared seeds
+// chain under TagCodec; the seeds package test pins it to the historic
+// inline spelling.
 func CodecSeed(base uint64, round, id int) uint64 {
-	x := tensor.Splitmix64(base ^ 0xC0DEC51D)
-	x = tensor.Splitmix64(x ^ uint64(round))
-	return tensor.Splitmix64(x ^ uint64(id))
+	return seeds.Chain(base, seeds.TagCodec, uint64(round), uint64(id))
 }
 
 // identityCodec is the no-op codec: Encode is exactly EncodeTensors and

@@ -58,6 +58,10 @@ func (c AsyncConfig) validate(numClients int) error {
 // in-simulator checkpointing (warm restarts of async state live in the
 // distributed server).
 func (r *Runner) RunAsync(acfg AsyncConfig) (History, error) {
+	if r.clients == nil {
+		return History{}, fmt.Errorf("%w: RunAsync keeps every client's update in flight, which is "+
+			"O(pool) memory; fleet-backed runners overlap rounds with RunFleetAsync instead", ErrConfig)
+	}
 	if err := acfg.validate(len(r.clients)); err != nil {
 		return History{}, err
 	}

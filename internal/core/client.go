@@ -8,6 +8,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
 	"fedfteds/internal/opt"
+	"fedfteds/internal/seeds"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 	"fedfteds/internal/tensor"
@@ -21,6 +22,9 @@ type Client struct {
 	Data *data.Dataset
 	// Device models the client's compute speed.
 	Device simtime.Device
+	// Cluster is the client's similarity-cluster index (0 when unclustered),
+	// surfaced to cluster-stratified schedulers via ClientSource.Describe.
+	Cluster int
 }
 
 // LocalOutcome is the result of one client-side local round.
@@ -71,7 +75,7 @@ func LocalUpdate(cfg Config, global *models.Model, cl *Client, round int) (Local
 			return LocalOutcome{}, fmt.Errorf("core: client %d: mask: %w", cl.ID, err)
 		}
 	}
-	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))
+	rng := seeds.ClientRound(cfg.Seed, round, cl.ID)
 
 	var (
 		selIdx      []int

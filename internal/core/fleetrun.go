@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fedfteds/internal/metrics"
+	"fedfteds/internal/sched"
+	"fedfteds/internal/simtime"
+	"fedfteds/internal/strategy"
+	"fedfteds/internal/tensor"
+)
+
+// FleetAsyncConfig shapes the fleet-backed buffered-asynchronous simulator:
+// RunAsync's FedBuff semantics, but with a scheduler-driven in-flight window
+// of Config.CohortSize clients instead of the whole population, so the
+// engine's working set stays O(cohort) over a million-client fleet.
+type FleetAsyncConfig struct {
+	AsyncConfig
+	// Departed, when non-nil, reports that a client left the fleet before
+	// its update for the given aggregation arrived. The update is dropped —
+	// its compute is accounted (the client did train) but nothing is
+	// uplinked — and the vacated slot is refilled by the scheduler at the
+	// next aggregation boundary.
+	Departed func(round, clientID int) bool
+}
+
+// RunFleetAsync executes Config.Rounds buffered-asynchronous aggregations
+// over a client source, keeping only Config.CohortSize clients in flight:
+// the scheduler admits clients into the window, each trains for its projected
+// cost in simulated time, and the server aggregates whenever Buffer updates
+// are in hand, discounting by staleness exactly as RunAsync does. Folded (and
+// departed) slots are refilled by the scheduler — over the candidates not
+// currently in flight — at the next aggregation boundary, which is where
+// trace-driven availability and cluster-stratified sampling plug in.
+//
+// With Buffer = CohortSize, no departures and no staleness discards, every
+// aggregation folds exactly the window it dispatched, so the run replays the
+// synchronous fleet Run bit for bit (TestFleetAsyncFullBufferMatchesRun).
+//
+// Like RunAsync, this mode replaces the admission machinery wholesale: it
+// rejects straggler policies, tiers, codecs and in-simulator checkpointing —
+// but unlike RunAsync it REQUIRES a scheduler and cohort size (the window is
+// the whole point; a window of the full population is RunAsync's job).
+func (r *Runner) RunFleetAsync(acfg FleetAsyncConfig) (History, error) {
+	n := r.src.NumClients()
+	window := r.cfg.CohortSize
+	switch {
+	case r.restored:
+		return History{}, fmt.Errorf("%w: the async simulator does not resume from checkpoints; "+
+			"checkpointed fleet days use the synchronous engine", ErrConfig)
+	case r.cfg.Scheduler == nil || window <= 0:
+		return History{}, fmt.Errorf("%w: RunFleetAsync needs a scheduler and CohortSize — the "+
+			"scheduled window is its admission policy", ErrConfig)
+	case r.cfg.TierDist != nil:
+		return History{}, fmt.Errorf("%w: tiered partial training is synchronous-only; drop TierDist "+
+			"for async runs", ErrConfig)
+	case r.cfg.CheckpointEvery > 0:
+		return History{}, fmt.Errorf("%w: the async simulator does not checkpoint; checkpointed fleet "+
+			"days use the synchronous engine", ErrConfig)
+	case r.cfg.Codec != "":
+		return History{}, fmt.Errorf("%w: the async simulator does not simulate uplink codecs; drop "+
+			"Codec for async runs", ErrConfig)
+	case window > n:
+		return History{}, fmt.Errorf("%w: in-flight window %d exceeds the %d-client fleet", ErrConfig, window, n)
+	}
+	if acfg.Buffer < 1 || acfg.Buffer > window {
+		return History{}, fmt.Errorf("%w: async buffer %d must lie in [1, CohortSize=%d] — a larger "+
+			"buffer could never fill from the in-flight window", ErrConfig, acfg.Buffer, window)
+	}
+	if _, ok := r.cfg.Straggler.(simtime.FullParticipation); !ok {
+		return History{}, fmt.Errorf("%w: straggler policies do not apply in async mode — slow clients "+
+			"go stale instead of dropping out", ErrConfig)
+	}
+	if r.maskProvider() != nil {
+		return History{}, fmt.Errorf("%w: strategy %s provides per-client masks, which are "+
+			"synchronous-only", ErrConfig, r.strat.Name())
+	}
+	weigher := acfg.Weigher
+	if weigher == nil {
+		weigher = strategy.IdentityStaleness()
+	}
+
+	r.hist = History{}
+	r.acct = simtime.Accountant{}
+	r.startRound, r.doneRound = 0, 0
+
+	// Same preamble as Run: freeze the non-finetuned part, resolve the
+	// communicated groups/tensors once, project every client's round cost
+	// (descriptor-only — no datasets are touched).
+	if err := r.global.SetFinetunePart(r.cfg.FinetunePart); err != nil {
+		return r.hist, err
+	}
+	commGroups := r.global.TrainableGroupNames()
+	commState, err := r.global.GroupStateTensors(commGroups)
+	if err != nil {
+		return r.hist, err
+	}
+	stateSize, err := r.stateBytes(commGroups)
+	if err != nil {
+		return r.hist, err
+	}
+	r.commGroups, r.commState = commGroups, commState
+	if err := r.setupTiers(); err != nil {
+		return r.hist, err
+	}
+	if err := r.cacheProjectedCosts(); err != nil {
+		return r.hist, err
+	}
+	r.maskActive = false
+
+	// In-flight state is keyed by pool position and bounded by the window:
+	// the buffered update (in owned tensors from a free list), and the model
+	// version it trained against.
+	type flight struct {
+		res     clientResult
+		version int
+		bufs    []*tensor.Tensor
+	}
+	pend := make(map[int]*flight, window)
+	var bufFree [][]*tensor.Tensor
+	var q simtime.EventQueue
+	now := 0.0
+	version := 0
+
+	// pick asks the scheduler for k clients among those not in flight. The
+	// in-flight positions are excluded from the candidate set itself (not
+	// just flagged): availability wrappers overwrite the Available flag from
+	// their own churn state, and a client cannot train two models at once.
+	var cands []sched.Candidate
+	pick := func(round, k int) []int {
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			if _, busy := pend[i]; busy {
+				continue
+			}
+			d := r.src.Describe(i)
+			cands = append(cands, sched.Candidate{
+				ClientID:         i,
+				DataSize:         d.DataSize,
+				ProjectedSeconds: r.projCost[i],
+				Available:        true,
+				Cluster:          d.Cluster,
+			})
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		r.utility.Stamp(cands)
+		srng := tensor.NewRand(uint64(r.cfg.Seed), uint64(round), sched.StreamTag)
+		return r.cfg.Scheduler.Schedule(round, cands, k, srng)
+	}
+
+	dispatch := func(positions []int, round int, at float64) error {
+		if len(positions) == 0 {
+			return nil
+		}
+		sort.Ints(positions)
+		parts, err := r.src.Acquire(positions, r.partScratch)
+		if err != nil {
+			return fmt.Errorf("core: acquiring aggregation %d dispatch: %w", round, err)
+		}
+		r.partScratch = parts
+		results, err := r.trainParticipants(parts, round)
+		r.src.Release(parts)
+		if err != nil {
+			return err
+		}
+		for i, pos := range positions {
+			res := results[i]
+			var bufs []*tensor.Tensor
+			if len(bufFree) > 0 {
+				bufs = bufFree[len(bufFree)-1]
+				bufFree = bufFree[:len(bufFree)-1]
+			}
+			if cap(bufs) < len(res.state) {
+				bufs = append(bufs[:len(bufs)], make([]*tensor.Tensor, len(res.state)-len(bufs))...)
+			}
+			bufs = bufs[:len(res.state)]
+			for ti, src := range res.state {
+				if bufs[ti] == nil || !bufs[ti].SameShape(src) {
+					bufs[ti] = tensor.Ensure(bufs[ti], src.Shape()...)
+				}
+				if err := bufs[ti].CopyFrom(src); err != nil {
+					return fmt.Errorf("core: buffering update from client %d: %w", res.clientID, err)
+				}
+			}
+			res.state = bufs
+			pend[pos] = &flight{res: res, version: version, bufs: bufs}
+			q.Push(simtime.Event{Time: at + r.projCost[pos], ID: pos})
+		}
+		return nil
+	}
+
+	initial := pick(1, window)
+	if len(initial) == 0 {
+		return r.hist, fmt.Errorf("core: scheduler %s admitted no clients into the initial window",
+			r.cfg.Scheduler.Name())
+	}
+	if err := dispatch(initial, 1, now); err != nil {
+		return r.hist, err
+	}
+
+	var (
+		foldedPos []int
+		aggRes    []clientResult
+		aggLam    []float64
+		usedBufs  [][]*tensor.Tensor
+		redisp    []int
+	)
+	for agg := 1; agg <= r.cfg.Rounds; agg++ {
+		foldedPos, usedBufs = foldedPos[:0], usedBufs[:0]
+		discarded, departed := 0, 0
+		for len(foldedPos) < acfg.Buffer {
+			ev, ok := q.Pop()
+			if !ok {
+				return r.hist, fmt.Errorf("core: fleet aggregation %d starved with %d/%d updates "+
+					"buffered and %d clients in flight", agg, len(foldedPos), acfg.Buffer, len(pend))
+			}
+			now = ev.Time
+			fl, ok := pend[ev.ID]
+			if !ok {
+				return r.hist, fmt.Errorf("core: arrival event for position %d with no in-flight update", ev.ID)
+			}
+			if acfg.Departed != nil && acfg.Departed(agg, fl.res.clientID) {
+				// The client trained but left before uploading: account the
+				// compute, drop the update, free the slot for the next refill.
+				r.acct.AddRound(fl.res.cost)
+				departed++
+				delete(pend, ev.ID)
+				bufFree = append(bufFree, fl.bufs)
+				continue
+			}
+			s := version - fl.version
+			if acfg.MaxStaleness >= 0 && s > acfg.MaxStaleness {
+				// Computed and uplinked regardless; count the work, drop the
+				// update, and hand the client the current model right away.
+				r.acct.AddRound(fl.res.cost)
+				r.acct.AddCommunication(stateSize, stateSize)
+				discarded++
+				delete(pend, ev.ID)
+				bufFree = append(bufFree, fl.bufs)
+				redisp = append(redisp[:0], ev.ID)
+				if err := dispatch(redisp, agg, now); err != nil {
+					return r.hist, err
+				}
+				continue
+			}
+			foldedPos = append(foldedPos, ev.ID)
+		}
+
+		// Fold in ascending position — the synchronous engine's participant
+		// order — so the full-buffer window replays Run's arithmetic exactly.
+		sort.Ints(foldedPos)
+		aggRes, aggLam = aggRes[:0], aggLam[:0]
+		for _, pos := range foldedPos {
+			fl := pend[pos]
+			s := version - fl.version
+			lam := weigher.Weight(s)
+			if lam <= 0 || math.IsNaN(lam) || math.IsInf(lam, 0) {
+				return r.hist, fmt.Errorf("core: staleness weigher %s returned %v for staleness %d",
+					weigher.Name(), lam, s)
+			}
+			aggRes = append(aggRes, fl.res)
+			aggLam = append(aggLam, lam)
+			usedBufs = append(usedBufs, fl.bufs)
+			delete(pend, pos)
+		}
+		if err := r.aggregate(aggRes, commState, aggLam); err != nil {
+			return r.hist, err
+		}
+		version++
+		bufFree = append(bufFree, usedBufs...)
+
+		var lossSum float64
+		for i, res := range aggRes {
+			r.acct.AddRound(res.cost)
+			r.acct.AddCommunication(stateSize, stateSize)
+			lossSum += res.trainLoss
+			r.utility.ObserveUpdate(foldedPos[i], res.meanEntropy, res.trainLoss, res.cost.Total())
+		}
+
+		rec := RoundRecord{
+			Round:           agg,
+			CohortSize:      len(aggRes) + discarded + departed,
+			SchedPolicy:     r.cfg.Scheduler.Name(),
+			Participants:    len(aggRes),
+			TestAccuracy:    math.NaN(),
+			MeanTrainLoss:   lossSum / float64(len(aggRes)),
+			CumTrainSeconds: r.acct.TotalSeconds(),
+			CumUplinkBytes:  r.acct.UplinkBytes(),
+		}
+		if r.cfg.EvalEvery > 0 && (agg%r.cfg.EvalEvery == 0 || agg == r.cfg.Rounds) {
+			acc, err := metrics.Accuracy(r.global, r.test)
+			if err != nil {
+				return r.hist, fmt.Errorf("core: eval aggregation %d: %w", agg, err)
+			}
+			rec.TestAccuracy = acc
+			if acc > r.hist.BestAccuracy {
+				r.hist.BestAccuracy = acc
+			}
+			r.hist.FinalAccuracy = acc
+		}
+		r.hist.Records = append(r.hist.Records, rec)
+		r.doneRound = agg
+
+		// Refill the window back to size through the scheduler — over the
+		// clients not in flight, which is where trace availability decides
+		// who is reachable and cluster sampling keeps the mix stratified.
+		if agg < r.cfg.Rounds {
+			if need := window - len(pend); need > 0 {
+				if err := dispatch(pick(agg+1, need), agg+1, now); err != nil {
+					return r.hist, err
+				}
+			}
+		}
+	}
+	r.hist.TotalTrainSeconds = r.acct.TotalSeconds()
+	r.hist.TotalUplinkBytes = r.acct.UplinkBytes()
+	r.hist.TotalDownlinkBytes = r.acct.DownlinkBytes()
+	return r.hist, nil
+}

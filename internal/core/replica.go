@@ -9,6 +9,7 @@ import (
 	"fedfteds/internal/models"
 	"fedfteds/internal/nn"
 	"fedfteds/internal/opt"
+	"fedfteds/internal/seeds"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 	"fedfteds/internal/strategy"
@@ -118,7 +119,7 @@ func runReplicaRound(cfg Config, global *models.Model, rep *replica, cl *Client,
 		return clientResult{}, fmt.Errorf("core: client %d: mask: %w", cl.ID, err)
 	}
 	rep.model.ResetTransientRNGs()
-	rng := tensor.NewRand(uint64(cfg.Seed), uint64(round), uint64(cl.ID))
+	rng := seeds.ClientRound(cfg.Seed, round, cl.ID)
 
 	var (
 		selIdx      []int

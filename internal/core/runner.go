@@ -74,9 +74,14 @@ func (h History) LearningEfficiency() (float64, error) {
 
 // Runner orchestrates a federated-learning run.
 type Runner struct {
-	cfg     Config
-	global  *models.Model
+	cfg    Config
+	global *models.Model
+	// clients is the legacy eager pool; nil on fleet-backed runners
+	// (NewRunnerWithSource), whose clients come from src on demand. src is
+	// always set: NewRunner wraps the eager pool in an eagerSource so the
+	// synchronous round loop has exactly one client-access path.
 	clients []*Client
+	src     ClientSource
 	test    *data.Dataset
 	// utility feeds client-level feedback (mean EDS entropy, or train loss
 	// as a fallback) from each round back into the cohort scheduler.
@@ -202,8 +207,8 @@ func NewRunner(cfg Config, global *models.Model, clients []*Client, test *data.D
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg, global: global, clients: clients, test: test,
-		utility: sched.NewTracker(), strat: strat}, nil
+	return &Runner{cfg: cfg, global: global, clients: clients, src: eagerSource{clients: clients},
+		test: test, utility: sched.NewTracker(), strat: strat}, nil
 }
 
 // GlobalModel returns the (live) global model.
@@ -286,6 +291,10 @@ func (r *Runner) Run() (History, error) {
 			lossSum += res.trainLoss
 			r.utility.ObserveUpdate(positions[i], res.meanEntropy, res.trainLoss, res.cost.Total())
 		}
+		// Training is done and results hold runner-owned state copies: the
+		// participants' datasets are no longer needed, so a lazy source can
+		// reclaim them — this is what keeps fleet runs O(cohort) resident.
+		r.src.Release(participants)
 
 		rec := RoundRecord{
 			Round:           round,
@@ -364,7 +373,7 @@ func (r *Runner) setupTiers() error {
 	if r.cfg.TierDist == nil {
 		return nil
 	}
-	r.tiers = r.cfg.TierDist.Assign(len(r.clients), r.cfg.Seed)
+	r.tiers = r.cfg.TierDist.Assign(r.src.NumClients(), r.cfg.Seed)
 	perGroup, _ := r.global.GroupFLOPs()
 	names := models.GroupNames()
 	r.tierMasks = make(map[string][]string, len(r.cfg.TierDist.Tiers()))
@@ -491,29 +500,33 @@ func (r *Runner) prepareRoundMasks(participants []*Client, positions []int, roun
 
 // cacheProjectedCosts fills projCost with each client's projected round
 // cost. Called once per Run, after SetFinetunePart and setupTiers (the cost
-// depends on which groups the client's mask lets train).
+// depends on which groups the client's mask lets train). Costs are computed
+// from descriptors alone — the source contract pins Describe to what Acquire
+// materializes, so the eager and fleet paths project identical costs.
 func (r *Runner) cacheProjectedCosts() error {
-	r.projCost = make([]float64, len(r.clients))
-	r.allIDs = make([]int, len(r.clients))
+	n := r.src.NumClients()
+	r.projCost = make([]float64, n)
+	r.allIDs = make([]int, n)
 	for i := range r.allIDs {
 		r.allIDs[i] = i
 	}
-	for i, cl := range r.clients {
+	for i := 0; i < n; i++ {
+		d := r.src.Describe(i)
 		var (
 			cost simtime.RoundCost
 			err  error
 		)
 		if r.tiers != nil {
-			cost, err = simtime.ClientRoundCostFor(r.global, r.tierMasks[r.tiers[i]], cl.Device,
-				cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
+			cost, err = simtime.ClientRoundCostFor(r.global, r.tierMasks[r.tiers[i]], d.Device,
+				d.DataSize, projectedSelected(d.DataSize, r.cfg.SelectFraction),
 				r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
 		} else {
-			cost, err = simtime.ClientRoundCost(r.global, cl.Device,
-				cl.Data.Len(), projectedSelected(cl.Data.Len(), r.cfg.SelectFraction),
+			cost, err = simtime.ClientRoundCost(r.global, d.Device,
+				d.DataSize, projectedSelected(d.DataSize, r.cfg.SelectFraction),
 				r.cfg.LocalEpochs, r.cfg.Selector.ScoringPasses())
 		}
 		if err != nil {
-			return fmt.Errorf("core: projecting cost for client %d: %w", cl.ID, err)
+			return fmt.Errorf("core: projecting cost for client %d: %w", i, err)
 		}
 		r.projCost[i] = cost.Total()
 	}
@@ -534,16 +547,19 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 		// policy and the utility tracker use. The slice is runner scratch,
 		// rebuilt in place every round (every field is overwritten, so no
 		// stale state survives reuse).
-		if cap(r.candScratch) < len(r.clients) {
-			r.candScratch = make([]sched.Candidate, len(r.clients))
+		n := r.src.NumClients()
+		if cap(r.candScratch) < n {
+			r.candScratch = make([]sched.Candidate, n)
 		}
-		cands := r.candScratch[:len(r.clients)]
-		for i, cl := range r.clients {
+		cands := r.candScratch[:n]
+		for i := 0; i < n; i++ {
+			d := r.src.Describe(i)
 			cands[i] = sched.Candidate{
 				ClientID:         i,
-				DataSize:         cl.Data.Len(),
+				DataSize:         d.DataSize,
 				ProjectedSeconds: times[i],
 				Available:        true,
+				Cluster:          d.Cluster,
 			}
 			if r.tiers != nil {
 				cands[i].Tier = r.tiers[i]
@@ -561,7 +577,7 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 		}
 		cohortTimes = r.timesScratch[:len(cohort)]
 		for i, idx := range cohort {
-			if idx < 0 || idx >= len(r.clients) {
+			if idx < 0 || idx >= r.src.NumClients() {
 				return nil, nil, 0, fmt.Errorf("core: scheduler %s returned unknown client %d in round %d",
 					r.cfg.Scheduler.Name(), idx, round)
 			}
@@ -591,13 +607,11 @@ func (r *Runner) sampleParticipants(round int) ([]*Client, []int, int, error) {
 	if len(chosen) == 0 {
 		return nil, nil, 0, fmt.Errorf("core: straggler policy left no participants in round %d", round)
 	}
-	if cap(r.partScratch) < len(chosen) {
-		r.partScratch = make([]*Client, len(chosen))
+	out, err := r.src.Acquire(chosen, r.partScratch)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: acquiring round %d participants: %w", round, err)
 	}
-	out := r.partScratch[:len(chosen)]
-	for i, idx := range chosen {
-		out[i] = r.clients[idx]
-	}
+	r.partScratch = out
 	return out, chosen, len(cohort), nil
 }
 

@@ -48,6 +48,13 @@ const (
 	// run continues the error-feedback chain bit for bit. Codec-free
 	// checkpoints keep their exact pre-codec byte layout.
 	sectionCodec = "codec"
+	// sectionFleet is optional: it is written only for fleet-backed runs
+	// (NewRunnerWithSource over a source with a non-empty Fingerprint),
+	// carrying the fleet's population fingerprint — seeds, sizes, device
+	// distribution, clustering — so a restore under an edited fleet (or under
+	// the eager path) is refused. Eager checkpoints keep their exact
+	// pre-fleet byte layout.
+	sectionFleet = "fleet"
 )
 
 // BufferedUpdate is one received-but-not-yet-aggregated client update of a
@@ -155,6 +162,11 @@ type RunState struct {
 	// CodecResiduals holds each client's carried error-feedback residual
 	// tensors (topk), keyed by client ID; nil when no client carries any.
 	CodecResiduals map[int][]*tensor.Tensor
+	// FleetSpec is the client source's population fingerprint (empty for the
+	// legacy eager pool). Restore refuses a mismatch: resuming under an
+	// edited fleet — different seeds, sizes, availability clustering — would
+	// silently re-derive every virtual client differently.
+	FleetSpec string
 }
 
 // SnapshotModelState clones a model's full state tensors (params and buffers
@@ -249,8 +261,15 @@ func (c Config) tierSpec() string {
 // runTag extends trainingTag with the federation's identity — client count
 // and every client's ID, local data size and device rate — so a checkpoint
 // is also refused when the client pool it was trained over changed, not
-// just the hyperparameters.
+// just the hyperparameters. A source with a non-empty Fingerprint (a virtual
+// fleet) already pins the whole population's construction, so its tag hashes
+// the fingerprint instead of walking millions of descriptors per checkpoint;
+// the legacy eager source (empty fingerprint) keeps the per-client hash and
+// therefore its committed checkpoint tags.
 func (r *Runner) runTag() uint64 {
+	if fp := r.src.Fingerprint(); fp != "" {
+		return TagConfig(r.cfg.trainingTag(), r.src.NumClients(), "src:"+fp)
+	}
 	parts := make([]any, 0, 2+3*len(r.clients))
 	parts = append(parts, r.cfg.trainingTag(), len(r.clients))
 	for _, cl := range r.clients {
@@ -318,6 +337,7 @@ func (r *Runner) Snapshot() (*RunState, error) {
 	s.TierSpec = r.cfg.tierSpec()
 	s.CodecName = r.cfg.Codec
 	s.CodecResiduals = r.codecResiduals()
+	s.FleetSpec = r.src.Fingerprint()
 	return s, nil
 }
 
@@ -327,11 +347,13 @@ func (r *Runner) Snapshot() (*RunState, error) {
 // matching scheduler, a matching strategy (nil strat means the legacy
 // default path; pass the explicitly configured strategy otherwise), and a
 // matching device-tier distribution (tierSpec is the configured
-// distribution's canonical String, empty for untiered runs), and a matching
+// distribution's canonical String, empty for untiered runs), a matching
 // uplink codec (codecName is the configured comm.ParseCodec spec, empty for
-// codec-free runs). Both engines (Runner.RestoreInto and fedserver's
-// warm-start) share this check so their refusal rules cannot drift.
-func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy, tierSpec, codecName string) error {
+// codec-free runs), and a matching fleet fingerprint (fleetSpec is the client
+// source's Fingerprint, empty for the legacy eager pool). Both engines
+// (Runner.RestoreInto and fedserver's warm-start) share this check so their
+// refusal rules cannot drift.
+func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, scheduler sched.Scheduler, strat strategy.Strategy, tierSpec, codecName, fleetSpec string) error {
 	if s.Seed != seed {
 		return fmt.Errorf("%w: checkpoint seed %d does not match configured seed %d",
 			ErrConfig, s.Seed, seed)
@@ -394,6 +416,11 @@ func (s *RunState) ValidateFor(seed int64, rounds int, configTag uint64, schedul
 	if len(s.CodecResiduals) > 0 && codecName == "" {
 		return fmt.Errorf("%w: checkpoint carries codec residuals but no codec is configured", ErrConfig)
 	}
+	if s.FleetSpec != fleetSpec {
+		return fmt.Errorf("%w: checkpoint fleet fingerprint %q does not match configured %q; resuming "+
+			"under an edited fleet would silently re-derive every virtual client",
+			ErrConfig, s.FleetSpec, fleetSpec)
+	}
 	return nil
 }
 
@@ -430,7 +457,7 @@ func (s *RunState) RestoreStrategy(strat strategy.Strategy) error {
 // Run continues after s.Round and reproduces the uninterrupted run bit for
 // bit. Call before Run.
 func (s *RunState) RestoreInto(r *Runner) error {
-	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy, r.cfg.tierSpec(), r.cfg.Codec); err != nil {
+	if err := s.ValidateFor(r.cfg.Seed, r.cfg.Rounds, r.runTag(), r.cfg.Scheduler, r.cfg.Strategy, r.cfg.tierSpec(), r.cfg.Codec, r.src.Fingerprint()); err != nil {
 		return err
 	}
 	if err := s.RestoreScheduler(r.cfg.Scheduler); err != nil {
@@ -604,6 +631,13 @@ func (s *RunState) Sections() ([]ckpt.Section, error) {
 		}
 		sections = append(sections, ckpt.Section{Name: sectionCodec, Body: codec.Bytes()})
 	}
+	// The fleet section is written only for fleet-backed runs: eager
+	// checkpoints keep their exact pre-fleet byte layout.
+	if s.FleetSpec != "" {
+		var fleet ckpt.Encoder
+		fleet.PutString(s.FleetSpec)
+		sections = append(sections, ckpt.Section{Name: sectionFleet, Body: fleet.Bytes()})
+	}
 	return sections, nil
 }
 
@@ -772,6 +806,15 @@ func RunStateFromSections(sections []ckpt.Section) (*RunState, error) {
 		}
 		if err := codec.Done(); err != nil {
 			return nil, fmt.Errorf("codec section: %w", err)
+		}
+	}
+
+	// The fleet section is optional (absent for eager runs).
+	if body, ok := bodies[sectionFleet]; ok {
+		fleet := ckpt.NewDecoder(body)
+		s.FleetSpec = fleet.String()
+		if err := fleet.Done(); err != nil {
+			return nil, fmt.Errorf("fleet section: %w", err)
 		}
 	}
 

@@ -262,7 +262,7 @@ func TestTierResumeRefusedUnderEditedDistribution(t *testing.T) {
 	// explicit tier-spec comparison must refuse a drifted distribution.
 	same := build("low:1,full:1")
 	if err := snap.ValidateFor(same.cfg.Seed, same.cfg.Rounds, same.runTag(),
-		same.cfg.Scheduler, same.cfg.Strategy, "full:2,low:1", ""); err == nil ||
+		same.cfg.Scheduler, same.cfg.Strategy, "full:2,low:1", "", ""); err == nil ||
 		!strings.Contains(err.Error(), "tier distribution") {
 		t.Fatalf("tier-spec mismatch not refused explicitly: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fedfteds/internal/seeds"
 	"fedfteds/internal/tensor"
 )
 
@@ -37,7 +38,7 @@ func NewUniverse(latentDim, obsDim int, seed int64) (*Universe, error) {
 	if latentDim <= 1 || obsDim < latentDim {
 		return nil, fmt.Errorf("%w: universe dims latent=%d obs=%d", ErrData, latentDim, obsDim)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := seeds.Source(seed)
 	mix := tensor.New(obsDim, latentDim)
 	mix.FillNormal(rng, 0, float32(1.0/math.Sqrt(float64(latentDim))))
 	bias := tensor.New(obsDim)
@@ -108,7 +109,7 @@ func NewDomain(u *Universe, spec DomainSpec) (*Domain, error) {
 	if spec.NumModes > 1 && (spec.ModeSpread <= 0 || spec.RareModeMass < 0 || spec.RareModeMass >= 1) {
 		return nil, fmt.Errorf("%w: domain %q mode config", ErrData, spec.Name)
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := seeds.Source(spec.Seed)
 	protos := tensor.New(spec.NumClasses, u.LatentDim)
 	protos.FillNormal(rng, 0, float32(spec.PrototypeSpread))
 	d := &Domain{Spec: spec, universe: u, prototypes: protos}

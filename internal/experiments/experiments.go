@@ -11,7 +11,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"path/filepath"
 	"strings"
 
@@ -20,6 +19,7 @@ import (
 	"fedfteds/internal/data"
 	"fedfteds/internal/models"
 	"fedfteds/internal/partition"
+	"fedfteds/internal/seeds"
 	"fedfteds/internal/selection"
 	"fedfteds/internal/simtime"
 	"fedfteds/internal/tensor"
@@ -305,7 +305,7 @@ func (e *Env) FreshModel(target *data.Domain) (*models.Model, error) {
 func (e *Env) PretrainedModel(target, source *data.Domain) (*models.Model, error) {
 	srcModel, ok := e.pretrained[source.Spec.Name]
 	if !ok {
-		rng := rand.New(rand.NewSource(e.Seed + 7))
+		rng := seeds.Source(e.Seed + 7)
 		srcData, err := source.GenerateBalanced(e.Dims.PretrainSamples, rng)
 		if err != nil {
 			return nil, err
@@ -369,7 +369,7 @@ func (e *Env) BuildFederationSized(domain *data.Domain, numClients, samplesPerCl
 	if numClients <= 0 || samplesPerClient <= 0 {
 		return nil, fmt.Errorf("%w: %d clients × %d samples", ErrExperiment, numClients, samplesPerClient)
 	}
-	rng := rand.New(rand.NewSource(e.Seed + 1000 + seedSalt))
+	rng := seeds.Source(e.Seed + 1000 + seedSalt)
 	pool, err := domain.GenerateBalanced(numClients*samplesPerClient, rng)
 	if err != nil {
 		return nil, err

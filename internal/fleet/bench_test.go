@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"testing"
+
+	"fedfteds/internal/core"
+	"fedfteds/internal/data"
+)
+
+// BenchmarkFleetCohortMaterialize measures one round's pool churn at scale: a
+// 100k-client fleet (descriptors only — built outside the timer) serving a
+// rotating 256-client cohort, so every iteration is 256 misses through
+// materialize plus the LRU bookkeeping. This is the per-round overhead a
+// fleet run pays over an eager one, and the number the CI perf gate watches.
+func BenchmarkFleetCohortMaterialize(b *testing.B) {
+	suite, err := data.NewStandardSuite(11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := New(Spec{
+		Clients: 100_000, Seed: 42, Domain: suite.Target10,
+		MinSamples: 12, MaxSamples: 30, Alpha: 0.5,
+		MedianFLOPS: 1e9, Sigma: 0.35, Clusters: 8, PoolSize: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cohortSize = 256
+	cohort := make([]int, cohortSize)
+	var scratch []*core.Client
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cohort {
+			// Stride past the pool so every acquisition materializes.
+			cohort[j] = (i*cohortSize + j*391) % 100_000
+		}
+		got, err := f.Acquire(cohort, scratch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Release(got)
+		scratch = got
+	}
+}

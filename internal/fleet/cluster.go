@@ -1,0 +1,70 @@
+package fleet
+
+// kmeans clusters n sketch rows of the given dimension into k groups with
+// plain Lloyd iterations, fully deterministically: centers initialize from
+// evenly spaced clients ((i·n)/k), assignment ties break toward the lower
+// center index, an emptied cluster keeps its previous center, and the
+// iteration count is fixed. The sketches are cheap label-distribution
+// summaries, so a handful of iterations is plenty — the goal is stable
+// similarity grouping for stratified cohort sampling, not optimal clustering.
+func kmeans(sketch []float32, n, dim, k int) []int32 {
+	const iters = 8
+	if k > n {
+		k = n
+	}
+	centers := make([]float64, k*dim)
+	for c := 0; c < k; c++ {
+		row := sketch[(c*n/k)*dim : (c*n/k+1)*dim]
+		for j, v := range row {
+			centers[c*dim+j] = float64(v)
+		}
+	}
+	assign := make([]int32, n)
+	sums := make([]float64, k*dim)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			row := sketch[i*dim : (i+1)*dim]
+			best, bestD := 0, distSq(row, centers[:dim])
+			for c := 1; c < k; c++ {
+				if d := distSq(row, centers[c*dim:(c+1)*dim]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = int32(best)
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := int(assign[i])
+			counts[c]++
+			row := sketch[i*dim : (i+1)*dim]
+			for j, v := range row {
+				sums[c*dim+j] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // empty cluster keeps its center
+			}
+			inv := 1 / float64(counts[c])
+			for j := 0; j < dim; j++ {
+				centers[c*dim+j] = sums[c*dim+j] * inv
+			}
+		}
+	}
+	return assign
+}
+
+func distSq(row []float32, center []float64) float64 {
+	var d float64
+	for j, v := range row {
+		diff := float64(v) - center[j]
+		d += diff * diff
+	}
+	return d
+}

@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+
+	"fedfteds/internal/sched"
+)
+
+// ErrTrace reports a malformed fleet availability trace.
+var ErrTrace = fmt.Errorf("fleet: invalid trace")
+
+// Parser hard limits. A trace is untrusted input (fedsim -trace), so the
+// parser bounds everything it allocates and rejects anything outside the
+// format instead of guessing.
+const (
+	maxTraceBytes   = 16 << 20
+	maxTraceLines   = 1 << 20
+	maxTraceEntries = 1 << 20
+	maxTraceID      = 1<<31 - 2
+	maxTraceSlot    = 1 << 20
+)
+
+// traceEntry is one parsed availability rule: clients [idLo, idHi] are
+// up/down during slots [slotLo, slotHi].
+type traceEntry struct {
+	idLo, idHi     int
+	slotLo, slotHi int
+	up             bool
+}
+
+// Trace is a replayed fleet availability schedule, the file-driven
+// generalization of the avail: Markov churn wrapper.
+//
+// The "fleettrace v1" text format, line by line ('#' starts a comment, blank
+// lines are skipped):
+//
+//	fleettrace v1            header, required first
+//	period 24                optional: slots wrap, slot = (round-1) mod period
+//	default up               optional: status when no entry matches (default up)
+//	0-99 down 0-7            entry: <id|lo-hi> <up|down> <slot|lo-hi>...
+//	100 up 3-5 9             ...with one or more slot ranges
+//
+// Directives (period, default) must precede entries and appear at most once.
+// Later entries override earlier ones where they overlap. Slots are 0-based;
+// round r falls in slot (r-1), wrapped by period when one is set.
+type Trace struct {
+	// Period is the slot wrap length; 0 means slots index rounds directly.
+	Period int
+	// Default is the status when no entry matches (true = up).
+	Default bool
+
+	entries []traceEntry
+}
+
+// ParseTrace parses the fleettrace v1 text format.
+func ParseTrace(text string) (*Trace, error) {
+	if len(text) > maxTraceBytes {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrTrace, len(text), maxTraceBytes)
+	}
+	t := &Trace{Default: true}
+	sawHeader, sawPeriod, sawDefault := false, false, false
+	lines := strings.Split(text, "\n")
+	if len(lines) > maxTraceLines {
+		return nil, fmt.Errorf("%w: %d lines (limit %d)", ErrTrace, len(lines), maxTraceLines)
+	}
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if len(fields) != 2 || fields[0] != "fleettrace" || fields[1] != "v1" {
+				return nil, fmt.Errorf("%w: line %d: expected header \"fleettrace v1\", got %q",
+					ErrTrace, ln+1, strings.TrimSpace(line))
+			}
+			sawHeader = true
+			continue
+		}
+		switch fields[0] {
+		case "period":
+			if sawPeriod || len(t.entries) > 0 {
+				return nil, fmt.Errorf("%w: line %d: period must appear once, before entries", ErrTrace, ln+1)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: period takes one value", ErrTrace, ln+1)
+			}
+			p, err := parseTraceInt(fields[1], maxTraceSlot)
+			if err != nil || p < 1 {
+				return nil, fmt.Errorf("%w: line %d: period %q", ErrTrace, ln+1, fields[1])
+			}
+			t.Period, sawPeriod = p, true
+		case "default":
+			if sawDefault || len(t.entries) > 0 {
+				return nil, fmt.Errorf("%w: line %d: default must appear once, before entries", ErrTrace, ln+1)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: default takes up|down", ErrTrace, ln+1)
+			}
+			up, err := parseStatus(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrTrace, ln+1, err)
+			}
+			t.Default, sawDefault = up, true
+		default:
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%w: line %d: entry needs <ids> <up|down> <slots>...", ErrTrace, ln+1)
+			}
+			idLo, idHi, err := parseTraceRange(fields[0], maxTraceID)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: client range %q: %v", ErrTrace, ln+1, fields[0], err)
+			}
+			up, err := parseStatus(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrTrace, ln+1, err)
+			}
+			for _, fs := range fields[2:] {
+				slotMax := maxTraceSlot
+				if t.Period > 0 {
+					slotMax = t.Period - 1
+				}
+				slotLo, slotHi, err := parseTraceRange(fs, slotMax)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: slot range %q: %v", ErrTrace, ln+1, fs, err)
+				}
+				if len(t.entries) >= maxTraceEntries {
+					return nil, fmt.Errorf("%w: more than %d entries", ErrTrace, maxTraceEntries)
+				}
+				t.entries = append(t.entries, traceEntry{
+					idLo: idLo, idHi: idHi, slotLo: slotLo, slotHi: slotHi, up: up,
+				})
+			}
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("%w: missing \"fleettrace v1\" header", ErrTrace)
+	}
+	return t, nil
+}
+
+// LoadTrace reads and parses a trace file.
+func LoadTrace(path string) (*Trace, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: trace %s: %w", path, err)
+	}
+	if info.Size() > maxTraceBytes {
+		return nil, fmt.Errorf("%w: %s is %d bytes (limit %d)", ErrTrace, path, info.Size(), maxTraceBytes)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: trace %s: %w", path, err)
+	}
+	t, err := ParseTrace(string(blob))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// parseStatus maps up/down to a boolean.
+func parseStatus(s string) (bool, error) {
+	switch s {
+	case "up":
+		return true, nil
+	case "down":
+		return false, nil
+	}
+	return false, fmt.Errorf("status %q (want up or down)", s)
+}
+
+// parseTraceInt parses a plain non-negative decimal with no signs, spaces or
+// leading zeros games — the strictness is what makes the fuzz target useful.
+func parseTraceInt(s string, max int) (int, error) {
+	if s == "" || len(s) > 10 {
+		return 0, fmt.Errorf("number %q", s)
+	}
+	v := 0
+	for _, c := range []byte(s) {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("number %q", s)
+		}
+		v = v*10 + int(c-'0')
+		if v > max {
+			return 0, fmt.Errorf("%q exceeds limit %d", s, max)
+		}
+	}
+	return v, nil
+}
+
+// parseTraceRange parses "n" or "lo-hi" with lo <= hi <= max.
+func parseTraceRange(s string, max int) (lo, hi int, err error) {
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		lo, err = parseTraceInt(s[:i], max)
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err = parseTraceInt(s[i+1:], max)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lo > hi {
+			return 0, 0, fmt.Errorf("range %q is reversed", s)
+		}
+		return lo, hi, nil
+	}
+	lo, err = parseTraceInt(s, max)
+	return lo, lo, err
+}
+
+// Up reports whether clientID is available in round (1-based). Entries are
+// scanned in order with the last match winning; with no match the trace's
+// default applies. The scan is linear in the entry count, which real traces
+// keep small (they describe cohorts of clients, not individuals).
+func (t *Trace) Up(round, clientID int) bool {
+	slot := round - 1
+	if slot < 0 {
+		slot = 0
+	}
+	if t.Period > 0 {
+		slot %= t.Period
+	}
+	up := t.Default
+	for _, e := range t.entries {
+		if clientID >= e.idLo && clientID <= e.idHi && slot >= e.slotLo && slot <= e.slotHi {
+			up = e.up
+		}
+	}
+	return up
+}
+
+// Render writes the trace back in canonical form: header, directives, then
+// entries in parse order with one slot range per entry. Parsing a rendered
+// trace yields an identical trace (and therefore an identical Fingerprint).
+func (t *Trace) Render() string {
+	var b strings.Builder
+	b.WriteString("fleettrace v1\n")
+	if t.Period > 0 {
+		fmt.Fprintf(&b, "period %d\n", t.Period)
+	}
+	if !t.Default {
+		b.WriteString("default down\n")
+	}
+	for _, e := range t.entries {
+		status := "down"
+		if e.up {
+			status = "up"
+		}
+		fmt.Fprintf(&b, "%d-%d %s %d-%d\n", e.idLo, e.idHi, status, e.slotLo, e.slotHi)
+	}
+	return b.String()
+}
+
+// Fingerprint hashes the canonical rendering, identifying the trace's content
+// (not its formatting or comments) for checkpoint validation: the fingerprint
+// rides the scheduler name as trace[<fp>]:<inner>, so a run checkpointed
+// under one trace refuses to resume under an edited one.
+func (t *Trace) Fingerprint() string {
+	h := fnv.New64a()
+	h.Write([]byte(t.Render()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// NumEntries returns the parsed entry count (diagnostics).
+func (t *Trace) NumEntries() int { return len(t.entries) }
+
+// Scheduler wraps an inner cohort policy with this trace's replayed
+// availability, the file-driven counterpart of the avail: Markov wrapper. The
+// trace's fingerprint becomes part of the scheduler's name — and therefore of
+// every checkpoint's scheduler record.
+func (t *Trace) Scheduler(inner sched.Scheduler) *sched.Availability {
+	return &sched.Availability{Inner: inner, Trace: t.Up, TraceName: t.Fingerprint()}
+}
+
+// DiurnalTraceText renders the built-in day/night trace for an n-client
+// fleet over a 24-slot period: the first third of clients sleeps during
+// slots 0–7 ("night shift"), the middle third during 12–19, and the rest is
+// always up. It exercises trace replay without shipping a fixture file.
+func DiurnalTraceText(n int) string {
+	if n < 3 {
+		return "fleettrace v1\nperiod 24\n"
+	}
+	third := n / 3
+	return fmt.Sprintf("fleettrace v1\nperiod 24\n%d-%d down 0-7\n%d-%d down 12-19\n",
+		0, third-1, third, 2*third-1)
+}

@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `# weekday fleet trace
+fleettrace v1
+period 24
+default up
+
+0-99 down 0-7      # night shift offline overnight
+100-199 down 12-19
+50 up 0-7          # except client 50, always reachable
+`
+
+func TestParseTraceValid(t *testing.T) {
+	tr, err := ParseTrace(sampleTrace)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if tr.Period != 24 || !tr.Default || tr.NumEntries() != 3 {
+		t.Fatalf("parsed %+v entries=%d, want period 24 default up 3 entries", tr, tr.NumEntries())
+	}
+	cases := []struct {
+		round, id int
+		up        bool
+	}{
+		{1, 0, false},    // slot 0: night shift down
+		{1, 50, true},    // later entry overrides: 50 stays up
+		{9, 0, true},     // slot 8: night shift back
+		{13, 150, false}, // slot 12: afternoon group down
+		{13, 0, true},
+		{25, 0, false}, // slot (25-1) mod 24 = 0: wraps into night
+		{5, 5000, true},
+	}
+	for _, c := range cases {
+		if got := tr.Up(c.round, c.id); got != c.up {
+			t.Errorf("Up(round=%d, id=%d) = %v, want %v", c.round, c.id, got, c.up)
+		}
+	}
+}
+
+func TestParseTraceNoPeriod(t *testing.T) {
+	tr, err := ParseTrace("fleettrace v1\ndefault down\n3 up 0-2\n")
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if tr.Up(1, 4) {
+		t.Errorf("default down ignored")
+	}
+	if !tr.Up(2, 3) {
+		t.Errorf("slot 1 for client 3 should be up")
+	}
+	if tr.Up(10, 3) {
+		t.Errorf("without a period, slot 9 must not wrap into 0-2")
+	}
+}
+
+func TestParseTraceMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"missing header":      "period 24\n0 up 0\n",
+		"wrong version":       "fleettrace v2\n",
+		"period after entry":  "fleettrace v1\n0 up 0\nperiod 24\n",
+		"duplicate period":    "fleettrace v1\nperiod 4\nperiod 4\n",
+		"duplicate default":   "fleettrace v1\ndefault up\ndefault down\n",
+		"period zero":         "fleettrace v1\nperiod 0\n",
+		"period junk":         "fleettrace v1\nperiod -4\n",
+		"entry short":         "fleettrace v1\n0 up\n",
+		"bad status":          "fleettrace v1\n0 sideways 0\n",
+		"reversed id range":   "fleettrace v1\n9-3 up 0\n",
+		"reversed slot range": "fleettrace v1\n0 up 9-3\n",
+		"slot past period":    "fleettrace v1\nperiod 8\n0 up 8\n",
+		"negative id":         "fleettrace v1\n-3 up 0\n",
+		"hex id":              "fleettrace v1\n0x10 up 0\n",
+		"huge id":             "fleettrace v1\n99999999999 up 0\n",
+		"plus sign":           "fleettrace v1\n+3 up 0\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseTrace(text); !errors.Is(err, ErrTrace) {
+			t.Errorf("%s: err %v, want ErrTrace", name, err)
+		}
+	}
+}
+
+func TestTraceFingerprint(t *testing.T) {
+	a, err := ParseTrace(sampleTrace)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Comments and whitespace must not move the fingerprint...
+	b, err := ParseTrace("fleettrace v1\nperiod 24\n0-99 down 0-7\n100-199 down 12-19\n50-50 up 0-7\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("formatting changed the fingerprint: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	// ...but any content edit must.
+	c, err := ParseTrace(strings.Replace(sampleTrace, "0-7", "0-6", 1))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Errorf("content edit kept the fingerprint %s", a.Fingerprint())
+	}
+	// Render round-trips.
+	again, err := ParseTrace(a.Render())
+	if err != nil {
+		t.Fatalf("reparse rendered trace: %v", err)
+	}
+	if a.Fingerprint() != again.Fingerprint() {
+		t.Errorf("render/reparse moved the fingerprint")
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "day.trace")
+	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(path)
+	if err != nil {
+		t.Fatalf("LoadTrace: %v", err)
+	}
+	if tr.Period != 24 {
+		t.Fatalf("period %d", tr.Period)
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "missing.trace")); err == nil {
+		t.Errorf("missing file not reported")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(bad); !errors.Is(err, ErrTrace) {
+		t.Errorf("malformed file: err %v, want ErrTrace", err)
+	}
+}
+
+func TestTraceScheduler(t *testing.T) {
+	tr, err := ParseTrace(sampleTrace)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s := tr.Scheduler(nil)
+	want := "trace[" + tr.Fingerprint() + "]:uniform"
+	if s.Name() != want {
+		t.Errorf("scheduler name %q, want %q", s.Name(), want)
+	}
+}
+
+func TestDiurnalTraceText(t *testing.T) {
+	tr, err := ParseTrace(DiurnalTraceText(300))
+	if err != nil {
+		t.Fatalf("built-in diurnal trace does not parse: %v", err)
+	}
+	if tr.Period != 24 {
+		t.Fatalf("period %d", tr.Period)
+	}
+	if tr.Up(1, 0) {
+		t.Errorf("first third should sleep in slot 0")
+	}
+	if !tr.Up(1, 299) {
+		t.Errorf("last third should always be up")
+	}
+	if _, err := ParseTrace(DiurnalTraceText(2)); err != nil {
+		t.Errorf("degenerate tiny fleet trace does not parse: %v", err)
+	}
+}
+
+// FuzzParseTrace asserts the parser never panics on arbitrary input and that
+// anything it accepts round-trips through Render with a stable fingerprint.
+func FuzzParseTrace(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("fleettrace v1\n")
+	f.Add("fleettrace v1\nperiod 24\ndefault down\n0-5 up 0-23\n")
+	f.Add("fleettrace v1\n0 up 0 1 2 5-9\n")
+	f.Add("period 24\n")
+	f.Add("fleettrace v1\n9-3 up 0\n")
+	f.Add(strings.Repeat("fleettrace v1\n# x\n", 3))
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := ParseTrace(text)
+		if err != nil {
+			return
+		}
+		again, err := ParseTrace(tr.Render())
+		if err != nil {
+			t.Fatalf("accepted trace fails to reparse its own rendering: %v\nrender:\n%s", err, tr.Render())
+		}
+		if tr.Fingerprint() != again.Fingerprint() {
+			t.Fatalf("render/reparse moved fingerprint: %s vs %s", tr.Fingerprint(), again.Fingerprint())
+		}
+		tr.Up(1, 0)
+		tr.Up(1<<30, 1<<30)
+	})
+}

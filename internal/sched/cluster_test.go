@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedfteds/internal/tensor"
+)
+
+// clusteredCands builds n available candidates assigned round-robin to the
+// given cluster sizes (cluster i gets sizes[i] consecutive IDs).
+func clusteredCands(sizes []int) []Candidate {
+	var cands []Candidate
+	id := 0
+	for cl, n := range sizes {
+		for i := 0; i < n; i++ {
+			cands = append(cands, Candidate{ClientID: id, DataSize: 10, Available: true, Cluster: cl})
+			id++
+		}
+	}
+	return cands
+}
+
+func TestClusterSamplingStratifies(t *testing.T) {
+	// 60/30/10 split over three clusters; k=10 must allocate 6/3/1.
+	cands := clusteredCands([]int{60, 30, 10})
+	got := ClusterSampling{}.Schedule(1, cands, 10, tensor.NewRand(3, 1, StreamTag))
+	if len(got) != 10 {
+		t.Fatalf("cohort size %d, want 10", len(got))
+	}
+	perCluster := make(map[int]int)
+	byID := make(map[int]Candidate, len(cands))
+	for _, c := range cands {
+		byID[c.ClientID] = c
+	}
+	seen := make(map[int]bool)
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate client %d in cohort", id)
+		}
+		seen[id] = true
+		perCluster[byID[id].Cluster]++
+	}
+	if perCluster[0] != 6 || perCluster[1] != 3 || perCluster[2] != 1 {
+		t.Errorf("cluster allocation %v, want map[0:6 1:3 2:1]", perCluster)
+	}
+}
+
+func TestClusterSamplingSmallClustersStayRepresented(t *testing.T) {
+	// A 97/3 split with k=4: proportional share of the small cluster is
+	// 0.12 slots, but largest remainder still gives the big cluster only its
+	// floor+remainder — the small cluster is never starved below its
+	// remainder rank. With k=4: exact = 3.88/0.12, floors 3/0, remainder
+	// order big(0.88) then small(0.12) → 4/0... so the small cluster CAN get
+	// zero in one round; what must hold is that it is sampled when its
+	// remainder wins. Use k=33: exact 32.01/0.99 → floors 32/0, remainder
+	// gives the last slot to the small cluster.
+	cands := clusteredCands([]int{97, 3})
+	got := ClusterSampling{}.Schedule(2, cands, 33, tensor.NewRand(7, 2, StreamTag))
+	small := 0
+	for _, id := range got {
+		if id >= 97 {
+			small++
+		}
+	}
+	if small != 1 {
+		t.Errorf("small cluster got %d slots, want 1", small)
+	}
+}
+
+func TestClusterSamplingDeterministic(t *testing.T) {
+	cands := clusteredCands([]int{20, 20, 20})
+	a := ClusterSampling{}.Schedule(5, cands, 9, tensor.NewRand(11, 5, StreamTag))
+	b := ClusterSampling{}.Schedule(5, cands, 9, tensor.NewRand(11, 5, StreamTag))
+	if len(a) != len(b) {
+		t.Fatalf("cohort sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cohorts differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestClusterSamplingDegeneratesUnclustered(t *testing.T) {
+	// All candidates in cluster 0: exactly one inner call over the whole
+	// pool, so the cohort matches plain UniformRandom under the same rng.
+	cands := clusteredCands([]int{40})
+	got := ClusterSampling{}.Schedule(3, cands, 8, tensor.NewRand(9, 3, StreamTag))
+	want := UniformRandom{}.Schedule(3, cands, 8, tensor.NewRand(9, 3, StreamTag))
+	if len(got) != len(want) {
+		t.Fatalf("cohort sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cohorts differ: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestClusterSamplingSkipsUnavailable(t *testing.T) {
+	cands := clusteredCands([]int{10, 10})
+	for i := range cands {
+		if cands[i].Cluster == 0 {
+			cands[i].Available = false
+		}
+	}
+	got := ClusterSampling{}.Schedule(1, cands, 6, rand.New(rand.NewSource(4)))
+	for _, id := range got {
+		if id < 10 {
+			t.Errorf("scheduled unavailable client %d", id)
+		}
+	}
+	if len(got) != 6 {
+		t.Errorf("cohort size %d, want 6", len(got))
+	}
+}
+
+func TestParseCluster(t *testing.T) {
+	s, err := Parse("cluster:uniform")
+	if err != nil {
+		t.Fatalf("Parse(cluster:uniform): %v", err)
+	}
+	if s.Name() != "cluster:uniform" {
+		t.Errorf("Name() = %q, want cluster:uniform", s.Name())
+	}
+	s, err = Parse("cluster:entropy")
+	if err != nil {
+		t.Fatalf("Parse(cluster:entropy): %v", err)
+	}
+	if s.Name() != "cluster:entropy" {
+		t.Errorf("Name() = %q, want cluster:entropy", s.Name())
+	}
+	// The churn wrapper composes outside the cluster wrapper only.
+	s, err = Parse("avail:cluster:uniform")
+	if err != nil {
+		t.Fatalf("Parse(avail:cluster:uniform): %v", err)
+	}
+	if s.Name() != "avail:cluster:uniform" {
+		t.Errorf("Name() = %q, want avail:cluster:uniform", s.Name())
+	}
+	if _, err := Parse("cluster:avail:uniform"); !errors.Is(err, ErrSched) {
+		t.Errorf("Parse(cluster:avail:uniform) = %v, want ErrSched (stateful inner)", err)
+	} else if !strings.Contains(err.Error(), "avail:cluster:avail:uniform") {
+		t.Errorf("error should point at the avail-outermost composition, got: %v", err)
+	}
+	if _, err := Parse("cluster:bogus"); !errors.Is(err, ErrSched) {
+		t.Errorf("Parse(cluster:bogus) = %v, want ErrSched", err)
+	}
+}
+
+func TestAvailabilityTraceName(t *testing.T) {
+	a := &Availability{Inner: UniformRandom{}}
+	if a.Name() != "avail:uniform" {
+		t.Errorf("Name() = %q, want avail:uniform", a.Name())
+	}
+	a.Trace = func(round, clientID int) bool { return true }
+	if a.Name() != "avail:uniform" {
+		t.Errorf("trace without name: Name() = %q, want avail:uniform", a.Name())
+	}
+	a.TraceName = "0011aabb"
+	if a.Name() != "trace[0011aabb]:uniform" {
+		t.Errorf("Name() = %q, want trace[0011aabb]:uniform", a.Name())
+	}
+	// TraceName alone (no trace) must not change the legacy rendering.
+	a.Trace = nil
+	if a.Name() != "avail:uniform" {
+		t.Errorf("name without trace: Name() = %q, want avail:uniform", a.Name())
+	}
+}

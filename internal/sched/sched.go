@@ -61,6 +61,11 @@ type Candidate struct {
 	// so population-sensitive decisions read this instead of assuming one
 	// device per candidate.
 	Clients int
+	// Cluster is the client's similarity-cluster index (see internal/fleet:
+	// clients are grouped at registration by their label-distribution /
+	// entropy sketches). Zero for unclustered federations, where
+	// ClusterSampling degenerates to its inner policy (single stratum).
+	Cluster int
 }
 
 // Population returns the number of leaf devices the candidate represents,
@@ -448,6 +453,113 @@ func (TierBalanced) Schedule(_ int, cands []Candidate, k int, rng *rand.Rand) []
 	return finishCohort(cands, chosen)
 }
 
+// ClusterSampling stratifies the cohort across similarity clusters — groups
+// of clients with alike label-distribution/entropy sketches (computed at
+// fleet registration and carried in Candidate.Cluster). Cohort slots are
+// split over the clusters present in the available pool proportionally to
+// cluster population (largest remainder, ties to the lower cluster index)
+// and filled by the inner policy *within* each cluster, so every data
+// modality stays represented each round no matter how skewed the pool — the
+// similarity-aware cohort selection of arXiv 2403.07450 adapted to cheap
+// registration-time sketches. On an unclustered pool (all Cluster zero) the
+// policy is exactly one inner call over the whole pool.
+//
+// The inner policy must be stateless: Parse refuses "cluster:avail:…" and
+// directs the caller to "avail:cluster:…", which keeps the churn state at
+// the top level where run checkpoints capture it.
+type ClusterSampling struct {
+	// Inner fills each cluster's slots; nil defaults to UniformRandom.
+	Inner Scheduler
+}
+
+var _ Scheduler = ClusterSampling{}
+
+// Name implements Scheduler.
+func (c ClusterSampling) Name() string { return "cluster:" + c.inner().Name() }
+
+// inner returns the wrapped policy, defaulting to UniformRandom.
+func (c ClusterSampling) inner() Scheduler {
+	if c.Inner == nil {
+		return UniformRandom{}
+	}
+	return c.Inner
+}
+
+// Schedule implements Scheduler. Clusters consume rng in ascending cluster
+// order (one inner call per cluster), so cohorts are reproducible from the
+// seed.
+func (c ClusterSampling) Schedule(round int, cands []Candidate, k int, rng *rand.Rand) []int {
+	avail := availableSet(cands)
+	k = clampK(k, len(avail))
+	byCluster := make(map[int][]int)
+	for _, idx := range avail {
+		cl := cands[idx].Cluster
+		byCluster[cl] = append(byCluster[cl], idx)
+	}
+	if len(byCluster) <= 1 {
+		return c.inner().Schedule(round, cands, k, rng)
+	}
+	clusters := make([]int, 0, len(byCluster))
+	for cl := range byCluster {
+		clusters = append(clusters, cl)
+	}
+	sort.Ints(clusters)
+
+	// Proportional slots per cluster by largest remainder, ties to the lower
+	// cluster index (sort.SliceStable over the ascending cluster order).
+	counts := make([]int, len(clusters))
+	rems := make([]float64, len(clusters))
+	assigned := 0
+	for i, cl := range clusters {
+		exact := float64(k) * float64(len(byCluster[cl])) / float64(len(avail))
+		counts[i] = int(exact)
+		if counts[i] > len(byCluster[cl]) {
+			counts[i] = len(byCluster[cl])
+		}
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	order := make([]int, len(clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rems[order[a]] > rems[order[b]] })
+	for assigned < k {
+		grew := false
+		for _, i := range order {
+			if assigned >= k {
+				break
+			}
+			if counts[i] < len(byCluster[clusters[i]]) {
+				counts[i]++
+				assigned++
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Each cluster's slots are filled by the inner policy over that
+	// cluster's candidates only. The sub-slice preserves global ClientIDs,
+	// so the inner cohort needs no re-mapping.
+	ids := make([]int, 0, k)
+	sub := make([]Candidate, 0, 64)
+	for i, cl := range clusters {
+		if counts[i] == 0 {
+			continue
+		}
+		sub = sub[:0]
+		for _, idx := range byCluster[cl] {
+			sub = append(sub, cands[idx])
+		}
+		ids = append(ids, c.inner().Schedule(round, sub, counts[i], rng)...)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // Availability composes any inner policy with client churn: each client is
 // an on/off two-state Markov chain (per round, an up client goes down with
 // DownProb and a down client comes back with UpProb), or replays an
@@ -470,6 +582,12 @@ type Availability struct {
 	// Trace, when non-nil, replays availability instead of the Markov chain:
 	// Trace(round, clientID) reports whether the client is up.
 	Trace func(round, clientID int) bool
+	// TraceName identifies the replayed trace (fleet traces use their content
+	// fingerprint). When set together with Trace, it is folded into Name(),
+	// so a run checkpointed under one trace refuses to resume under an edited
+	// trace or under the Markov chain — the same mismatch refusal every other
+	// scheduler change gets.
+	TraceName string
 
 	up map[int]bool // Markov state; clients start up
 }
@@ -477,8 +595,15 @@ type Availability struct {
 var _ Scheduler = (*Availability)(nil)
 var _ Stateful = (*Availability)(nil)
 
-// Name implements Scheduler.
-func (a *Availability) Name() string { return "avail:" + a.inner().Name() }
+// Name implements Scheduler. Markov-churn wrappers are "avail:<inner>";
+// trace replays with a TraceName render as "trace[<name>]:<inner>" so the
+// trace's identity participates in checkpoint validation.
+func (a *Availability) Name() string {
+	if a.Trace != nil && a.TraceName != "" {
+		return "trace[" + a.TraceName + "]:" + a.inner().Name()
+	}
+	return "avail:" + a.inner().Name()
+}
 
 // SnapshotState implements Stateful: the Markov up/down map serialized in
 // ascending client-ID order (u64 count, then per client an i64 ID and one
@@ -589,15 +714,18 @@ func (a *Availability) Schedule(round int, cands []Candidate, k int, rng *rand.R
 
 // PolicyNames lists the identifiers Parse accepts, in display order.
 func PolicyNames() []string {
-	return []string{"uniform", "size", "entropy", "powerd", "tier", "avail:<inner>"}
+	return []string{"uniform", "size", "entropy", "powerd", "tier", "cluster:<inner>", "avail:<inner>"}
 }
 
 // Parse maps a CLI policy name to a Scheduler. The names are shared by
 // `fedsim -sched` and `fedserver -sched`: "uniform", "size", "entropy",
-// "powerd", "tier", and "avail:<inner>" for the churn wrapper (e.g.
-// "avail:entropy"). Parameters keep their defaults (ε = 0.1, d = 2,
-// churn DownProb = UpProb = 0.2); construct policies directly for other
-// settings.
+// "powerd", "tier", "cluster:<inner>" for similarity-stratified sampling
+// (e.g. "cluster:uniform"), and "avail:<inner>" for the churn wrapper (e.g.
+// "avail:entropy"). The wrappers compose — "avail:cluster:uniform" is churn
+// over cluster-stratified sampling — but only in that order: the stateful
+// churn wrapper must stay outermost so checkpoints capture its state.
+// Parameters keep their defaults (ε = 0.1, d = 2, churn DownProb = UpProb =
+// 0.2); construct policies directly for other settings.
 func Parse(name string) (Scheduler, error) {
 	switch {
 	case name == "uniform":
@@ -610,6 +738,17 @@ func Parse(name string) (Scheduler, error) {
 		return PowerOfD{}, nil
 	case name == "tier":
 		return TierBalanced{}, nil
+	case strings.HasPrefix(name, "cluster:"):
+		inner, err := Parse(strings.TrimPrefix(name, "cluster:"))
+		if err != nil {
+			return nil, err
+		}
+		if _, stateful := inner.(Stateful); stateful {
+			return nil, fmt.Errorf("%w: %q nests the stateful churn wrapper inside the stateless "+
+				"cluster wrapper, which would drop its state from checkpoints — compose as %q instead",
+				ErrSched, name, "avail:"+name)
+		}
+		return ClusterSampling{Inner: inner}, nil
 	case strings.HasPrefix(name, "avail:"):
 		inner, err := Parse(strings.TrimPrefix(name, "avail:"))
 		if err != nil {

@@ -1,0 +1,128 @@
+package seeds_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedfteds/internal/comm"
+	"fedfteds/internal/seeds"
+	"fedfteds/internal/tensor"
+)
+
+// refSplitmix is an independent spelling of Splitmix64. The derivation
+// helpers are re-verified against it (not against the tensor package) so a
+// drive-by "simplification" of either copy fails loudly instead of silently
+// rewriting every recorded stream.
+func refSplitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func refDerive(parts ...uint64) int64 {
+	acc := uint64(0x243f6a8885a308d3)
+	for _, p := range parts {
+		acc = refSplitmix(acc ^ p)
+	}
+	return int64(acc)
+}
+
+func TestDerivePinned(t *testing.T) {
+	cases := [][]uint64{{}, {0}, {7}, {1, 2, 3}, {0xFACADE, 42, 1 << 40}}
+	for _, parts := range cases {
+		if got, want := seeds.Derive(parts...), refDerive(parts...); got != want {
+			t.Errorf("Derive(%v) = %d, want %d", parts, got, want)
+		}
+	}
+}
+
+func TestChainPinned(t *testing.T) {
+	ref := func(base uint64, parts ...uint64) uint64 {
+		x := base
+		for _, p := range parts {
+			x = refSplitmix(x ^ p)
+		}
+		return x
+	}
+	if got, want := seeds.Chain(5), ref(5); got != want {
+		t.Errorf("Chain(5) = %d, want %d", got, want)
+	}
+	if got, want := seeds.Chain(9, 1, 2), ref(9, 1, 2); got != want {
+		t.Errorf("Chain(9,1,2) = %d, want %d", got, want)
+	}
+}
+
+// TestCodecSeedMatchesChain pins the cross-package contract: the comm
+// package's stochastic-rounding seed is exactly the seeds chain with
+// TagCodec, so simulator, fedclient and relay all reproduce the same
+// quantization noise from (base, round, sender).
+func TestCodecSeedMatchesChain(t *testing.T) {
+	for _, c := range []struct {
+		base      uint64
+		round, id int
+	}{
+		{0, 0, 0}, {7, 3, 11}, {1 << 60, 999, 123456},
+	} {
+		got := comm.CodecSeed(c.base, c.round, c.id)
+		want := seeds.Chain(c.base, seeds.TagCodec, uint64(c.round), uint64(c.id))
+		if got != want {
+			t.Errorf("CodecSeed(%d,%d,%d) = %d, want Chain = %d", c.base, c.round, c.id, got, want)
+		}
+		// And against the raw reference formula, the historic spelling.
+		x := refSplitmix(c.base ^ 0xC0DEC51D)
+		x = refSplitmix(x ^ uint64(c.round))
+		x = refSplitmix(x ^ uint64(c.id))
+		if got != x {
+			t.Errorf("CodecSeed(%d,%d,%d) = %d, want reference %d", c.base, c.round, c.id, got, x)
+		}
+	}
+}
+
+// TestStreamsMatchLegacyDerivations pins every stream constructor to the
+// hand-rolled construction it replaced.
+func TestStreamsMatchLegacyDerivations(t *testing.T) {
+	drawSome := func(r *rand.Rand) [4]float64 {
+		return [4]float64{r.Float64(), float64(r.Int63()), r.NormFloat64(), float64(r.Intn(1 << 20))}
+	}
+
+	// Stream == tensor.NewRand == rand.New(rand.NewSource(Derive(...))).
+	if got, want := drawSome(seeds.Stream(3, 1, 4)), drawSome(tensor.NewRand(3, 1, 4)); got != want {
+		t.Errorf("Stream(3,1,4) draws %v, want %v", got, want)
+	}
+	if got, want := drawSome(seeds.Stream(3, 1, 4)), drawSome(rand.New(rand.NewSource(refDerive(3, 1, 4)))); got != want {
+		t.Errorf("Stream(3,1,4) draws %v, want reference %v", got, want)
+	}
+
+	// Source == the legacy direct construction.
+	if got, want := drawSome(seeds.Source(-17)), drawSome(rand.New(rand.NewSource(-17))); got != want {
+		t.Errorf("Source(-17) draws %v, want %v", got, want)
+	}
+
+	// ClientRound == the (seed, round, client) training stream.
+	negSeed := int64(-9)
+	if got, want := drawSome(seeds.ClientRound(negSeed, 4, 21)), drawSome(tensor.NewRand(uint64(negSeed), 4, 21)); got != want {
+		t.Errorf("ClientRound(-9,4,21) draws %v, want %v", got, want)
+	}
+
+	// FleetClient == the tagged (seed, TagFleetClient, id) stream. The tag
+	// sits in the round slot of the tuple, far above any realistic round
+	// count, which is what keeps fleet streams disjoint from training
+	// streams.
+	if got, want := drawSome(seeds.FleetClient(5, 2)), drawSome(tensor.NewRand(5, seeds.TagFleetClient, 2)); got != want {
+		t.Errorf("FleetClient(5,2) draws %v, want %v", got, want)
+	}
+}
+
+// TestFleetClientStable freezes the fleet registration stream's first draws:
+// fleet descriptors and datasets are derived from this stream, so any change
+// here silently regenerates every virtual client.
+func TestFleetClientStable(t *testing.T) {
+	r := seeds.FleetClient(42, 7)
+	want := rand.New(rand.NewSource(refDerive(42, 0xF1EE7C71, 7)))
+	for i := 0; i < 16; i++ {
+		if g, w := r.Uint64(), want.Uint64(); g != w {
+			t.Fatalf("FleetClient(42,7) draw %d = %d, want %d", i, g, w)
+		}
+	}
+}
